@@ -1,0 +1,150 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+
+	"treelattice/internal/core"
+	"treelattice/internal/corpus"
+	"treelattice/internal/labeltree"
+	"treelattice/internal/serve"
+)
+
+// runExplain estimates a query with its work trace and decomposition
+// spread.
+func runExplain(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	summaryPath := fs.String("summary", "", "summary file from 'build'")
+	query := fs.String("query", "", "twig query")
+	fs.Parse(args)
+	if *summaryPath == "" || *query == "" {
+		return fmt.Errorf("explain: -summary and -query are required")
+	}
+	sum, err := loadSummary(*summaryPath)
+	if err != nil {
+		return err
+	}
+	q, err := labeltree.ParsePattern(*query, sum.Dict())
+	if err != nil {
+		return err
+	}
+	est, trace, err := sum.EstimateWithTrace(q, core.MethodRecursiveVoting)
+	if err != nil {
+		return err
+	}
+	iv := sum.EstimateInterval(q)
+	fmt.Fprintf(stdout, "estimate:        %.2f\n", est)
+	fmt.Fprintf(stdout, "spread:          [%.2f, %.2f]\n", iv.Lo, iv.Hi)
+	fmt.Fprintf(stdout, "lattice hits:    %d\n", trace.LatticeHits)
+	fmt.Fprintf(stdout, "lattice misses:  %d\n", trace.LatticeMisses)
+	fmt.Fprintf(stdout, "reconstructions: %d\n", trace.Reconstructions)
+	fmt.Fprintf(stdout, "augmentations:   %d\n", trace.Augmentations)
+	fmt.Fprintf(stdout, "max depth:       %d\n", trace.MaxDepth)
+	return nil
+}
+
+// runCorpus dispatches the corpus subcommands.
+func runCorpus(args []string, stdout io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("corpus: expected init | add | rm | stats")
+	}
+	switch args[0] {
+	case "init":
+		fs := flag.NewFlagSet("corpus init", flag.ExitOnError)
+		dir := fs.String("dir", "", "corpus directory")
+		k := fs.Int("k", 4, "lattice level")
+		buckets := fs.Int("buckets", 0, "value buckets (0 = structure only)")
+		attrs := fs.Bool("attributes", false, "model attributes as nodes")
+		fs.Parse(args[1:])
+		if *dir == "" {
+			return fmt.Errorf("corpus init: -dir is required")
+		}
+		_, err := corpus.Create(*dir, corpus.Options{K: *k, ValueBuckets: *buckets, Attributes: *attrs})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "initialized corpus in %s (K=%d)\n", *dir, *k)
+		return nil
+	case "add":
+		fs := flag.NewFlagSet("corpus add", flag.ExitOnError)
+		dir := fs.String("dir", "", "corpus directory")
+		name := fs.String("name", "", "document name")
+		in := fs.String("in", "", "XML file")
+		fs.Parse(args[1:])
+		if *dir == "" || *name == "" || *in == "" {
+			return fmt.Errorf("corpus add: -dir, -name and -in are required")
+		}
+		c, err := corpus.Open(*dir)
+		if err != nil {
+			return err
+		}
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := c.AddXML(*name, f); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "added %s\n", *name)
+		return nil
+	case "rm":
+		fs := flag.NewFlagSet("corpus rm", flag.ExitOnError)
+		dir := fs.String("dir", "", "corpus directory")
+		name := fs.String("name", "", "document name")
+		fs.Parse(args[1:])
+		if *dir == "" || *name == "" {
+			return fmt.Errorf("corpus rm: -dir and -name are required")
+		}
+		c, err := corpus.Open(*dir)
+		if err != nil {
+			return err
+		}
+		if err := c.Remove(*name); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "removed %s\n", *name)
+		return nil
+	case "stats":
+		fs := flag.NewFlagSet("corpus stats", flag.ExitOnError)
+		dir := fs.String("dir", "", "corpus directory")
+		fs.Parse(args[1:])
+		if *dir == "" {
+			return fmt.Errorf("corpus stats: -dir is required")
+		}
+		c, err := corpus.Open(*dir)
+		if err != nil {
+			return err
+		}
+		s := c.Summary()
+		fmt.Fprintf(stdout, "K=%d patterns=%d bytes=%d documents=%d\n",
+			s.K(), s.Patterns(), s.SizeBytes(), len(c.Docs()))
+		for _, d := range c.Docs() {
+			tree, _ := c.Doc(d)
+			fmt.Fprintf(stdout, "  %s: %d elements\n", d, tree.Size())
+		}
+		return nil
+	default:
+		return fmt.Errorf("corpus: unknown subcommand %q", args[0])
+	}
+}
+
+// runServe serves a corpus over HTTP until the process is stopped.
+func runServe(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	dir := fs.String("corpus", "", "corpus directory")
+	addr := fs.String("addr", "127.0.0.1:8357", "listen address")
+	fs.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("serve: -corpus is required")
+	}
+	c, err := corpus.Open(*dir)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "serving corpus %s on http://%s\n", *dir, *addr)
+	return http.ListenAndServe(*addr, serve.NewHandler(c))
+}

@@ -1,0 +1,38 @@
+// Command twigbench runs the full evaluation suite and prints the report
+// reproducing every table and figure of the paper (see DESIGN.md for the
+// experiment index).
+//
+// Usage:
+//
+//	twigbench [-scale N] [-k K] [-seed S] [-persize Q] [-budget BYTES]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"treelattice/internal/experiments"
+)
+
+func main() {
+	def := experiments.DefaultConfig()
+	scale := flag.Int("scale", def.Scale, "approximate element count per generated dataset")
+	k := flag.Int("k", def.K, "lattice level")
+	seed := flag.Int64("seed", def.Seed, "generation seed")
+	perSize := flag.Int("persize", def.PerSize, "queries per workload size")
+	budget := flag.Int("budget", def.SketchBudget, "TreeSketches memory budget in bytes")
+	flag.Parse()
+
+	cfg := def
+	cfg.Scale = *scale
+	cfg.K = *k
+	cfg.Seed = *seed
+	cfg.PerSize = *perSize
+	cfg.SketchBudget = *budget
+
+	if err := experiments.NewSuite(cfg).RunAll(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "twigbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,44 @@
+// Command xmlgen generates the synthetic evaluation datasets (NASA-,
+// IMDB-, PSD- and XMark-like documents; see internal/datagen) as XML.
+//
+// Usage:
+//
+//	xmlgen -profile xmark -scale 50000 -seed 42 > xmark.xml
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"treelattice"
+	"treelattice/internal/datagen"
+)
+
+func main() {
+	profile := flag.String("profile", "xmark", "nasa | imdb | psd | xmark")
+	scale := flag.Int("scale", 20000, "approximate element count")
+	seed := flag.Int64("seed", 42, "generation seed")
+	flag.Parse()
+
+	dict := treelattice.NewDict()
+	tree, err := datagen.Generate(datagen.Config{
+		Profile: datagen.Profile(*profile),
+		Scale:   *scale,
+		Seed:    *seed,
+	}, dict)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xmlgen:", err)
+		os.Exit(1)
+	}
+	w := bufio.NewWriter(os.Stdout)
+	if err := treelattice.WriteXML(w, tree); err != nil {
+		fmt.Fprintln(os.Stderr, "xmlgen:", err)
+		os.Exit(1)
+	}
+	if err := w.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "xmlgen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,74 @@
+package treelattice_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"treelattice"
+)
+
+// Example builds a summary of a small document and estimates the paper's
+// Figure 1(b) twig query.
+func Example() {
+	dict := treelattice.NewDict()
+	tree, err := treelattice.ParseXML(strings.NewReader(
+		`<computer><laptops><laptop><brand/><price/></laptop><laptop><brand/><price/></laptop></laptops><desktops/></computer>`), dict)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sum, err := treelattice.Build(tree, treelattice.BuildOptions{K: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	est, err := sum.EstimateQuery("//laptop(brand,price)", treelattice.MethodRecursiveVoting)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("estimated %.0f matches\n", est)
+	// Output: estimated 2 matches
+}
+
+// ExampleCompileXPath compiles an XPath expression and executes it
+// exactly against an indexed document.
+func ExampleCompileXPath() {
+	dict := treelattice.NewDict()
+	tree, err := treelattice.ParseXML(strings.NewReader(
+		`<site><item><name/><price/></item><item><name/></item></site>`), dict)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, err := treelattice.CompileXPath("//item[name][price]", dict, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	x := treelattice.NewIndex(tree)
+	fmt.Println(treelattice.CountMatches(x, q))
+	// Output: 1
+}
+
+// ExampleSummary_Prune shows the δ-derivable pruning trade-off: the
+// pruned summary is smaller and answers occurring queries identically.
+func ExampleSummary_Prune() {
+	dict := treelattice.NewDict()
+	var sb strings.Builder
+	sb.WriteString("<root>")
+	for i := 0; i < 10; i++ {
+		sb.WriteString("<a><b/><c/></a>")
+	}
+	sb.WriteString("</root>")
+	tree, err := treelattice.ParseXML(strings.NewReader(sb.String()), dict)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sum, err := treelattice.Build(tree, treelattice.BuildOptions{K: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pruned := sum.Prune(0)
+	before, _ := sum.EstimateQuery("a(b,c)", treelattice.MethodRecursive)
+	after, _ := pruned.EstimateQuery("a(b,c)", treelattice.MethodRecursive)
+	fmt.Printf("smaller: %v, same estimate: %v\n",
+		pruned.SizeBytes() < sum.SizeBytes(), before == after)
+	// Output: smaller: true, same estimate: true
+}

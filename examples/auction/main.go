@@ -1,0 +1,69 @@
+// Auction: the paper's motivating scenario — interactive query refinement
+// against an on-line auction site (XMark). A user about to run an
+// expensive twig query first asks the estimator how many matches to
+// expect; overwhelming result sets prompt refinement, and COUNT-style
+// aggregates can be answered approximately without touching the data.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"treelattice"
+	"treelattice/internal/datagen"
+	"treelattice/internal/labeltree"
+)
+
+func main() {
+	dict := treelattice.NewDict()
+	tree, err := datagen.Generate(datagen.Config{Profile: datagen.XMark, Scale: 50000, Seed: 1}, dict)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("auction site: %d elements\n", tree.Size())
+
+	start := time.Now()
+	sum, err := treelattice.Build(tree, treelattice.BuildOptions{K: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("summary built in %v: %d patterns, %.1f KB\n\n",
+		time.Since(start).Round(time.Millisecond), sum.Patterns(), float64(sum.SizeBytes())/1024)
+
+	// The user drafts increasingly selective queries; each estimate is a
+	// few microseconds against the summary, versus a scan of the data.
+	session := []string{
+		"open_auction(bidder)",
+		"open_auction(bidder(date),bidder(increase))",
+		"open_auction(initial,current,bidder(date,increase))",
+		"item(description(text(keyword)),mailbox(mail))",
+	}
+	for _, qs := range session {
+		q, err := treelattice.ParseQuery(qs, dict)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t0 := time.Now()
+		est, err := sum.Estimate(q, treelattice.MethodRecursiveVoting)
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(t0)
+		exact := treelattice.ExactCount(tree, q)
+		verdict := "ok to run"
+		if est > 10000 {
+			verdict = "refine first: result set too large"
+		}
+		fmt.Printf("%-55s est=%-10.0f exact=%-8d (%v) -> %s\n", qs, est, exact, elapsed.Round(time.Microsecond), verdict)
+	}
+
+	// Approximate COUNT aggregate: return the estimate directly.
+	q := labeltree.MustParsePattern("person(watches(watch))", dict)
+	est, err := sum.Estimate(q, treelattice.MethodRecursiveVoting)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\napproximate COUNT(person/watches/watch) = %.0f (exact %d)\n",
+		est, treelattice.ExactCount(tree, q))
+}

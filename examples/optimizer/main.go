@@ -1,0 +1,61 @@
+// Optimizer: the paper's headline application — using selectivity
+// estimates to pick a twig evaluation plan. The executor binds query
+// nodes in some order; its cost is the candidate nodes it scans. The
+// planner estimates each branch's selectivity from the TreeLattice
+// summary and probes the most selective branch first, failing fast.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"treelattice"
+	"treelattice/internal/datagen"
+	"treelattice/internal/estimate"
+	"treelattice/internal/planner"
+	"treelattice/internal/twigjoin"
+)
+
+func main() {
+	dict := treelattice.NewDict()
+	tree, err := datagen.Generate(datagen.Config{Profile: datagen.XMark, Scale: 40000, Seed: 5}, dict)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sum, err := treelattice.Build(tree, treelattice.BuildOptions{K: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	est := estimate.NewRecursive(sum.Lattice(), true)
+	index := twigjoin.NewIndex(tree)
+
+	// Written the way a user naturally would: common branches first. The
+	// naive executor binds them in written order; the planner reorders.
+	queries := []string{
+		"//item(description(text),mailbox(mail(from)))",
+		"//open_auction(bidder(date,increase),itemref,current)",
+		"//person(watches(watch),name,address(city))",
+		"//item(mailbox(mail),location,name,payment)",
+		"//person(name,address(city),watches(watch))",
+	}
+	fmt.Printf("document: %d elements; summary: %.1f KB\n\n", tree.Size(), float64(sum.SizeBytes())/1024)
+	fmt.Printf("%-55s %10s %12s %12s %8s\n", "query", "matches", "naive scan", "planned", "saved")
+	for _, qs := range queries {
+		q := twigjoin.MustParseQuery(qs, dict)
+		plan := planner.Choose(q, est)
+		naive := planner.Plan{Order: planner.NaiveOrder(q)}
+		nMatches, nStats := planner.Execute(index, q, naive)
+		pMatches, pStats := planner.Execute(index, q, plan)
+		if nMatches != pMatches {
+			log.Fatalf("plans disagree: %d vs %d", nMatches, pMatches)
+		}
+		saved := 0.0
+		if nStats.Candidates > 0 {
+			saved = 100 * (1 - float64(pStats.Candidates)/float64(nStats.Candidates))
+		}
+		fmt.Printf("%-55s %10d %12d %12d %7.0f%%\n",
+			qs, nMatches, nStats.Candidates, pStats.Candidates, saved)
+	}
+	fmt.Println("\nboth plans return identical answers; the estimate-guided order")
+	fmt.Println("scans fewer candidate nodes by probing selective branches first.")
+}

@@ -1,0 +1,67 @@
+// Quickstart: build a summary of an XML document and estimate twig query
+// selectivities with all three estimators, comparing against exact counts.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"treelattice"
+)
+
+const doc = `
+<computer>
+  <laptops>
+    <laptop><brand/><price/></laptop>
+    <laptop><brand/><price/></laptop>
+    <laptop><brand/></laptop>
+  </laptops>
+  <desktops>
+    <desktop><brand/><price/></desktop>
+  </desktops>
+</computer>`
+
+func main() {
+	dict := treelattice.NewDict()
+	tree, err := treelattice.ParseXML(strings.NewReader(doc), dict)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Summarize the document: occurrence counts of all subtree patterns
+	// of up to 3 nodes (the "3-lattice").
+	sum, err := treelattice.Build(tree, treelattice.BuildOptions{K: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("document: %d elements; summary: %d patterns, %d bytes\n\n",
+		tree.Size(), sum.Patterns(), sum.SizeBytes())
+
+	queries := []string{
+		"laptop",                                 // single label
+		"laptop(brand,price)",                    // the paper's Figure 1(b) twig
+		"computer(laptops(laptop))",              // path
+		"computer(laptops(laptop(brand,price)))", // beyond the lattice: estimated
+	}
+	methods := []treelattice.Method{
+		treelattice.MethodRecursive,
+		treelattice.MethodRecursiveVoting,
+		treelattice.MethodFixSized,
+	}
+	for _, qs := range queries {
+		q, err := treelattice.ParseQuery(qs, dict)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-42s exact=%d", qs, treelattice.ExactCount(tree, q))
+		for _, m := range methods {
+			est, err := sum.Estimate(q, m)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %s=%.2f", m, est)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,3 @@
+module treelattice
+
+go 1.22

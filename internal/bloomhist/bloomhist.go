@@ -1,0 +1,258 @@
+// Package bloomhist implements the Bloom-histogram path-selectivity
+// summary of Wang et al. (VLDB 2004), the last of the path-lineage
+// baselines the paper cites — notable as the first method with a
+// theoretical bound on estimation error.
+//
+// Construction: collect every downward label path up to length L with its
+// count; sort paths by count and partition them into B buckets so that
+// within-bucket counts are close (greedy splitting on the largest
+// relative spread); store, per bucket, a Bloom filter of the member path
+// keys and a representative value (the bucket's geometric midpoint).
+// Estimation probes the buckets' filters: a hit returns the bucket
+// representative (error bounded by the bucket spread, up to Bloom false
+// positives); no hit returns 0.
+package bloomhist
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"strings"
+
+	"treelattice/internal/labeltree"
+)
+
+// Options configures construction.
+type Options struct {
+	// MaxPathLen is the maximum stored path length (default 4).
+	MaxPathLen int
+	// Buckets is the number of histogram buckets (default 8).
+	Buckets int
+	// BitsPerKey sizes each bucket's Bloom filter (default 10, ~1% false
+	// positives with 3 hash functions).
+	BitsPerKey int
+}
+
+func (o *Options) fill() {
+	if o.MaxPathLen == 0 {
+		o.MaxPathLen = 4
+	}
+	if o.Buckets == 0 {
+		o.Buckets = 8
+	}
+	if o.BitsPerKey == 0 {
+		o.BitsPerKey = 10
+	}
+}
+
+// Histogram is a built Bloom histogram. Immutable and safe for concurrent
+// use.
+type Histogram struct {
+	opts    Options
+	buckets []bucket
+}
+
+type bucket struct {
+	filter *bloom
+	value  float64 // representative count
+	lo, hi int64   // true count range (for error-bound reporting)
+	keys   int
+}
+
+// Build scans all downward paths of length ≤ L and buckets their counts.
+func Build(t *labeltree.Tree, opts Options) *Histogram {
+	opts.fill()
+	counts := make(map[string]int64)
+	labels := make([]labeltree.LabelID, 0, opts.MaxPathLen)
+	var walk func(at int32)
+	walk = func(at int32) {
+		labels = append(labels, t.Label(at))
+		counts[pathKey(labels)]++
+		if len(labels) < opts.MaxPathLen {
+			for _, c := range t.Children(at) {
+				walk(c)
+			}
+		}
+		labels = labels[:len(labels)-1]
+	}
+	for v := int32(0); int(v) < t.Size(); v++ {
+		walk(v)
+	}
+
+	type kv struct {
+		key   string
+		count int64
+	}
+	all := make([]kv, 0, len(counts))
+	for k, c := range counts {
+		all = append(all, kv{k, c})
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].count != all[b].count {
+			return all[a].count < all[b].count
+		}
+		return all[a].key < all[b].key
+	})
+
+	h := &Histogram{opts: opts}
+	if len(all) == 0 {
+		return h
+	}
+	// Greedy equi-spread partition: split at the largest count ratios.
+	sorted := make([]int64, len(all))
+	for i := range all {
+		sorted[i] = all[i].count
+	}
+	boundaries := splitBoundaries(sorted, opts.Buckets)
+	start := 0
+	for _, end := range boundaries {
+		members := all[start:end]
+		start = end
+		if len(members) == 0 {
+			continue
+		}
+		bl := newBloom(len(members)*opts.BitsPerKey, 3)
+		for _, m := range members {
+			bl.add(m.key)
+		}
+		lo := members[0].count
+		hi := members[len(members)-1].count
+		h.buckets = append(h.buckets, bucket{
+			filter: bl,
+			value:  math.Sqrt(float64(lo) * float64(hi)),
+			lo:     lo,
+			hi:     hi,
+			keys:   len(members),
+		})
+	}
+	return h
+}
+
+// splitBoundaries returns ascending end indexes partitioning sorted
+// counts into at most b buckets, cutting where adjacent counts have the
+// largest ratio.
+func splitBoundaries(counts []int64, b int) []int {
+	n := len(counts)
+	if b <= 1 || n <= 1 {
+		return []int{n}
+	}
+	type cut struct {
+		idx   int
+		ratio float64
+	}
+	cuts := make([]cut, 0, n-1)
+	for i := 1; i < n; i++ {
+		r := float64(counts[i]) / float64(counts[i-1])
+		cuts = append(cuts, cut{idx: i, ratio: r})
+	}
+	sort.Slice(cuts, func(a, b int) bool {
+		if cuts[a].ratio != cuts[b].ratio {
+			return cuts[a].ratio > cuts[b].ratio
+		}
+		return cuts[a].idx < cuts[b].idx
+	})
+	keep := b - 1
+	if keep > len(cuts) {
+		keep = len(cuts)
+	}
+	idxs := make([]int, 0, keep+1)
+	for _, c := range cuts[:keep] {
+		idxs = append(idxs, c.idx)
+	}
+	idxs = append(idxs, n)
+	sort.Ints(idxs)
+	return idxs
+}
+
+// Buckets reports the number of buckets.
+func (h *Histogram) Buckets() int { return len(h.buckets) }
+
+// SizeBytes is the accounted size: filter bits plus 24 bytes of metadata
+// per bucket.
+func (h *Histogram) SizeBytes() int {
+	total := 0
+	for _, b := range h.buckets {
+		total += len(b.filter.bits)*8 + 24
+	}
+	return total
+}
+
+// Name identifies the estimator in experiment output.
+func (h *Histogram) Name() string { return "bloomhist" }
+
+// EstimatePath returns the representative count of the bucket whose
+// filter contains the path, 0 when no bucket matches. The second return
+// is the bucket's true-count range — the paper's error bound.
+func (h *Histogram) EstimatePath(labels []labeltree.LabelID) (float64, [2]int64) {
+	if len(labels) == 0 || len(labels) > h.opts.MaxPathLen {
+		return 0, [2]int64{}
+	}
+	key := pathKey(labels)
+	for _, b := range h.buckets {
+		if b.filter.contains(key) {
+			return b.value, [2]int64{b.lo, b.hi}
+		}
+	}
+	return 0, [2]int64{}
+}
+
+// Estimate adapts EstimatePath to the common estimator shape for path
+// patterns; it panics on branching patterns (Bloom histograms summarize
+// paths only — the limitation the paper calls out).
+func (h *Histogram) Estimate(p labeltree.Pattern) float64 {
+	v, _ := h.EstimatePath(p.PathLabels())
+	return v
+}
+
+func pathKey(labels []labeltree.LabelID) string {
+	var b strings.Builder
+	for _, l := range labels {
+		fmt.Fprintf(&b, "%d/", l)
+	}
+	return b.String()
+}
+
+// ---- Bloom filter (double hashing over FNV-1a 64) ----
+
+type bloom struct {
+	bits []uint64
+	k    int
+}
+
+func newBloom(bits, k int) *bloom {
+	if bits < 64 {
+		bits = 64
+	}
+	return &bloom{bits: make([]uint64, (bits+63)/64), k: k}
+}
+
+func (b *bloom) hashes(key string) (uint64, uint64) {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	h1 := h.Sum64()
+	h.Write([]byte{0xFF})
+	h2 := h.Sum64() | 1
+	return h1, h2
+}
+
+func (b *bloom) add(key string) {
+	h1, h2 := b.hashes(key)
+	m := uint64(len(b.bits) * 64)
+	for i := 0; i < b.k; i++ {
+		pos := (h1 + uint64(i)*h2) % m
+		b.bits[pos/64] |= 1 << (pos % 64)
+	}
+}
+
+func (b *bloom) contains(key string) bool {
+	h1, h2 := b.hashes(key)
+	m := uint64(len(b.bits) * 64)
+	for i := 0; i < b.k; i++ {
+		pos := (h1 + uint64(i)*h2) % m
+		if b.bits[pos/64]&(1<<(pos%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}

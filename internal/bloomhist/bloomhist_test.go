@@ -1,0 +1,166 @@
+package bloomhist
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"treelattice/internal/labeltree"
+	"treelattice/internal/markov"
+	"treelattice/internal/treetest"
+	"treelattice/internal/xmlparse"
+)
+
+func parseDoc(t *testing.T, doc string) (*labeltree.Tree, *labeltree.Dict) {
+	t.Helper()
+	dict := labeltree.NewDict()
+	tr, err := xmlparse.Parse(strings.NewReader(doc), dict, xmlparse.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, dict
+}
+
+func ids(dict *labeltree.Dict, names ...string) []labeltree.LabelID {
+	out := make([]labeltree.LabelID, len(names))
+	for i, n := range names {
+		id, ok := dict.Lookup(n)
+		if !ok {
+			id = -1
+		}
+		out[i] = id
+	}
+	return out
+}
+
+func TestEstimateWithinBucketBounds(t *testing.T) {
+	// The defining guarantee: for any stored path, the estimate's bucket
+	// range brackets the true count.
+	dict, alphabet := treetest.Alphabet(3)
+	rng := rand.New(rand.NewSource(5))
+	tr := treetest.RandomTree(rng, 400, alphabet, dict)
+	h := Build(tr, Options{MaxPathLen: 3, Buckets: 6})
+	tb := markov.Build(tr, 3)
+	checked := 0
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(3)
+		path := make([]labeltree.LabelID, n)
+		for i := range path {
+			path[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		truth := tb.Count(path)
+		if truth == 0 {
+			continue
+		}
+		checked++
+		est, bounds := h.EstimatePath(path)
+		if est <= 0 {
+			t.Fatalf("stored path %v estimated 0 (true %d)", path, truth)
+		}
+		if truth < bounds[0] || truth > bounds[1] {
+			t.Fatalf("path %v: true %d outside bucket range %v", path, truth, bounds)
+		}
+		if est < float64(bounds[0])-1e-9 || est > float64(bounds[1])+1e-9 {
+			t.Fatalf("path %v: representative %v outside its own range %v", path, est, bounds)
+		}
+	}
+	if checked < 30 {
+		t.Fatalf("only %d stored paths checked", checked)
+	}
+}
+
+func TestAbsentPathsMostlyZero(t *testing.T) {
+	// Absent paths return 0 except for Bloom false positives, which must
+	// be rare.
+	dict, alphabet := treetest.Alphabet(3)
+	rng := rand.New(rand.NewSource(9))
+	tr := treetest.RandomTree(rng, 300, alphabet, dict)
+	h := Build(tr, Options{MaxPathLen: 3})
+	tb := markov.Build(tr, 3)
+	falsePos, absent := 0, 0
+	for trial := 0; trial < 500; trial++ {
+		n := 2 + rng.Intn(2)
+		path := make([]labeltree.LabelID, n)
+		for i := range path {
+			path[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		if tb.Count(path) != 0 {
+			continue
+		}
+		absent++
+		if est, _ := h.EstimatePath(path); est != 0 {
+			falsePos++
+		}
+	}
+	if absent == 0 {
+		t.Skip("no absent paths sampled")
+	}
+	if float64(falsePos) > 0.05*float64(absent)+1 {
+		t.Fatalf("%d/%d false positives", falsePos, absent)
+	}
+}
+
+func TestBucketsSeparateScales(t *testing.T) {
+	// Counts 1 and 1000 must not share a bucket representative.
+	var sb strings.Builder
+	sb.WriteString("<r><rare/>")
+	for i := 0; i < 1000; i++ {
+		sb.WriteString("<common/>")
+	}
+	sb.WriteString("</r>")
+	tr, dict := parseDoc(t, sb.String())
+	h := Build(tr, Options{MaxPathLen: 2, Buckets: 4})
+	rare, _ := h.EstimatePath(ids(dict, "rare"))
+	common, _ := h.EstimatePath(ids(dict, "common"))
+	if rare <= 0 || common <= 0 {
+		t.Fatalf("estimates: rare=%v common=%v", rare, common)
+	}
+	if common < 100*rare {
+		t.Fatalf("buckets merged scales: rare=%v common=%v", rare, common)
+	}
+	if math.Abs(common-1000) > 500 {
+		t.Fatalf("common = %v, want ~1000", common)
+	}
+}
+
+func TestMiscAccessors(t *testing.T) {
+	tr, dict := parseDoc(t, `<a><b/></a>`)
+	h := Build(tr, Options{})
+	if h.Buckets() == 0 || h.SizeBytes() <= 0 || h.Name() != "bloomhist" {
+		t.Fatalf("buckets=%d size=%d", h.Buckets(), h.SizeBytes())
+	}
+	if est, _ := h.EstimatePath(nil); est != 0 {
+		t.Fatalf("empty path = %v", est)
+	}
+	long := ids(dict, "a", "b", "a", "b", "a")
+	if est, _ := h.EstimatePath(long); est != 0 {
+		t.Fatalf("over-length path = %v", est)
+	}
+	p := labeltree.MustParsePattern("a(b)", dict)
+	if got := h.Estimate(p); got <= 0 {
+		t.Fatalf("Estimate = %v", got)
+	}
+}
+
+func TestBloomFilter(t *testing.T) {
+	b := newBloom(1024, 3)
+	keys := []string{"a", "bb", "ccc", "dddd"}
+	for _, k := range keys {
+		b.add(k)
+	}
+	for _, k := range keys {
+		if !b.contains(k) {
+			t.Fatalf("member %q missing", k)
+		}
+	}
+	misses := 0
+	for i := 0; i < 1000; i++ {
+		if !b.contains(strings.Repeat("x", 1+i%7) + string(rune('0'+i%10))) {
+			misses++
+		}
+	}
+	if misses < 900 {
+		t.Fatalf("only %d/1000 non-members rejected", misses)
+	}
+}

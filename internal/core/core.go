@@ -1,0 +1,203 @@
+// Package core ties the paper's pieces into the TreeLattice system: build
+// a lattice summary from a document by frequent-tree mining, estimate twig
+// query selectivities by probabilistic decomposition, prune δ-derivable
+// patterns under a memory budget, and maintain the summary incrementally
+// across document batches.
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"treelattice/internal/estimate"
+	"treelattice/internal/labeltree"
+	"treelattice/internal/lattice"
+	"treelattice/internal/mine"
+)
+
+// Method selects an estimation strategy.
+type Method string
+
+// The estimation strategies evaluated in the paper.
+const (
+	// MethodRecursive removes one deterministic leaf pair per recursion
+	// level (Section 3.2).
+	MethodRecursive Method = "recursive"
+	// MethodRecursiveVoting averages all admissible leaf pairs per level
+	// (Section 3.2, voting extension). Most accurate, slowest.
+	MethodRecursiveVoting Method = "recursive+voting"
+	// MethodFixSized covers the query with K-subtrees in preorder
+	// (Section 3.3). Fastest.
+	MethodFixSized Method = "fix-sized"
+)
+
+// Methods returns all estimation methods in presentation order.
+func Methods() []Method {
+	return []Method{MethodRecursive, MethodRecursiveVoting, MethodFixSized}
+}
+
+// BuildOptions configures summary construction.
+type BuildOptions struct {
+	// K is the lattice level: all subtree patterns up to this size are
+	// collected. Default 4, the paper's standard setting.
+	K int
+	// Mining passes through to the miner.
+	Mining mine.Options
+}
+
+// Summary is a TreeLattice summary of one or more documents.
+type Summary struct {
+	lat  *lattice.Summary
+	dict *labeltree.Dict
+}
+
+// Build mines a K-lattice summary from t.
+func Build(t *labeltree.Tree, opts BuildOptions) (*Summary, error) {
+	if opts.K == 0 {
+		opts.K = 4
+	}
+	lat, err := mine.Mine(t, opts.K, opts.Mining)
+	if err != nil {
+		return nil, fmt.Errorf("core: building summary: %w", err)
+	}
+	return &Summary{lat: lat, dict: t.Dict()}, nil
+}
+
+// FromLattice wraps an existing lattice summary.
+func FromLattice(lat *lattice.Summary) *Summary {
+	return &Summary{lat: lat, dict: lat.Dict()}
+}
+
+// K returns the lattice level.
+func (s *Summary) K() int { return s.lat.K() }
+
+// Dict returns the label dictionary queries must be parsed against.
+func (s *Summary) Dict() *labeltree.Dict { return s.dict }
+
+// Lattice exposes the underlying lattice summary.
+func (s *Summary) Lattice() *lattice.Summary { return s.lat }
+
+// SizeBytes is the accounted storage size of the summary.
+func (s *Summary) SizeBytes() int { return s.lat.SizeBytes() }
+
+// Patterns reports the number of stored patterns.
+func (s *Summary) Patterns() int { return s.lat.Len() }
+
+// Estimator returns the estimator implementing method over this summary.
+func (s *Summary) Estimator(method Method) (estimate.Estimator, error) {
+	switch method {
+	case MethodRecursive:
+		return estimate.NewRecursive(s.lat, false), nil
+	case MethodRecursiveVoting:
+		return estimate.NewRecursive(s.lat, true), nil
+	case MethodFixSized:
+		return estimate.NewFixSized(s.lat), nil
+	default:
+		return nil, fmt.Errorf("core: unknown method %q", method)
+	}
+}
+
+// Estimate returns the estimated selectivity of q under method.
+func (s *Summary) Estimate(q labeltree.Pattern, method Method) (float64, error) {
+	est, err := s.Estimator(method)
+	if err != nil {
+		return 0, err
+	}
+	return est.Estimate(q), nil
+}
+
+// EstimateQuery parses a twig query in the "a(b,c(d))" syntax and
+// estimates its selectivity.
+func (s *Summary) EstimateQuery(query string, method Method) (float64, error) {
+	q, err := labeltree.ParsePattern(query, s.dict)
+	if err != nil {
+		return 0, err
+	}
+	return s.Estimate(q, method)
+}
+
+// EstimateWithTrace estimates q with the recursive estimator (voting per
+// the method) and returns the work record: lattice hits/misses,
+// reconstruction count, and the recursion depth over which independence
+// assumptions compounded. Only the recursive methods carry traces.
+func (s *Summary) EstimateWithTrace(q labeltree.Pattern, method Method) (float64, estimate.Trace, error) {
+	switch method {
+	case MethodRecursive, MethodRecursiveVoting:
+		r := estimate.NewRecursive(s.lat, method == MethodRecursiveVoting)
+		est, tr := r.EstimateWithTrace(q)
+		return est, tr, nil
+	default:
+		return 0, estimate.Trace{}, fmt.Errorf("core: method %q does not support traces", method)
+	}
+}
+
+// EstimateInterval returns the decomposition-choice spread [Lo, Hi] of
+// q's estimate: how much the answer varies across admissible
+// decompositions, an indicator of how hard the conditional-independence
+// assumption is working.
+func (s *Summary) EstimateInterval(q labeltree.Pattern) estimate.Interval {
+	return estimate.EstimateInterval(s.lat, q)
+}
+
+// AddTree incrementally folds another document into the summary: the
+// document is mined at the same K and its counts are merged. (Documents
+// are independent trees, so pattern matches never span batches and counts
+// are additive.) AddTree fails on a pruned summary, whose missing patterns
+// cannot be updated.
+func (s *Summary) AddTree(t *labeltree.Tree) error {
+	if s.lat.Pruned() {
+		return fmt.Errorf("core: cannot add documents to a pruned summary")
+	}
+	if t.Dict() != s.dict {
+		return fmt.Errorf("core: document uses a different label dictionary")
+	}
+	inc, err := mine.Mine(t, s.lat.K(), mine.Options{})
+	if err != nil {
+		return err
+	}
+	return s.lat.Merge(inc)
+}
+
+// RemoveTree subtracts a previously added document's counts from the
+// summary — the inverse of AddTree for corpora maintained incrementally.
+// Removing a document that was never added is invalid: counts going
+// negative are reported as errors, and the summary may be left partially
+// updated when that happens.
+func (s *Summary) RemoveTree(t *labeltree.Tree) error {
+	if s.lat.Pruned() {
+		return fmt.Errorf("core: cannot remove documents from a pruned summary")
+	}
+	if t.Dict() != s.dict {
+		return fmt.Errorf("core: document uses a different label dictionary")
+	}
+	dec, err := mine.Mine(t, s.lat.K(), mine.Options{})
+	if err != nil {
+		return err
+	}
+	for _, e := range dec.Entries(0) {
+		if err := s.lat.AddCount(e.Pattern, -e.Count); err != nil {
+			return fmt.Errorf("core: removing document: %w", err)
+		}
+	}
+	return nil
+}
+
+// Prune returns a copy of the summary without δ-derivable patterns
+// (Section 4.3). delta is a relative tolerance; 0 prunes only patterns
+// whose decomposition estimate is exact.
+func (s *Summary) Prune(delta float64) *Summary {
+	return &Summary{lat: estimate.PruneDerivable(s.lat, delta), dict: s.dict}
+}
+
+// WriteTo serializes the summary.
+func (s *Summary) WriteTo(w io.Writer) (int64, error) { return s.lat.WriteTo(w) }
+
+// Read deserializes a summary written by WriteTo, interning labels into
+// dict.
+func Read(r io.Reader, dict *labeltree.Dict) (*Summary, error) {
+	lat, err := lattice.Read(r, dict)
+	if err != nil {
+		return nil, err
+	}
+	return &Summary{lat: lat, dict: dict}, nil
+}

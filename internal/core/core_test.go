@@ -1,0 +1,278 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"treelattice/internal/labeltree"
+	"treelattice/internal/match"
+	"treelattice/internal/xmlparse"
+)
+
+func buildSample(t *testing.T, k int) (*Summary, *labeltree.Tree, *labeltree.Dict) {
+	t.Helper()
+	dict := labeltree.NewDict()
+	doc := `<computer><laptops><laptop><brand/><price/></laptop><laptop><brand/><price/></laptop></laptops><desktops/></computer>`
+	tr, err := xmlparse.Parse(strings.NewReader(doc), dict, xmlparse.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := Build(tr, BuildOptions{K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sum, tr, dict
+}
+
+func TestBuildDefaults(t *testing.T) {
+	dict := labeltree.NewDict()
+	tr, err := xmlparse.Parse(strings.NewReader("<a><b/></a>"), dict, xmlparse.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := Build(tr, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.K() != 4 {
+		t.Fatalf("default K = %d, want 4", sum.K())
+	}
+	if sum.Patterns() == 0 || sum.SizeBytes() == 0 {
+		t.Fatal("empty summary built")
+	}
+}
+
+func TestEstimateQueryAllMethods(t *testing.T) {
+	sum, _, _ := buildSample(t, 3)
+	for _, m := range Methods() {
+		got, err := sum.EstimateQuery("laptop(brand,price)", m)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if got != 2 {
+			t.Fatalf("%s: estimate = %v, want 2", m, got)
+		}
+	}
+}
+
+func TestEstimateQueryErrors(t *testing.T) {
+	sum, _, _ := buildSample(t, 3)
+	if _, err := sum.EstimateQuery("a((", MethodRecursive); err == nil {
+		t.Fatal("bad query accepted")
+	}
+	if _, err := sum.EstimateQuery("laptop", Method("bogus")); err == nil {
+		t.Fatal("bad method accepted")
+	}
+	if _, err := sum.Estimator("bogus"); err == nil {
+		t.Fatal("bad method accepted by Estimator")
+	}
+}
+
+func TestAddTreeIncremental(t *testing.T) {
+	sum, tr, dict := buildSample(t, 3)
+	// Add a second copy of the document: counts double.
+	tr2, err := xmlparse.Parse(strings.NewReader(`<computer><laptops><laptop><brand/><price/></laptop></laptops></computer>`), dict, xmlparse.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, _ := sum.EstimateQuery("laptop(brand,price)", MethodRecursive)
+	if err := sum.AddTree(tr2); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := sum.EstimateQuery("laptop(brand,price)", MethodRecursive)
+	if after != before+1 {
+		t.Fatalf("incremental count = %v, want %v", after, before+1)
+	}
+	// Merged summary equals mining the concatenation: cross-check one
+	// more pattern.
+	c1 := match.NewCounter(tr).Count(labeltree.MustParsePattern("laptops(laptop)", dict))
+	c2 := match.NewCounter(tr2).Count(labeltree.MustParsePattern("laptops(laptop)", dict))
+	got, _ := sum.EstimateQuery("laptops(laptop)", MethodRecursive)
+	if got != float64(c1+c2) {
+		t.Fatalf("merged laptops(laptop) = %v, want %d", got, c1+c2)
+	}
+}
+
+func TestAddTreeRejectsForeignDictAndPruned(t *testing.T) {
+	sum, _, _ := buildSample(t, 3)
+	otherDict := labeltree.NewDict()
+	other, err := xmlparse.Parse(strings.NewReader("<x><y/></x>"), otherDict, xmlparse.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sum.AddTree(other); err == nil {
+		t.Fatal("foreign dictionary accepted")
+	}
+	pruned := sum.Prune(0)
+	_, tr, _ := buildSample(t, 3)
+	if err := pruned.AddTree(tr); err == nil {
+		t.Fatal("AddTree on pruned summary accepted")
+	}
+}
+
+func TestPruneKeepsEstimates(t *testing.T) {
+	sum, tr, dict := buildSample(t, 3)
+	pruned := sum.Prune(0)
+	if pruned.SizeBytes() > sum.SizeBytes() {
+		t.Fatal("pruning grew the summary")
+	}
+	counter := match.NewCounter(tr)
+	for _, qs := range []string{"laptop(brand,price)", "computer(laptops(laptop))", "laptops(laptop,laptop)"} {
+		q := labeltree.MustParsePattern(qs, dict)
+		want := float64(counter.Count(q))
+		got, err := pruned.Estimate(q, MethodRecursive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("pruned estimate of %s = %v, want %v", qs, got, want)
+		}
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	sum, _, _ := buildSample(t, 3)
+	var buf bytes.Buffer
+	if _, err := sum.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dict2 := labeltree.NewDict()
+	got, err := Read(&buf, dict2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.K() != sum.K() || got.Patterns() != sum.Patterns() {
+		t.Fatal("round trip mismatch")
+	}
+	est, err := got.EstimateQuery("laptop(brand,price)", MethodFixSized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est != 2 {
+		t.Fatalf("estimate after reload = %v, want 2", est)
+	}
+}
+
+func TestReadGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("nope")), labeltree.NewDict()); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestEstimateWithTrace(t *testing.T) {
+	sum, _, dict := buildSample(t, 3)
+	q := labeltree.MustParsePattern("computer(laptops(laptop(brand,price)))", dict)
+	est, trace, err := sum.EstimateWithTrace(q, MethodRecursiveVoting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := sum.Estimate(q, MethodRecursiveVoting)
+	if est != want {
+		t.Fatalf("traced estimate %v != %v", est, want)
+	}
+	if trace.MaxDepth == 0 || trace.Augmentations == 0 {
+		t.Fatalf("trace = %+v for an out-of-lattice query", trace)
+	}
+	if _, _, err := sum.EstimateWithTrace(q, MethodFixSized); err == nil {
+		t.Fatal("fix-sized trace accepted")
+	}
+}
+
+func TestEstimateIntervalFacade(t *testing.T) {
+	sum, tr, dict := buildSample(t, 3)
+	q := labeltree.MustParsePattern("computer(laptops(laptop(brand,price)))", dict)
+	iv := sum.EstimateInterval(q)
+	truth := float64(match.NewCounter(tr).Count(q))
+	est, _ := sum.Estimate(q, MethodRecursiveVoting)
+	if !iv.Contains(est) {
+		t.Fatalf("interval %+v does not contain estimate %v", iv, est)
+	}
+	_ = truth // the interval is a decomposition spread, not a truth bound
+}
+
+func TestValuePredicateEstimation(t *testing.T) {
+	// The future-work value-predicate extension end to end: parse with
+	// value buckets, query a bucketed predicate like price=42.
+	dict := labeltree.NewDict()
+	doc := `<shop>` +
+		strings.Repeat(`<laptop><brand>apple</brand><price>42</price></laptop>`, 3) +
+		strings.Repeat(`<laptop><brand>dell</brand><price>99</price></laptop>`, 2) +
+		`</shop>`
+	tree, err := xmlparse.Parse(strings.NewReader(doc), dict, xmlparse.Options{ValueBuckets: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := Build(tree, BuildOptions{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// laptop[price = 42] as a structural twig through the bucket label.
+	q := "laptop(price(" + xmlparse.ValueLabel("42", 64) + "))"
+	got, err := sum.EstimateQuery(q, MethodRecursive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Fatalf("value predicate estimate = %v, want 3", got)
+	}
+	// Combined structure + value predicate.
+	q2 := "laptop(brand(" + xmlparse.ValueLabel("dell", 64) + "),price)"
+	got2, err := sum.EstimateQuery(q2, MethodRecursive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2 != 2 {
+		t.Fatalf("combined predicate estimate = %v, want 2", got2)
+	}
+}
+
+func TestRemoveTreeInvertsAddTree(t *testing.T) {
+	sum, _, dict := buildSample(t, 3)
+	baseline := sum.Lattice().Entries(0)
+	tr2, err := xmlparse.Parse(strings.NewReader(`<computer><laptops><laptop><brand/></laptop></laptops></computer>`), dict, xmlparse.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sum.AddTree(tr2); err != nil {
+		t.Fatal(err)
+	}
+	if err := sum.RemoveTree(tr2); err != nil {
+		t.Fatal(err)
+	}
+	after := sum.Lattice().Entries(0)
+	if len(after) != len(baseline) {
+		t.Fatalf("entry count %d != %d after add+remove", len(after), len(baseline))
+	}
+	for i := range baseline {
+		if baseline[i].Pattern.Key() != after[i].Pattern.Key() || baseline[i].Count != after[i].Count {
+			t.Fatalf("entry %d changed after add+remove", i)
+		}
+	}
+}
+
+func TestRemoveTreeGuards(t *testing.T) {
+	sum, tr, _ := buildSample(t, 3)
+	pruned := sum.Prune(0)
+	if err := pruned.RemoveTree(tr); err == nil {
+		t.Fatal("RemoveTree on pruned summary accepted")
+	}
+	otherDict := labeltree.NewDict()
+	other, err := xmlparse.Parse(strings.NewReader("<x/>"), otherDict, xmlparse.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sum.RemoveTree(other); err == nil {
+		t.Fatal("foreign dictionary accepted")
+	}
+	// Removing a document that was never added drives counts negative.
+	bigDict := sum.Dict()
+	big, err := xmlparse.Parse(strings.NewReader(`<computer><laptops><laptop><brand/><price/></laptop><laptop><brand/><price/></laptop><laptop><brand/><price/></laptop></laptops></computer>`), bigDict, xmlparse.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sum.RemoveTree(big); err == nil {
+		t.Fatal("over-removal accepted")
+	}
+}

@@ -1,0 +1,321 @@
+// Package corpus manages a directory of XML documents with a persistent,
+// incrementally maintained TreeLattice summary — the packaging a
+// downstream system embeds: add and remove documents, estimate twig
+// selectivities across the whole corpus, and reopen without re-mining.
+//
+// Layout under the corpus root:
+//
+//	corpus.meta          K, bucket configuration (plain text key=value)
+//	summary.tlat         the merged lattice summary
+//	docs/<name>.tltr     each document in the binary tree format
+//
+// All mutating operations write the summary through to disk; a corpus is
+// single-writer (no file locking is attempted).
+package corpus
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"treelattice/internal/core"
+	"treelattice/internal/labeltree"
+	"treelattice/internal/lattice"
+	"treelattice/internal/match"
+	"treelattice/internal/xmlparse"
+)
+
+// buildEmptySummary returns a zero-document summary at level k.
+func buildEmptySummary(k int, dict *labeltree.Dict) (*core.Summary, error) {
+	return core.FromLattice(lattice.New(k, dict)), nil
+}
+
+// exactCount counts q's matches in one document.
+func exactCount(t *labeltree.Tree, q labeltree.Pattern) int64 {
+	return match.NewCounter(t).Count(q)
+}
+
+// Options configures corpus creation.
+type Options struct {
+	// K is the lattice level (default 4).
+	K int
+	// ValueBuckets and Attributes pass through to XML parsing; they must
+	// stay fixed for the corpus lifetime and are persisted in the meta
+	// file.
+	ValueBuckets int
+	Attributes   bool
+}
+
+// Corpus is an open corpus. Not safe for concurrent mutation.
+type Corpus struct {
+	dir     string
+	opts    Options
+	dict    *labeltree.Dict
+	summary *core.Summary
+	docs    map[string]*labeltree.Tree
+}
+
+// Create initializes a new corpus directory. dir must not already contain
+// a corpus.
+func Create(dir string, opts Options) (*Corpus, error) {
+	if opts.K == 0 {
+		opts.K = 4
+	}
+	if _, err := os.Stat(metaPath(dir)); err == nil {
+		return nil, fmt.Errorf("corpus: %s already contains a corpus", dir)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "docs"), 0o755); err != nil {
+		return nil, err
+	}
+	c := &Corpus{
+		dir:  dir,
+		opts: opts,
+		dict: labeltree.NewDict(),
+		docs: make(map[string]*labeltree.Tree),
+	}
+	// An empty summary: build from a lattice with no entries.
+	empty, err := buildEmptySummary(opts.K, c.dict)
+	if err != nil {
+		return nil, err
+	}
+	c.summary = empty
+	if err := c.writeMeta(); err != nil {
+		return nil, err
+	}
+	if err := c.writeSummary(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Open loads an existing corpus.
+func Open(dir string) (*Corpus, error) {
+	opts, err := readMeta(metaPath(dir))
+	if err != nil {
+		return nil, err
+	}
+	c := &Corpus{
+		dir:  dir,
+		opts: opts,
+		dict: labeltree.NewDict(),
+		docs: make(map[string]*labeltree.Tree),
+	}
+	f, err := os.Open(summaryPath(dir))
+	if err != nil {
+		return nil, fmt.Errorf("corpus: opening summary: %w", err)
+	}
+	defer f.Close()
+	c.summary, err = core.Read(f, c.dict)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: loading summary: %w", err)
+	}
+	entries, err := os.ReadDir(filepath.Join(dir, "docs"))
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		name, ok := strings.CutSuffix(e.Name(), ".tltr")
+		if !ok {
+			continue
+		}
+		tree, err := c.readDoc(name)
+		if err != nil {
+			return nil, err
+		}
+		c.docs[name] = tree
+	}
+	return c, nil
+}
+
+// Options returns the corpus configuration.
+func (c *Corpus) Options() Options { return c.opts }
+
+// Dict returns the corpus label dictionary (parse queries against it).
+func (c *Corpus) Dict() *labeltree.Dict { return c.dict }
+
+// Summary returns the live corpus summary.
+func (c *Corpus) Summary() *core.Summary { return c.summary }
+
+// Docs lists document names in sorted order.
+func (c *Corpus) Docs() []string {
+	out := make([]string, 0, len(c.docs))
+	for n := range c.docs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Doc returns a loaded document tree by name.
+func (c *Corpus) Doc(name string) (*labeltree.Tree, bool) {
+	t, ok := c.docs[name]
+	return t, ok
+}
+
+// AddXML parses an XML document from r, folds it into the summary, and
+// persists both.
+func (c *Corpus) AddXML(name string, r io.Reader) error {
+	if err := validName(name); err != nil {
+		return err
+	}
+	if _, exists := c.docs[name]; exists {
+		return fmt.Errorf("corpus: document %q already exists", name)
+	}
+	tree, err := xmlparse.Parse(r, c.dict, xmlparse.Options{
+		ValueBuckets: c.opts.ValueBuckets,
+		Attributes:   c.opts.Attributes,
+	})
+	if err != nil {
+		return err
+	}
+	if err := c.summary.AddTree(tree); err != nil {
+		return err
+	}
+	if err := c.writeDoc(name, tree); err != nil {
+		return err
+	}
+	c.docs[name] = tree
+	return c.writeSummary()
+}
+
+// Remove deletes a document and subtracts its counts.
+func (c *Corpus) Remove(name string) error {
+	tree, ok := c.docs[name]
+	if !ok {
+		return fmt.Errorf("corpus: no document %q", name)
+	}
+	if err := c.summary.RemoveTree(tree); err != nil {
+		return err
+	}
+	delete(c.docs, name)
+	if err := os.Remove(c.docPath(name)); err != nil {
+		return err
+	}
+	return c.writeSummary()
+}
+
+// EstimateQuery estimates a twig query's selectivity across the corpus.
+func (c *Corpus) EstimateQuery(query string, method core.Method) (float64, error) {
+	return c.summary.EstimateQuery(query, method)
+}
+
+// ExactCount counts a query's matches exactly by scanning every document.
+func (c *Corpus) ExactCount(q labeltree.Pattern) int64 {
+	var total int64
+	for _, name := range c.Docs() {
+		total += exactCount(c.docs[name], q)
+	}
+	return total
+}
+
+// ---- persistence helpers ----
+
+func metaPath(dir string) string    { return filepath.Join(dir, "corpus.meta") }
+func summaryPath(dir string) string { return filepath.Join(dir, "summary.tlat") }
+
+func (c *Corpus) docPath(name string) string {
+	return filepath.Join(c.dir, "docs", name+".tltr")
+}
+
+func validName(name string) error {
+	if name == "" || strings.ContainsAny(name, "/\\") || strings.Contains(name, "..") {
+		return fmt.Errorf("corpus: invalid document name %q", name)
+	}
+	return nil
+}
+
+func (c *Corpus) writeMeta() error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "k=%d\nvaluebuckets=%d\nattributes=%v\n",
+		c.opts.K, c.opts.ValueBuckets, c.opts.Attributes)
+	return atomicWrite(metaPath(c.dir), func(w io.Writer) error {
+		_, err := io.WriteString(w, b.String())
+		return err
+	})
+}
+
+func readMeta(path string) (Options, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Options{}, fmt.Errorf("corpus: %w", err)
+	}
+	defer f.Close()
+	opts := Options{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(line, "=")
+		if !ok {
+			return Options{}, fmt.Errorf("corpus: malformed meta line %q", line)
+		}
+		switch key {
+		case "k":
+			opts.K, err = strconv.Atoi(val)
+		case "valuebuckets":
+			opts.ValueBuckets, err = strconv.Atoi(val)
+		case "attributes":
+			opts.Attributes, err = strconv.ParseBool(val)
+		default:
+			err = fmt.Errorf("corpus: unknown meta key %q", key)
+		}
+		if err != nil {
+			return Options{}, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return Options{}, err
+	}
+	if opts.K < 2 {
+		return Options{}, fmt.Errorf("corpus: meta has invalid K=%d", opts.K)
+	}
+	return opts, nil
+}
+
+func (c *Corpus) writeSummary() error {
+	return atomicWrite(summaryPath(c.dir), func(w io.Writer) error {
+		_, err := c.summary.WriteTo(w)
+		return err
+	})
+}
+
+func (c *Corpus) writeDoc(name string, t *labeltree.Tree) error {
+	return atomicWrite(c.docPath(name), func(w io.Writer) error {
+		_, err := labeltree.WriteTree(w, t)
+		return err
+	})
+}
+
+func (c *Corpus) readDoc(name string) (*labeltree.Tree, error) {
+	f, err := os.Open(c.docPath(name))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return labeltree.ReadTree(f, c.dict)
+}
+
+// atomicWrite writes via a temp file and rename, so crashes never leave a
+// half-written summary behind.
+func atomicWrite(path string, fill func(io.Writer) error) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := fill(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

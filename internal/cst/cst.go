@@ -1,0 +1,337 @@
+// Package cst implements a Correlated Sub-path Tree baseline in the
+// style of Chen et al. (ICDE 2001), the earliest twig-selectivity method
+// the paper compares against in its related work: store the counts of all
+// downward label paths up to a length L, and augment each stored path
+// with a set-hashing (min-hash) signature of the data nodes it starts at,
+// so the correlation between the branches of a twig can be estimated from
+// signature intersections instead of being assumed away.
+//
+// A twig query is decomposed into its root-to-leaf paths. Each branch
+// path contributes (a) its anchored occurrence count, (b) the set of
+// anchor nodes supporting it. The twig estimate is
+//
+//	|∩ supports| · Π (anchored count / |support|)
+//
+// with the support intersection sized by min-hash Jaccard estimation —
+// exactly the role the set-hashing signatures play in CST. Paths longer
+// than L fall back to an order-(L−1) Markov extension.
+package cst
+
+import (
+	"fmt"
+	"strings"
+
+	"treelattice/internal/labeltree"
+)
+
+// Options configures construction.
+type Options struct {
+	// MaxPathLen is the maximum stored path length L (default 4).
+	MaxPathLen int
+	// SignatureSize is the number of min-hash slots per stored path
+	// (default 32).
+	SignatureSize int
+}
+
+func (o *Options) fill() {
+	if o.MaxPathLen == 0 {
+		o.MaxPathLen = 4
+	}
+	if o.SignatureSize == 0 {
+		o.SignatureSize = 32
+	}
+}
+
+// Tree is a built CST summary. It is immutable and safe for concurrent
+// use.
+type Tree struct {
+	opts    Options
+	dict    *labeltree.Dict
+	entries map[string]*entry
+}
+
+type entry struct {
+	count    int64    // occurrences of the path (anchored anywhere)
+	support  int64    // distinct start nodes
+	sig      []uint32 // min-hash signature of the start-node set
+	lastSeen int32    // during construction: last start node folded in
+}
+
+// Build scans every downward path of length ≤ L from every node.
+func Build(t *labeltree.Tree, opts Options) *Tree {
+	opts.fill()
+	c := &Tree{opts: opts, dict: t.Dict(), entries: make(map[string]*entry)}
+	labels := make([]labeltree.LabelID, 0, opts.MaxPathLen)
+	var walk func(start, at int32)
+	walk = func(start, at int32) {
+		labels = append(labels, t.Label(at))
+		c.record(labels, start)
+		if len(labels) < opts.MaxPathLen {
+			for _, ch := range t.Children(at) {
+				walk(start, ch)
+			}
+		}
+		labels = labels[:len(labels)-1]
+	}
+	for v := int32(0); int(v) < t.Size(); v++ {
+		walk(v, v)
+	}
+	return c
+}
+
+func (c *Tree) record(labels []labeltree.LabelID, start int32) {
+	key := pathKey(labels)
+	e, ok := c.entries[key]
+	if !ok {
+		e = &entry{sig: newSignature(c.opts.SignatureSize), lastSeen: -1}
+		c.entries[key] = e
+	}
+	e.count++
+	if e.lastSeen != start {
+		e.lastSeen = start
+		e.support++
+		foldSignature(e.sig, uint32(start))
+	}
+}
+
+// Len reports the number of stored paths.
+func (c *Tree) Len() int { return len(c.entries) }
+
+// SizeBytes is the accounted storage size: 16 bytes of counters plus 4
+// per signature slot and 4 per path step.
+func (c *Tree) SizeBytes() int {
+	total := 0
+	for k := range c.entries {
+		total += 16 + 4*c.opts.SignatureSize + 4*strings.Count(k, "/")
+	}
+	return total
+}
+
+// Name identifies the estimator in experiment output.
+func (c *Tree) Name() string { return "cst" }
+
+// PathCount returns the stored count of a downward label path (0 if it
+// does not occur); paths longer than L are Markov-extended.
+func (c *Tree) PathCount(labels []labeltree.LabelID) float64 {
+	if len(labels) == 0 {
+		return 0
+	}
+	L := c.opts.MaxPathLen
+	if len(labels) <= L {
+		if e, ok := c.entries[pathKey(labels)]; ok {
+			return float64(e.count)
+		}
+		return 0
+	}
+	est := c.PathCount(labels[:L])
+	for i := 1; i+L <= len(labels); i++ {
+		num := c.PathCount(labels[i : i+L])
+		den := c.PathCount(labels[i : i+L-1])
+		if den == 0 {
+			return 0
+		}
+		est *= num / den
+	}
+	return est
+}
+
+// Estimate returns the CST estimate of a twig pattern's selectivity:
+// occurrences of the root label times the expected per-occurrence matches
+// of the body, where each branching point multiplies the branches'
+// conditional multiplicities (count ratios of stored paths) and applies a
+// set-hashing correlation correction — the joint branch support sized by
+// min-hash intersection against the independence expectation.
+func (c *Tree) Estimate(q labeltree.Pattern) float64 {
+	children := make([][]int32, q.Size())
+	for i := int32(1); int(i) < q.Size(); i++ {
+		children[q.Parent(i)] = append(children[q.Parent(i)], i)
+	}
+	anchor := []labeltree.LabelID{q.Label(0)}
+	rootCount := c.PathCount(anchor)
+	if rootCount == 0 {
+		return 0
+	}
+	return rootCount * c.estFrom(q, 0, anchor, children)
+}
+
+// estFrom returns the expected matches of the subtree rooted at query
+// node n per occurrence of the anchor path (which ends at n's label).
+func (c *Tree) estFrom(q labeltree.Pattern, n int32, anchor []labeltree.LabelID, children [][]int32) float64 {
+	kids := children[n]
+	if len(kids) == 0 {
+		return 1
+	}
+	anchorCnt := c.PathCount(anchor)
+	if anchorCnt == 0 {
+		return 0
+	}
+	prod := 1.0
+	type suppInfo struct {
+		size int64
+		sig  []uint32
+	}
+	var supports []suppInfo
+	for _, k := range kids {
+		kidAnchor := append(anchor[:len(anchor):len(anchor)], q.Label(k))
+		kc := c.PathCount(kidAnchor)
+		if kc == 0 {
+			return 0
+		}
+		sub := c.estFrom(q, k, kidAnchor, children)
+		if sub == 0 {
+			return 0
+		}
+		prod *= (kc / anchorCnt) * sub
+		size, sig := c.supportOf(kidAnchor)
+		supports = append(supports, suppInfo{size: size, sig: sig})
+	}
+	if len(kids) < 2 {
+		return prod
+	}
+	// Correlation correction at this branching point: the fraction of
+	// anchor-path instances supporting *all* branches, against the
+	// independence expectation Π per-branch fractions.
+	anchorSupp, _ := c.supportOf(anchor)
+	if anchorSupp == 0 {
+		return 0
+	}
+	joint := float64(supports[0].size)
+	jointSig := supports[0].sig
+	indepFrac := 1.0
+	for i, st := range supports {
+		if st.size == 0 || st.sig == nil {
+			return 0
+		}
+		indepFrac *= float64(st.size) / float64(anchorSupp)
+		if i == 0 {
+			continue
+		}
+		j := jaccard(jointSig, st.sig)
+		inter := j / (1 + j) * (joint + float64(st.size))
+		if inter > joint {
+			inter = joint
+		}
+		if inter > float64(st.size) {
+			inter = float64(st.size)
+		}
+		joint = inter
+		jointSig = mergeMin(jointSig, st.sig)
+	}
+	if joint <= 0 {
+		return 0
+	}
+	jointFrac := joint / float64(anchorSupp)
+	if jointFrac > 1 {
+		jointFrac = 1
+	}
+	if indepFrac <= 0 {
+		return 0
+	}
+	return prod * jointFrac / indepFrac
+}
+
+// supportOf returns the support statistics of a branch path, truncating
+// to the stored length when necessary (the truncation keeps the anchor
+// set of the stored prefix, CST's behaviour for long paths).
+func (c *Tree) supportOf(labels []labeltree.LabelID) (int64, []uint32) {
+	if len(labels) > c.opts.MaxPathLen {
+		labels = labels[:c.opts.MaxPathLen]
+	}
+	e, ok := c.entries[pathKey(labels)]
+	if !ok {
+		return 0, nil
+	}
+	return e.support, e.sig
+}
+
+// rootToLeafPaths decomposes a pattern into its root-to-leaf label paths.
+func rootToLeafPaths(q labeltree.Pattern) [][]labeltree.LabelID {
+	children := make([][]int32, q.Size())
+	for i := int32(1); int(i) < q.Size(); i++ {
+		children[q.Parent(i)] = append(children[q.Parent(i)], i)
+	}
+	var out [][]labeltree.LabelID
+	var walk func(i int32, prefix []labeltree.LabelID)
+	walk = func(i int32, prefix []labeltree.LabelID) {
+		prefix = append(prefix, q.Label(i))
+		if len(children[i]) == 0 {
+			out = append(out, append([]labeltree.LabelID(nil), prefix...))
+			return
+		}
+		for _, ch := range children[i] {
+			walk(ch, prefix)
+		}
+	}
+	walk(0, nil)
+	return out
+}
+
+func pathKey(labels []labeltree.LabelID) string {
+	var b strings.Builder
+	for _, l := range labels {
+		fmt.Fprintf(&b, "%d/", l)
+	}
+	return b.String()
+}
+
+// ---- min-hash signatures ----
+
+// newSignature returns a sketch with all slots empty (max value).
+func newSignature(k int) []uint32 {
+	s := make([]uint32, k)
+	for i := range s {
+		s[i] = ^uint32(0)
+	}
+	return s
+}
+
+// foldSignature folds one element into the sketch: slot i keeps the
+// minimum of hash_i(x) over all folded elements.
+func foldSignature(sig []uint32, x uint32) {
+	for i := range sig {
+		h := slotHash(x, uint32(i))
+		if h < sig[i] {
+			sig[i] = h
+		}
+	}
+}
+
+// slotHash is a per-slot 32-bit mix (xorshift-multiply).
+func slotHash(x, slot uint32) uint32 {
+	h := x*2654435761 + slot*0x9E3779B9
+	h ^= h >> 16
+	h *= 0x85EBCA6B
+	h ^= h >> 13
+	h *= 0xC2B2AE35
+	h ^= h >> 16
+	return h
+}
+
+// jaccard estimates |A∩B|/|A∪B| from two sketches.
+func jaccard(a, b []uint32) float64 {
+	if len(a) == 0 || len(b) == 0 || len(a) != len(b) {
+		return 0
+	}
+	eq := 0
+	for i := range a {
+		if a[i] == b[i] && a[i] != ^uint32(0) {
+			eq++
+		}
+	}
+	return float64(eq) / float64(len(a))
+}
+
+// mergeMin approximates the sketch of an intersection by the slot-wise
+// maximum (elements surviving in both sets have the larger of the two
+// minima as a lower bound).
+func mergeMin(a, b []uint32) []uint32 {
+	out := make([]uint32, len(a))
+	for i := range a {
+		if a[i] > b[i] {
+			out[i] = a[i]
+		} else {
+			out[i] = b[i]
+		}
+	}
+	return out
+}

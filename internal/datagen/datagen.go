@@ -1,0 +1,422 @@
+// Package datagen generates the four synthetic evaluation documents. The
+// paper evaluates on NASA, IMDB, PSD (real) and XMark (synthetic); none of
+// the originals are redistributable here, so each generator reproduces the
+// structural fingerprint the paper's analysis depends on:
+//
+//   - nasa: flat catalog of regular bibliographic records. Child counts
+//     are drawn independently given the parent, so the conditional
+//     independence assumption behind Theorem 1 holds well — TreeLattice
+//     is accurate and 0-derivable pruning removes most patterns.
+//   - imdb: movie records whose sibling counts (cast size, keyword count,
+//     release count, …) are all driven by a hidden per-movie popularity
+//     factor. Sibling counts are correlated, conditional independence is
+//     violated, and — as in Figure 7(b) — decomposition loses accuracy
+//     while clustering synopses cope better.
+//   - psd: protein records, regular like nasa but with deeper nesting and
+//     a different label alphabet.
+//   - xmark: the auction-site schema with heavy-tailed fanouts (bidders
+//     per auction, watches per person, mails per item). The per-element
+//     child-count variance is what makes average-multiplication synopses
+//     fail catastrophically on this dataset (Figure 7(d)).
+//
+// Generation is deterministic for a given Config.
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"treelattice/internal/labeltree"
+)
+
+// Profile selects a dataset generator.
+type Profile string
+
+// The four evaluation datasets of the paper.
+const (
+	NASA  Profile = "nasa"
+	IMDB  Profile = "imdb"
+	PSD   Profile = "psd"
+	XMark Profile = "xmark"
+)
+
+// AllProfiles returns the four profiles in the paper's presentation order.
+func AllProfiles() []Profile { return []Profile{NASA, IMDB, PSD, XMark} }
+
+// Config parameterizes generation.
+type Config struct {
+	Profile Profile
+	// Scale is the approximate element (node) count of the generated
+	// document. Generation stops after the record that crosses it.
+	Scale int
+	// Seed makes generation deterministic; 0 is a valid seed.
+	Seed int64
+}
+
+// Generate builds the document for cfg, interning labels into dict.
+func Generate(cfg Config, dict *labeltree.Dict) (*labeltree.Tree, error) {
+	if cfg.Scale <= 0 {
+		return nil, fmt.Errorf("datagen: Scale must be positive, got %d", cfg.Scale)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed ^ int64(len(cfg.Profile))))
+	g := &gen{b: labeltree.NewBuilder(dict), rng: rng, scale: cfg.Scale}
+	switch cfg.Profile {
+	case NASA:
+		g.nasa()
+	case IMDB:
+		g.imdb()
+	case PSD:
+		g.psd()
+	case XMark:
+		g.xmark()
+	default:
+		return nil, fmt.Errorf("datagen: unknown profile %q", cfg.Profile)
+	}
+	return g.b.Build(), nil
+}
+
+type gen struct {
+	b     *labeltree.Builder
+	rng   *rand.Rand
+	scale int
+}
+
+func (g *gen) full() bool { return g.b.Len() >= g.scale }
+
+// add appends a child and returns its id.
+func (g *gen) add(parent int32, name string) int32 { return g.b.AddChild(parent, name) }
+
+// leaf appends a childless element.
+func (g *gen) leaf(parent int32, name string) { g.b.AddChild(parent, name) }
+
+// ---- count distributions ----
+
+// uniform draws an integer in [lo, hi].
+func (g *gen) uniform(lo, hi int) int { return lo + g.rng.Intn(hi-lo+1) }
+
+// geometric draws a non-negative integer with the given mean.
+func (g *gen) geometric(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	p := 1 / (mean + 1)
+	n := 0
+	for g.rng.Float64() > p {
+		n++
+		if n > 10000 {
+			break
+		}
+	}
+	return n
+}
+
+// heavy draws from a discrete Pareto tail: high-variance fanouts, the
+// XMark fingerprint. mean roughly xm·α/(α−1) for α>1 before capping.
+func (g *gen) heavy(xm float64, alpha float64, cap int) int {
+	u := g.rng.Float64()
+	if u < 1e-12 {
+		u = 1e-12
+	}
+	v := int(math.Floor(xm / math.Pow(u, 1/alpha)))
+	if v > cap {
+		v = cap
+	}
+	return v
+}
+
+// maybe returns true with probability p.
+func (g *gen) maybe(p float64) bool { return g.rng.Float64() < p }
+
+// popularity draws the hidden per-record factor used by the imdb profile
+// to correlate sibling counts: lognormal with unit mean.
+func (g *gen) popularity(sigma float64) float64 {
+	return math.Exp(g.rng.NormFloat64()*sigma - sigma*sigma/2)
+}
+
+// scaled turns a base mean and a correlation factor into a count.
+func (g *gen) scaled(mean, factor float64) int {
+	return g.geometric(mean * factor)
+}
+
+// ---- NASA: regular bibliographic catalog, independence holds ----
+
+func (g *gen) nasa() {
+	root := g.b.AddRoot("datasets")
+	for !g.full() {
+		g.nasaDataset(root)
+	}
+}
+
+// nasaDataset emits one rigid catalog record: every record has the same
+// top-level children exactly once, with count variability pushed inside
+// dedicated containers. Cross-container patterns are then exactly
+// derivable under conditional independence, which is why 0-derivable
+// pruning is so effective on this dataset (Figure 10a).
+func (g *gen) nasaDataset(root int32) {
+	ds := g.add(root, "dataset")
+	g.leaf(ds, "title")
+	g.leaf(ds, "identifier")
+	g.leaf(g.add(ds, "altname"), "subject")
+	authors := g.add(ds, "authors")
+	for i, n := 0, g.uniform(1, 4); i < n; i++ {
+		au := g.add(authors, "author")
+		g.leaf(au, "initial")
+		g.leaf(au, "lastname")
+	}
+	refs := g.add(ds, "references")
+	for i, n := 0, g.geometric(1.5); i < n; i++ {
+		ref := g.add(refs, "reference")
+		src := g.add(ref, "source")
+		j := g.add(src, "journal")
+		g.leaf(j, "name")
+		g.leaf(j, "publisher")
+		g.leaf(g.add(ref, "date"), "year")
+	}
+	kw := g.add(ds, "keywords")
+	for i, n := 0, g.uniform(1, 5); i < n; i++ {
+		g.leaf(kw, "keyword")
+	}
+	desc := g.add(ds, "descriptions")
+	d := g.add(desc, "description")
+	for i, n := 0, g.uniform(1, 3); i < n; i++ {
+		g.leaf(d, "para")
+	}
+	th := g.add(ds, "tableHead")
+	for i, n := 0, g.uniform(2, 6); i < n; i++ {
+		g.leaf(th, "field")
+	}
+	h := g.add(ds, "history")
+	g.leaf(g.add(h, "creation"), "date")
+	rev := g.add(h, "revisions")
+	for i, n := 0, g.geometric(1); i < n; i++ {
+		g.leaf(rev, "revision")
+	}
+}
+
+// ---- IMDB: correlated sibling counts via a hidden popularity factor ----
+
+func (g *gen) imdb() {
+	root := g.b.AddRoot("imdb")
+	for !g.full() {
+		g.imdbMovie(root)
+	}
+}
+
+// imdbMovie emits one movie record whose repeated children hang directly
+// off the movie element with counts all driven by one hidden popularity
+// factor. Sibling counts are correlated, so even size-3 patterns like
+// movie(actor, keyword) are not derivable under conditional independence:
+// 0-derivable pruning saves little on this dataset (Figure 10a) and
+// decomposition estimates drift with query size (Figure 7b).
+func (g *gen) imdbMovie(root int32) {
+	f := g.popularity(1.2)
+	mv := g.add(root, "movie")
+	g.leaf(mv, "title")
+	g.leaf(mv, "year")
+	g.leaf(mv, "language")
+	for i, n := 0, g.uniform(1, 2); i < n; i++ {
+		g.leaf(g.add(mv, "director"), "name")
+	}
+	for i, n := 0, 1+g.scaled(4, f); i < n; i++ {
+		ac := g.add(mv, "actor")
+		g.leaf(ac, "name")
+		if g.maybe(0.3) {
+			g.leaf(ac, "role")
+		}
+	}
+	for i, n := 0, g.scaled(3, f); i < n; i++ {
+		g.leaf(mv, "keyword")
+	}
+	for i, n := 0, 1+g.scaled(1.2, f); i < n; i++ {
+		g.leaf(mv, "genre")
+	}
+	for i, n := 0, g.scaled(2, f); i < n; i++ {
+		r := g.add(mv, "release")
+		g.leaf(r, "country")
+		g.leaf(r, "date")
+	}
+	if g.maybe(math.Min(1, 0.3*f)) {
+		rt := g.add(mv, "rating")
+		g.leaf(rt, "votes")
+		g.leaf(rt, "score")
+	}
+}
+
+// ---- PSD: regular protein records, deeper nesting ----
+
+func (g *gen) psd() {
+	root := g.b.AddRoot("ProteinDatabase")
+	for !g.full() {
+		g.psdEntry(root)
+	}
+}
+
+// psdEntry emits one rigid protein record: like nasa, constant top-level
+// structure with count variability inside containers, so independence and
+// derivability hold; the per-reference author-count variation keeps the
+// count-stable partition large enough to pressure a synopsis budget.
+func (g *gen) psdEntry(root int32) {
+	e := g.add(root, "ProteinEntry")
+	h := g.add(e, "header")
+	g.leaf(h, "uid")
+	g.leaf(h, "accession")
+	g.leaf(g.add(e, "protein"), "name")
+	org := g.add(e, "organism")
+	g.leaf(org, "source")
+	g.leaf(org, "common")
+	g.leaf(e, "sequence")
+	refs := g.add(e, "references")
+	for i, n := 0, g.uniform(1, 3); i < n; i++ {
+		ref := g.add(refs, "reference")
+		ri := g.add(ref, "refinfo")
+		aus := g.add(ri, "authors")
+		for j, m := 0, g.uniform(1, 6); j < m; j++ {
+			g.leaf(aus, "author")
+		}
+		g.leaf(ri, "title")
+		g.leaf(ri, "year")
+		ai := g.add(ref, "accinfo")
+		g.leaf(ai, "xrefs")
+		for j, m := 0, g.uniform(0, 2); j < m; j++ {
+			g.leaf(ai, "genetics")
+		}
+	}
+	fts := g.add(e, "features")
+	for i, n := 0, g.geometric(2); i < n; i++ {
+		ft := g.add(fts, "feature")
+		g.leaf(ft, "feature-type")
+		loc := g.add(ft, "location")
+		g.leaf(loc, "begin")
+		g.leaf(loc, "end")
+	}
+	cls := g.add(e, "classification")
+	for i, n := 0, g.uniform(1, 3); i < n; i++ {
+		g.leaf(cls, "superfamily")
+	}
+	s := g.add(e, "summary")
+	g.leaf(s, "length")
+	g.leaf(s, "molweight")
+}
+
+// ---- XMark: auction site with heavy-tailed fanouts ----
+
+func (g *gen) xmark() {
+	root := g.b.AddRoot("site")
+	regions := g.add(root, "regions")
+	regionNames := []string{"africa", "asia", "europe", "namerica", "samerica", "australia"}
+	regionIDs := make([]int32, len(regionNames))
+	for i, n := range regionNames {
+		regionIDs[i] = g.add(regions, n)
+	}
+	people := g.add(root, "people")
+	open := g.add(root, "open_auctions")
+	closed := g.add(root, "closed_auctions")
+	cats := g.add(root, "categories")
+	for !g.full() {
+		switch g.rng.Intn(5) {
+		case 0:
+			g.xmarkItem(regionIDs[g.rng.Intn(len(regionIDs))])
+		case 1:
+			g.xmarkPerson(people)
+		case 2:
+			g.xmarkOpenAuction(open)
+		case 3:
+			g.xmarkClosedAuction(closed)
+		case 4:
+			c := g.add(cats, "category")
+			g.leaf(c, "name")
+			g.leaf(g.add(c, "description"), "text")
+		}
+	}
+}
+
+func (g *gen) xmarkItem(region int32) {
+	it := g.add(region, "item")
+	g.leaf(it, "location")
+	g.leaf(it, "name")
+	g.leaf(it, "payment")
+	desc := g.add(it, "description")
+	g.xmarkText(desc, 0)
+	if g.maybe(0.5) {
+		mb := g.add(it, "mailbox")
+		for i, n := 0, g.heavy(1, 1.3, 150)-1; i < n; i++ {
+			m := g.add(mb, "mail")
+			g.leaf(m, "from")
+			g.leaf(m, "date")
+			g.xmarkText(m, 2)
+		}
+	}
+}
+
+// xmarkText emits XMark's recursive markup: text elements containing
+// keywords/bold plus optional parlist → listitem → text nesting. Top-level
+// description texts are keyword-rich with a heavy tail; nested texts are
+// sparse. A count-stable partition keeps the two apart; once a memory
+// budget forces a synopsis to merge them, the shared average keyword count
+// grossly overestimates selective queries through the nested texts —
+// XMark's Figure 7(d)/11 failure mode for TreeSketches.
+func (g *gen) xmarkText(parent int32, depth int) {
+	txt := g.add(parent, "text")
+	if depth == 0 {
+		for i, n := 0, g.heavy(1, 1.4, 120); i < n; i++ {
+			g.leaf(txt, "keyword")
+		}
+		for i, n := 0, g.heavy(1, 1.6, 80)-1; i < n; i++ {
+			g.leaf(txt, "bold")
+		}
+	} else if g.maybe(0.15) {
+		g.leaf(txt, "keyword")
+	}
+	if depth < 6 && g.maybe(0.4) {
+		pl := g.add(txt, "parlist")
+		for i, n := 0, g.uniform(1, 3); i < n; i++ {
+			li := g.add(pl, "listitem")
+			g.xmarkText(li, depth+1)
+		}
+	}
+}
+
+func (g *gen) xmarkPerson(people int32) {
+	p := g.add(people, "person")
+	g.leaf(p, "name")
+	g.leaf(p, "emailaddress")
+	if g.maybe(0.5) {
+		g.leaf(p, "phone")
+	}
+	if g.maybe(0.6) {
+		ad := g.add(p, "address")
+		g.leaf(ad, "street")
+		g.leaf(ad, "city")
+		g.leaf(ad, "country")
+	}
+	if g.maybe(0.4) {
+		ws := g.add(p, "watches")
+		for i, n := 0, g.heavy(1, 1.3, 200)-1; i < n; i++ {
+			g.leaf(ws, "watch")
+		}
+	}
+}
+
+func (g *gen) xmarkOpenAuction(open int32) {
+	a := g.add(open, "open_auction")
+	g.leaf(a, "initial")
+	g.leaf(a, "current")
+	g.leaf(a, "itemref")
+	// Bidders per auction are strongly heavy-tailed: the variance that
+	// wrecks average-multiplication synopses.
+	for i, n := 0, g.heavy(1, 1.2, 300)-1; i < n; i++ {
+		bd := g.add(a, "bidder")
+		g.leaf(bd, "date")
+		g.leaf(bd, "increase")
+	}
+}
+
+func (g *gen) xmarkClosedAuction(closed int32) {
+	a := g.add(closed, "closed_auction")
+	g.leaf(a, "seller")
+	g.leaf(a, "buyer")
+	g.leaf(a, "itemref")
+	g.leaf(a, "price")
+	g.leaf(a, "date")
+}

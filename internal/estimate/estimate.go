@@ -1,0 +1,318 @@
+// Package estimate implements the paper's probabilistic decomposition
+// framework (Section 3): estimating the selectivity of a twig query from
+// the counts of its subtrees stored in a lattice summary.
+//
+// The foundation is Theorem 1: if T1 and T2 share a common part T and each
+// extends T by one distinct edge, then under the assumption that the two
+// extensions grow conditionally independently,
+//
+//	ŝ(T1 ∪ T2) = s(T1) · s(T2) / s(T).
+//
+// Lemma 1 generalizes this to any pair of subtrees T1, T2 with
+// |T1 ∩ T2| = |T1| + |T2| − 1. Two concrete estimators apply it:
+//
+//   - Recursive decomposition (Section 3.2, Figure 4): remove two degree-1
+//     nodes of the query to obtain T1, T2 one node smaller and their
+//     common part two nodes smaller, and recurse until patterns fit in the
+//     lattice. An optional voting extension averages the estimates of all
+//     admissible leaf pairs at each level.
+//   - Fix-sized decomposition (Section 3.3, Figure 5, Lemmas 2–3): cover
+//     the query in preorder with n−K+1 K-subtrees whose consecutive
+//     overlaps are (K−1)-subtrees, and take Π s(Ti) / Π s(overlap_i).
+package estimate
+
+import (
+	"sort"
+
+	"treelattice/internal/labeltree"
+	"treelattice/internal/lattice"
+)
+
+// Estimator is a selectivity estimator for twig queries.
+type Estimator interface {
+	// Estimate returns the estimated number of matches of q. Estimates
+	// are non-negative and may be fractional.
+	Estimate(q labeltree.Pattern) float64
+	// Name identifies the estimator in experiment output.
+	Name() string
+}
+
+// Store is the pattern-count source estimators read from. *lattice.Summary
+// is the canonical implementation; the online tuner overlays corrections
+// on top of one.
+type Store interface {
+	// Count returns the stored count for p and whether p is present.
+	Count(p labeltree.Pattern) (int64, bool)
+	// K is the size up to which the store is authoritative: a missing
+	// pattern of size ≤ K either does not occur (complete store) or is
+	// derivable (pruned store).
+	K() int
+	// Pruned reports whether missing in-range patterns may be derivable
+	// rather than absent.
+	Pruned() bool
+}
+
+var _ Store = (*lattice.Summary)(nil)
+
+// Augment applies Theorem 1 / Lemma 1: the expected count of the union of
+// two subtrees with counts s1 and s2 whose common part has count common.
+// A zero common part makes the union impossible and yields 0.
+func Augment(s1, s2, common float64) float64 {
+	if common <= 0 {
+		return 0
+	}
+	return s1 * s2 / common
+}
+
+// Trace records how an estimate was produced, supporting the paper's
+// future-work direction of attaching confidence information to estimates:
+// deeper recursion and more misses mean more compounded independence
+// assumptions.
+type Trace struct {
+	// LatticeHits counts lookups answered directly from the summary.
+	LatticeHits int
+	// LatticeMisses counts patterns that had to be decomposed.
+	LatticeMisses int
+	// Reconstructions counts in-range patterns rebuilt because the
+	// summary was pruned.
+	Reconstructions int
+	// Augmentations counts applications of the Theorem 1 formula.
+	Augmentations int
+	// MaxDepth is the deepest decomposition recursion reached — the
+	// number of independence assumptions compounded on the worst path.
+	MaxDepth int
+}
+
+// VotingScheme selects how the voting extension aggregates the estimates
+// of the admissible leaf pairs at each level. The paper averages and
+// leaves "different voting schemes ... accounting for higher order
+// statistical moments" as an open question; Median and TrimmedMean are
+// robust alternatives that down-weight outlier decompositions.
+type VotingScheme uint8
+
+// The implemented voting schemes.
+const (
+	// Mean averages all pair estimates (the paper's scheme).
+	Mean VotingScheme = iota
+	// Median takes the middle pair estimate.
+	Median
+	// TrimmedMean drops the lowest and highest quartile of pair
+	// estimates before averaging (falls back to Mean below 4 pairs).
+	TrimmedMean
+)
+
+func (v VotingScheme) String() string {
+	switch v {
+	case Median:
+		return "median"
+	case TrimmedMean:
+		return "trimmed-mean"
+	default:
+		return "mean"
+	}
+}
+
+// Recursive is the recursive decomposition estimator of Section 3.2, with
+// the optional voting extension. The zero value is not ready to use; set
+// Sum or use NewRecursive.
+type Recursive struct {
+	Sum Store
+	// Voting aggregates the estimates of all admissible leaf pairs at
+	// each recursion level instead of using one canonical pair.
+	Voting bool
+	// Scheme selects the voting aggregate (default Mean, the paper's).
+	Scheme VotingScheme
+	// MaxVotingPairs caps the number of leaf pairs considered per level
+	// when voting (0 = all pairs). The paper's voting scheme considers
+	// all decompositions; the cap bounds worst-case latency.
+	MaxVotingPairs int
+}
+
+// NewRecursive returns a recursive decomposition estimator over sum.
+func NewRecursive(sum Store, voting bool) *Recursive {
+	return &Recursive{Sum: sum, Voting: voting}
+}
+
+// Name implements Estimator.
+func (r *Recursive) Name() string {
+	if r.Voting {
+		return "recursive+voting"
+	}
+	return "recursive"
+}
+
+// Estimate implements Estimator.
+func (r *Recursive) Estimate(q labeltree.Pattern) float64 {
+	e := engine{sum: r.Sum, voting: r.Voting, scheme: r.Scheme, maxPairs: r.MaxVotingPairs, memo: make(map[labeltree.Key]float64)}
+	return e.estimate(q, 0)
+}
+
+// EstimateWithTrace is Estimate plus a record of the work performed.
+func (r *Recursive) EstimateWithTrace(q labeltree.Pattern) (float64, Trace) {
+	e := engine{sum: r.Sum, voting: r.Voting, scheme: r.Scheme, maxPairs: r.MaxVotingPairs, memo: make(map[labeltree.Key]float64), tr: &Trace{}}
+	est := e.estimate(q, 0)
+	return est, *e.tr
+}
+
+// engine is the shared decomposition evaluator: the recursive estimator
+// itself, the fallback used for derivable patterns missing from pruned
+// lattices, and the subroutine of the pruning algorithm.
+type engine struct {
+	sum      Store
+	voting   bool
+	scheme   VotingScheme
+	maxPairs int
+	memo     map[labeltree.Key]float64
+	tr       *Trace
+}
+
+func (e *engine) estimate(q labeltree.Pattern, depth int) float64 {
+	if e.tr != nil && depth > e.tr.MaxDepth {
+		e.tr.MaxDepth = depth
+	}
+	key := q.Key()
+	if v, ok := e.memo[key]; ok {
+		return v
+	}
+	if c, ok := e.sum.Count(q); ok {
+		if e.tr != nil {
+			e.tr.LatticeHits++
+		}
+		e.memo[key] = float64(c)
+		return float64(c)
+	}
+	if e.tr != nil {
+		e.tr.LatticeMisses++
+	}
+	// Missing from the lattice. Sizes 1–2 are never pruned, so a missing
+	// small pattern does not occur in the data at all. The same holds for
+	// any in-range size when the lattice is complete.
+	if q.Size() <= 2 || (q.Size() <= e.sum.K() && !e.sum.Pruned()) {
+		e.memo[key] = 0
+		return 0
+	}
+	voting := e.voting
+	if q.Size() <= e.sum.K() {
+		// In range but pruned as derivable: reconstruct with the same
+		// canonical single-pair decomposition the pruning criterion
+		// (Definition 2) was evaluated with, so pruned and full summaries
+		// agree under every estimator. The reconstruction only touches
+		// other in-range patterns, so the shared memo stays consistent.
+		voting = false
+		if e.tr != nil {
+			e.tr.Reconstructions++
+		}
+	}
+	ds := decompositions(q)
+	if !voting {
+		ds = ds[:1] // canonically smallest decomposition
+	} else if e.maxPairs > 0 && len(ds) > e.maxPairs {
+		ds = ds[:e.maxPairs]
+	}
+	saved := e.voting
+	e.voting = voting
+	votes := make([]float64, len(ds))
+	for i, d := range ds {
+		votes[i] = Augment(
+			e.estimate(d.t1, depth+1),
+			e.estimate(d.t2, depth+1),
+			e.estimate(d.common, depth+1),
+		)
+		if e.tr != nil {
+			e.tr.Augmentations++
+		}
+	}
+	e.voting = saved
+	est := aggregate(votes, e.scheme)
+	e.memo[key] = est
+	return est
+}
+
+// aggregate combines the per-pair vote estimates under the scheme.
+func aggregate(votes []float64, scheme VotingScheme) float64 {
+	if len(votes) == 1 {
+		return votes[0]
+	}
+	switch scheme {
+	case Median:
+		s := append([]float64(nil), votes...)
+		sort.Float64s(s)
+		mid := len(s) / 2
+		if len(s)%2 == 1 {
+			return s[mid]
+		}
+		return (s[mid-1] + s[mid]) / 2
+	case TrimmedMean:
+		if len(votes) < 4 {
+			break
+		}
+		s := append([]float64(nil), votes...)
+		sort.Float64s(s)
+		cut := len(s) / 4
+		s = s[cut : len(s)-cut]
+		var sum float64
+		for _, v := range s {
+			sum += v
+		}
+		return sum / float64(len(s))
+	}
+	var sum float64
+	for _, v := range votes {
+		sum += v
+	}
+	return sum / float64(len(votes))
+}
+
+// decomposition is one leaf-pair removal: T1 and T2 are the query minus
+// one leaf each, common is the query minus both.
+type decomposition struct {
+	t1, t2, common labeltree.Pattern
+	sig            string
+}
+
+// decompositions enumerates every admissible leaf-pair decomposition of q,
+// ordered by a canonical signature. The order — and in particular the
+// first element, which the non-voting estimator uses — is invariant under
+// isomorphic renumbering of q's nodes. That invariance matters: δ-derivable
+// pruning verifies a pattern against the deterministic decomposition, and
+// query-time reconstruction encounters the same pattern under a different
+// numbering; both must pick the same decomposition.
+func decompositions(q labeltree.Pattern) []decomposition {
+	leaves := q.Leaves()
+	out := make([]decomposition, 0, len(leaves)*(len(leaves)-1)/2)
+	for i := 0; i < len(leaves); i++ {
+		for j := i + 1; j < len(leaves); j++ {
+			t1 := q.RemoveLeaf(leaves[i])
+			t2 := q.RemoveLeaf(leaves[j])
+			common := removeTwo(q, leaves[i], leaves[j])
+			k1, k2 := string(t1.Key()), string(t2.Key())
+			if k2 < k1 {
+				k1, k2 = k2, k1
+			}
+			out = append(out, decomposition{t1: t1, t2: t2, common: common,
+				sig: k1 + "|" + k2 + "|" + string(common.Key())})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].sig < out[b].sig })
+	return out
+}
+
+// removeTwo removes two degree-1 nodes from q at once.
+func removeTwo(q labeltree.Pattern, u, v int32) labeltree.Pattern {
+	keep := make([]int32, 0, q.Size()-2)
+	for i := int32(0); int(i) < q.Size(); i++ {
+		if i != u && i != v {
+			keep = append(keep, i)
+		}
+	}
+	return q.Subpattern(keep)
+}
+
+// lookup resolves a pattern count against the lattice, falling back to
+// recursive decomposition when the lattice is pruned (Lemma 5: δ-derivable
+// patterns can be removed without changing estimates because they are
+// reconstructed on demand).
+func lookup(sum Store, q labeltree.Pattern, memo map[labeltree.Key]float64) float64 {
+	e := engine{sum: sum, memo: memo}
+	return e.estimate(q, 0)
+}

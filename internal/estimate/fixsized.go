@@ -1,0 +1,120 @@
+package estimate
+
+import (
+	"sort"
+
+	"treelattice/internal/labeltree"
+)
+
+// FixSized is the fix-sized decomposition estimator of Section 3.3: it
+// covers the query with K-subtrees in preorder (Figure 5) and applies the
+// telescoping product of Lemma 3.
+type FixSized struct {
+	Sum Store
+}
+
+// NewFixSized returns a fix-sized decomposition estimator over sum.
+func NewFixSized(sum Store) *FixSized { return &FixSized{Sum: sum} }
+
+// Name implements Estimator.
+func (f *FixSized) Name() string { return "fix-sized" }
+
+// Estimate implements Estimator.
+func (f *FixSized) Estimate(q labeltree.Pattern) float64 {
+	memo := make(map[labeltree.Key]float64)
+	if c, ok := f.Sum.Count(q); ok {
+		return float64(c)
+	}
+	// The preorder cover depends on node numbering; canonicalizing first
+	// makes the estimate a function of the query's isomorphism class.
+	q = q.Canonicalize()
+	if q.Size() <= f.Sum.K() {
+		// In range but missing: absent (count 0) for a complete lattice,
+		// derivable for a pruned one.
+		return lookup(f.Sum, q, memo)
+	}
+	cover := Cover(q, f.Sum.K())
+	est := lookup(f.Sum, q.Subpattern(cover[0]), memo)
+	if est == 0 {
+		return 0
+	}
+	for _, step := range cover[1:] {
+		overlap := step[:len(step)-1] // all but the newly covered node
+		num := lookup(f.Sum, q.Subpattern(step), memo)
+		if num == 0 {
+			return 0
+		}
+		den := lookup(f.Sum, q.Subpattern(overlap), memo)
+		if den == 0 {
+			return 0
+		}
+		est *= num / den
+	}
+	return est
+}
+
+// Cover computes the fix-sized covering of Lemma 2: a sequence of
+// n−k+1 node sets, each a connected k-subtree of q. The first is the
+// preorder prefix of k nodes; every later set consists of one newly
+// covered node (its last element) plus a connected (k−1)-subset of the
+// already-covered nodes that contains the new node's parent. Panics if
+// q has fewer than k nodes.
+func Cover(q labeltree.Pattern, k int) [][]int32 {
+	n := q.Size()
+	if n < k {
+		panic("estimate: Cover called with pattern smaller than k")
+	}
+	order := q.Preorder()
+	covered := make(map[int32]bool, n)
+	first := append([]int32(nil), order[:k]...)
+	for _, v := range first {
+		covered[v] = true
+	}
+	out := [][]int32{first}
+	for _, v := range order[k:] {
+		overlap := overlapSet(q, covered, q.Parent(v), k-1)
+		step := append(overlap, v)
+		out = append(out, step)
+		covered[v] = true
+	}
+	return out
+}
+
+// overlapSet returns a connected subset of covered nodes of the given size
+// containing anchor. It prefers the anchor's ancestor chain, then grows
+// breadth-first over covered neighbors in deterministic order.
+func overlapSet(q labeltree.Pattern, covered map[int32]bool, anchor int32, size int) []int32 {
+	in := map[int32]bool{anchor: true}
+	set := []int32{anchor}
+	// Walk up ancestors first: they are always covered and connected.
+	for at := q.Parent(anchor); at >= 0 && len(set) < size; at = q.Parent(at) {
+		in[at] = true
+		set = append(set, at)
+	}
+	// Grow over covered neighbors (children of set members, and parents,
+	// which are already in) until the target size.
+	for len(set) < size {
+		var frontier []int32
+		for _, u := range set {
+			for _, c := range q.Children(u) {
+				if covered[c] && !in[c] {
+					frontier = append(frontier, c)
+				}
+			}
+		}
+		if len(frontier) == 0 {
+			panic("estimate: covered region too small for overlap; invariant violated")
+		}
+		sort.Slice(frontier, func(a, b int) bool { return frontier[a] < frontier[b] })
+		for _, c := range frontier {
+			if len(set) == size {
+				break
+			}
+			if !in[c] {
+				in[c] = true
+				set = append(set, c)
+			}
+		}
+	}
+	return set
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"treelattice/internal/datagen"
+	"treelattice/internal/metrics"
+	"treelattice/internal/online"
+)
+
+// AdaptationRow is one pass of the online-tuning experiment: replay the
+// positive workload, record the average error, then feed the true
+// cardinalities back (as if the queries had executed).
+type AdaptationRow struct {
+	Dataset     datagen.Profile
+	Pass        int
+	AvgErrPct   float64
+	Corrections int
+	UsedBytes   int
+}
+
+// Adaptation runs the XPathLearner-style feedback loop for the given
+// number of passes over each dataset's positive workload, with a
+// correction budget proportional to the summary size.
+func (s *Suite) Adaptation(passes int) ([]AdaptationRow, error) {
+	var rows []AdaptationRow
+	for _, p := range s.Cfg.Profiles {
+		e, err := s.Env(p)
+		if err != nil {
+			return nil, err
+		}
+		sanity := e.sanity()
+		budget := e.Summary.SizeBytes() / 4
+		if budget < 512 {
+			budget = 512
+		}
+		tuner := online.NewTuner(e.Summary.Lattice(), budget)
+		for pass := 1; pass <= passes; pass++ {
+			var errs []float64
+			for _, size := range s.Cfg.Sizes {
+				for _, q := range e.Positive[size] {
+					est := tuner.Estimate(q.Pattern)
+					errs = append(errs, metrics.AbsError(float64(q.TrueCount), est, sanity))
+				}
+			}
+			rows = append(rows, AdaptationRow{
+				Dataset:     p,
+				Pass:        pass,
+				AvgErrPct:   100 * metrics.Mean(errs),
+				Corrections: tuner.Corrections(),
+				UsedBytes:   tuner.UsedBytes(),
+			})
+			for _, size := range s.Cfg.Sizes {
+				for _, q := range e.Positive[size] {
+					tuner.Feedback(q.Pattern, q.TrueCount)
+				}
+			}
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,78 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Section 5). Each experiment is a function returning typed
+// rows; cmd/twigbench renders them as text tables and the root package's
+// benchmarks re-run them under the testing harness. DESIGN.md carries the
+// per-experiment index mapping experiment IDs to these functions.
+package experiments
+
+import (
+	"os"
+	"strconv"
+
+	"treelattice/internal/datagen"
+)
+
+// Config parameterizes a whole experiment suite run.
+type Config struct {
+	// Scale is the approximate element count of each generated dataset.
+	// The paper's datasets have 150k–570k elements; the default here is
+	// sized so the full suite runs in minutes on a laptop. Raise it (or
+	// set TWIG_SCALE) for closer-to-paper conditions — shapes, not
+	// absolute numbers, are the reproduction target.
+	Scale int
+	// Seed drives all dataset and workload generation.
+	Seed int64
+	// K is the lattice level (paper default: 4).
+	K int
+	// Sizes are the query sizes per workload level (paper: 4–8).
+	Sizes []int
+	// PerSize is the number of positive queries per size.
+	PerSize int
+	// SketchBudget is the TreeSketches memory budget in bytes (paper:
+	// 50 KB).
+	SketchBudget int
+	// Profiles are the datasets to run; default all four.
+	Profiles []datagen.Profile
+}
+
+// DefaultConfig returns the suite configuration used by cmd/twigbench and
+// the benchmarks. TWIG_SCALE overrides the dataset scale.
+func DefaultConfig() Config {
+	cfg := Config{
+		Scale:        20000,
+		Seed:         42,
+		K:            4,
+		Sizes:        []int{4, 5, 6, 7, 8},
+		PerSize:      50,
+		SketchBudget: 50 << 10,
+		Profiles:     datagen.AllProfiles(),
+	}
+	if v := os.Getenv("TWIG_SCALE"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			cfg.Scale = n
+		}
+	}
+	return cfg
+}
+
+func (c *Config) fill() {
+	d := DefaultConfig()
+	if c.Scale == 0 {
+		c.Scale = d.Scale
+	}
+	if c.K == 0 {
+		c.K = d.K
+	}
+	if len(c.Sizes) == 0 {
+		c.Sizes = d.Sizes
+	}
+	if c.PerSize == 0 {
+		c.PerSize = d.PerSize
+	}
+	if c.SketchBudget == 0 {
+		c.SketchBudget = d.SketchBudget
+	}
+	if len(c.Profiles) == 0 {
+		c.Profiles = d.Profiles
+	}
+}

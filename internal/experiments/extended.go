@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"treelattice/internal/cst"
+	"treelattice/internal/datagen"
+	"treelattice/internal/estimate"
+	"treelattice/internal/labeltree"
+	"treelattice/internal/metrics"
+	"treelattice/internal/statix"
+	"treelattice/internal/xsketch"
+)
+
+// ExtendedRow is one point of the extended-baselines comparison: beyond
+// the paper's TreeSketches comparison, the whole related-work lineage —
+// XSketch (the TreeSketches predecessor) and CST (set-hashing sub-path
+// trees) — against the voting estimator on the same workloads.
+type ExtendedRow struct {
+	Dataset   datagen.Profile
+	Size      int
+	Estimator string
+	AvgErrPct float64
+}
+
+// ExtendedEstimatorNames lists the extended comparison set.
+var ExtendedEstimatorNames = []string{"recursive+voting", "treesketches", "xsketch", "statix", "cst"}
+
+// ExtendedBaselines evaluates the lineage baselines. XSketch uses the
+// same memory budget as TreeSketches; CST stores paths up to K with its
+// default signatures.
+func (s *Suite) ExtendedBaselines() ([]ExtendedRow, error) {
+	var rows []ExtendedRow
+	for _, p := range s.Cfg.Profiles {
+		e, err := s.Env(p)
+		if err != nil {
+			return nil, err
+		}
+		sanity := e.sanity()
+		vote := estimate.NewRecursive(e.Summary.Lattice(), true)
+		xs := xsketch.Build(e.Tree, xsketch.Options{BudgetBytes: s.Cfg.SketchBudget})
+		ct := cst.Build(e.Tree, cst.Options{MaxPathLen: s.Cfg.K})
+		sx := statix.Build(e.Tree, statix.Options{})
+		ests := map[string]func(labeltree.Pattern) float64{
+			"recursive+voting": vote.Estimate,
+			"treesketches":     e.Sketch.Estimate,
+			"xsketch":          xs.Estimate,
+			"statix":           sx.Estimate,
+			"cst":              ct.Estimate,
+		}
+		for _, size := range s.Cfg.Sizes {
+			for _, name := range ExtendedEstimatorNames {
+				fn := ests[name]
+				var errs []float64
+				for _, q := range e.Positive[size] {
+					errs = append(errs, metrics.AbsError(float64(q.TrueCount), fn(q.Pattern), sanity))
+				}
+				rows = append(rows, ExtendedRow{
+					Dataset: p, Size: size, Estimator: name,
+					AvgErrPct: 100 * metrics.Mean(errs),
+				})
+			}
+		}
+	}
+	return rows, nil
+}

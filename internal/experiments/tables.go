@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"time"
+
+	"treelattice/internal/datagen"
+	"treelattice/internal/mine"
+)
+
+// Table1Row is one dataset-characteristics row (Table 1 of the paper).
+type Table1Row struct {
+	Dataset  datagen.Profile
+	Elements int
+	FileKB   int64
+	Labels   int
+	MaxDepth int
+}
+
+// Table1 reports the characteristics of the generated datasets.
+func (s *Suite) Table1() ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, p := range s.Cfg.Profiles {
+		e, err := s.Env(p)
+		if err != nil {
+			return nil, err
+		}
+		size, err := e.XMLSize()
+		if err != nil {
+			return nil, err
+		}
+		st := e.Tree.Stats()
+		rows = append(rows, Table1Row{
+			Dataset:  p,
+			Elements: st.Nodes,
+			FileKB:   size >> 10,
+			Labels:   st.Labels,
+			MaxDepth: st.MaxDepth,
+		})
+	}
+	return rows, nil
+}
+
+// Table2Row reports the number of distinct occurred subtree patterns per
+// level (Table 2 of the paper).
+type Table2Row struct {
+	Level    int
+	Patterns map[datagen.Profile]int
+}
+
+// Table2 mines each dataset to level 5 and counts patterns per level.
+func (s *Suite) Table2() ([]Table2Row, error) {
+	const levels = 5
+	rows := make([]Table2Row, levels)
+	for i := range rows {
+		rows[i] = Table2Row{Level: i + 1, Patterns: make(map[datagen.Profile]int)}
+	}
+	for _, p := range s.Cfg.Profiles {
+		e, err := s.Env(p)
+		if err != nil {
+			return nil, err
+		}
+		sizes, err := mine.CountPerLevel(e.Tree, levels, mine.Options{})
+		if err != nil {
+			return nil, err
+		}
+		for l := 1; l <= levels; l++ {
+			rows[l-1].Patterns[p] = sizes[l]
+		}
+	}
+	return rows, nil
+}
+
+// Table3Row compares summary construction cost and size (Table 3).
+type Table3Row struct {
+	Dataset     datagen.Profile
+	LatticeTime time.Duration
+	SketchTime  time.Duration
+	LatticeKB   float64
+	SketchKB    float64
+}
+
+// Table3 reports construction time and memory utilization for TreeLattice
+// (K-lattice) versus TreeSketches (fixed budget).
+func (s *Suite) Table3() ([]Table3Row, error) {
+	var rows []Table3Row
+	for _, p := range s.Cfg.Profiles {
+		e, err := s.Env(p)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table3Row{
+			Dataset:     p,
+			LatticeTime: e.SummaryBuild,
+			SketchTime:  e.SketchBuild,
+			LatticeKB:   float64(e.Summary.SizeBytes()) / 1024,
+			SketchKB:    float64(e.Sketch.SizeBytes()) / 1024,
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,77 @@
+// Package labeltree provides the rooted node-labeled tree model that the
+// whole system is built on: large data trees (XML documents), small twig
+// patterns (queries and lattice entries), canonical forms for unordered
+// trees, and the textual twig syntax "a(b,c(d))".
+//
+// An XML document is modeled as a rooted tree whose nodes carry element
+// labels (Section 2.1 of the paper); values are not modeled, following
+// Polyzotis and Garofalakis. A twig query is a small node-labeled tree,
+// and a match is a 1-1 mapping into the data tree that preserves labels
+// and parent-child edges (Definition 1).
+package labeltree
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Dict interns label strings as dense int32 identifiers. All trees and
+// patterns that are compared against each other must share a Dict.
+//
+// The zero value is not ready to use; call NewDict.
+type Dict struct {
+	byName map[string]LabelID
+	names  []string
+}
+
+// LabelID identifies an interned label. IDs are dense, starting at 0.
+type LabelID = int32
+
+// NewDict returns an empty label dictionary.
+func NewDict() *Dict {
+	return &Dict{byName: make(map[string]LabelID)}
+}
+
+// Intern returns the ID for name, assigning a fresh one if needed.
+func (d *Dict) Intern(name string) LabelID {
+	if id, ok := d.byName[name]; ok {
+		return id
+	}
+	id := LabelID(len(d.names))
+	d.byName[name] = id
+	d.names = append(d.names, name)
+	return id
+}
+
+// Lookup returns the ID for name and whether it is known.
+func (d *Dict) Lookup(name string) (LabelID, bool) {
+	id, ok := d.byName[name]
+	return id, ok
+}
+
+// Name returns the label string for id. It panics on unknown IDs, which
+// indicate trees built against a different dictionary.
+func (d *Dict) Name(id LabelID) string {
+	if int(id) < 0 || int(id) >= len(d.names) {
+		panic(fmt.Sprintf("labeltree: unknown label id %d", id))
+	}
+	return d.names[id]
+}
+
+// Len reports the number of interned labels.
+func (d *Dict) Len() int { return len(d.names) }
+
+// Names returns all interned labels in ID order. The returned slice is a
+// copy and may be modified by the caller.
+func (d *Dict) Names() []string {
+	out := make([]string, len(d.names))
+	copy(out, d.names)
+	return out
+}
+
+// SortedNames returns all interned labels in lexicographic order.
+func (d *Dict) SortedNames() []string {
+	out := d.Names()
+	sort.Strings(out)
+	return out
+}

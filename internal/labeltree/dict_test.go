@@ -1,0 +1,67 @@
+package labeltree
+
+import "testing"
+
+func TestDictInternIsIdempotent(t *testing.T) {
+	d := NewDict()
+	a := d.Intern("a")
+	b := d.Intern("b")
+	if a == b {
+		t.Fatalf("distinct labels got the same id %d", a)
+	}
+	if got := d.Intern("a"); got != a {
+		t.Fatalf("re-interning a: got %d want %d", got, a)
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", d.Len())
+	}
+}
+
+func TestDictLookup(t *testing.T) {
+	d := NewDict()
+	a := d.Intern("a")
+	if id, ok := d.Lookup("a"); !ok || id != a {
+		t.Fatalf("Lookup(a) = %d,%v want %d,true", id, ok, a)
+	}
+	if _, ok := d.Lookup("missing"); ok {
+		t.Fatal("Lookup(missing) reported present")
+	}
+}
+
+func TestDictName(t *testing.T) {
+	d := NewDict()
+	a := d.Intern("alpha")
+	if got := d.Name(a); got != "alpha" {
+		t.Fatalf("Name = %q, want alpha", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Name on unknown id did not panic")
+		}
+	}()
+	d.Name(99)
+}
+
+func TestDictNamesAreCopies(t *testing.T) {
+	d := NewDict()
+	d.Intern("x")
+	names := d.Names()
+	names[0] = "mutated"
+	if d.Name(0) != "x" {
+		t.Fatal("Names() exposed internal storage")
+	}
+}
+
+func TestDictSortedNames(t *testing.T) {
+	d := NewDict()
+	d.Intern("b")
+	d.Intern("a")
+	d.Intern("c")
+	got := d.SortedNames()
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SortedNames = %v, want %v", got, want)
+		}
+	}
+}

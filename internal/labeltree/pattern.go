@@ -1,0 +1,395 @@
+package labeltree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Pattern is a small rooted node-labeled tree: a twig query or a lattice
+// entry. Nodes are numbered with every parent before its children
+// (parent[i] < i, parent[0] == -1). Patterns are value types; the
+// mutating-style operations return fresh patterns.
+//
+// Twig matching treats patterns as unordered trees: sibling order does not
+// matter. Key (the canonical encoding) is therefore the identity used for
+// equality and map storage.
+type Pattern struct {
+	labels []LabelID
+	parent []int32
+}
+
+// Key is the canonical encoding of a pattern, usable as a map key. Two
+// patterns have equal keys iff they are isomorphic as unordered rooted
+// labeled trees.
+type Key string
+
+// NewPattern builds a pattern from parallel label and parent slices.
+// parent[0] must be -1 and parent[i] < i for i > 0. The slices are copied.
+func NewPattern(labels []LabelID, parent []int32) (Pattern, error) {
+	if len(labels) != len(parent) {
+		return Pattern{}, fmt.Errorf("labeltree: labels/parent length mismatch %d != %d", len(labels), len(parent))
+	}
+	if len(labels) == 0 {
+		return Pattern{}, fmt.Errorf("labeltree: empty pattern")
+	}
+	if parent[0] != -1 {
+		return Pattern{}, fmt.Errorf("labeltree: parent[0] must be -1, got %d", parent[0])
+	}
+	for i := 1; i < len(parent); i++ {
+		if parent[i] < 0 || parent[i] >= int32(i) {
+			return Pattern{}, fmt.Errorf("labeltree: parent[%d]=%d violates parent-before-child numbering", i, parent[i])
+		}
+	}
+	p := Pattern{labels: append([]LabelID(nil), labels...), parent: append([]int32(nil), parent...)}
+	return p, nil
+}
+
+// MustPattern is NewPattern that panics on malformed input; intended for
+// literals in tests and examples.
+func MustPattern(labels []LabelID, parent []int32) Pattern {
+	p, err := NewPattern(labels, parent)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// SingleNode returns the one-node pattern labeled label.
+func SingleNode(label LabelID) Pattern {
+	return Pattern{labels: []LabelID{label}, parent: []int32{-1}}
+}
+
+// Size reports the number of nodes.
+func (p Pattern) Size() int { return len(p.labels) }
+
+// IsZero reports whether p is the zero Pattern (no nodes).
+func (p Pattern) IsZero() bool { return len(p.labels) == 0 }
+
+// Label returns the label of node i.
+func (p Pattern) Label(i int32) LabelID { return p.labels[i] }
+
+// RootLabel returns the label of the root node.
+func (p Pattern) RootLabel() LabelID { return p.labels[0] }
+
+// Parent returns the parent of node i (-1 for the root).
+func (p Pattern) Parent(i int32) int32 { return p.parent[i] }
+
+// Children returns the children of node i in numbering order.
+func (p Pattern) Children(i int32) []int32 {
+	var out []int32
+	for j := i + 1; int(j) < len(p.parent); j++ {
+		if p.parent[j] == i {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// ChildCounts returns the number of children of every node.
+func (p Pattern) ChildCounts() []int {
+	counts := make([]int, len(p.labels))
+	for i := 1; i < len(p.parent); i++ {
+		counts[p.parent[i]]++
+	}
+	return counts
+}
+
+// Degree returns the degree of node i in the undirected sense (children
+// plus one for the parent edge, if any).
+func (p Pattern) Degree(i int32) int {
+	d := p.ChildCounts()[i]
+	if i != 0 {
+		d++
+	}
+	return d
+}
+
+// Leaves returns the nodes of degree 1: ordinary leaves, plus the root if
+// it has exactly one child. The paper treats a degree-1 root as a leaf for
+// decomposition purposes (Section 3.2).
+func (p Pattern) Leaves() []int32 {
+	counts := p.ChildCounts()
+	var out []int32
+	for i := range counts {
+		switch {
+		case i == 0 && counts[i] == 1 && len(p.labels) > 1:
+			out = append(out, int32(i))
+		case i != 0 && counts[i] == 0:
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+// IsPath reports whether the pattern is a simple path (every node has at
+// most one child).
+func (p Pattern) IsPath() bool {
+	for _, c := range p.ChildCounts() {
+		if c > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// PathLabels returns the root-to-leaf label sequence of a path pattern.
+// It panics if the pattern is not a path.
+func (p Pattern) PathLabels() []LabelID {
+	if !p.IsPath() {
+		panic("labeltree: PathLabels on a branching pattern")
+	}
+	out := make([]LabelID, 0, len(p.labels))
+	i := int32(0)
+	for {
+		out = append(out, p.labels[i])
+		cs := p.Children(i)
+		if len(cs) == 0 {
+			return out
+		}
+		i = cs[0]
+	}
+}
+
+// PathPattern builds a path pattern from a root-to-leaf label sequence.
+func PathPattern(labels ...LabelID) Pattern {
+	if len(labels) == 0 {
+		panic("labeltree: empty path")
+	}
+	parent := make([]int32, len(labels))
+	parent[0] = -1
+	for i := 1; i < len(labels); i++ {
+		parent[i] = int32(i - 1)
+	}
+	return Pattern{labels: append([]LabelID(nil), labels...), parent: parent}
+}
+
+// AddChild returns a copy of p with a new node labeled label attached under
+// node at. The new node gets the highest index.
+func (p Pattern) AddChild(at int32, label LabelID) Pattern {
+	q := Pattern{
+		labels: append(append([]LabelID(nil), p.labels...), label),
+		parent: append(append([]int32(nil), p.parent...), at),
+	}
+	return q
+}
+
+// RemoveLeaf returns a copy of p with degree-1 node i removed. Removing an
+// ordinary leaf drops the node; removing a single-child root promotes the
+// child to root. It panics if node i has degree > 1 or p has one node.
+func (p Pattern) RemoveLeaf(i int32) Pattern {
+	if len(p.labels) <= 1 {
+		panic("labeltree: RemoveLeaf on trivial pattern")
+	}
+	counts := p.ChildCounts()
+	if i == 0 {
+		if counts[0] != 1 {
+			panic("labeltree: RemoveLeaf on branching root")
+		}
+	} else if counts[i] != 0 {
+		panic("labeltree: RemoveLeaf on internal node")
+	}
+	keep := make([]int32, 0, len(p.labels)-1)
+	for j := int32(0); int(j) < len(p.labels); j++ {
+		if j != i {
+			keep = append(keep, j)
+		}
+	}
+	return p.Subpattern(keep)
+}
+
+// Subpattern extracts the pattern induced by the given nodes, which must
+// form a connected subtree of p. Nodes may be in any order; the result is
+// renumbered parent-before-child.
+func (p Pattern) Subpattern(nodes []int32) Pattern {
+	inSet := make(map[int32]int32, len(nodes))
+	ordered := append([]int32(nil), nodes...)
+	sort.Slice(ordered, func(a, b int) bool { return ordered[a] < ordered[b] })
+	for newIdx, old := range ordered {
+		inSet[old] = int32(newIdx)
+	}
+	labels := make([]LabelID, len(ordered))
+	parent := make([]int32, len(ordered))
+	rootSeen := false
+	for newIdx, old := range ordered {
+		labels[newIdx] = p.labels[old]
+		par := p.parent[old]
+		if par < 0 {
+			parent[newIdx] = -1
+			rootSeen = true
+			continue
+		}
+		np, ok := inSet[par]
+		if !ok {
+			if rootSeen {
+				panic("labeltree: Subpattern nodes are not connected")
+			}
+			parent[newIdx] = -1
+			rootSeen = true
+			continue
+		}
+		parent[newIdx] = np
+	}
+	if !rootSeen {
+		panic("labeltree: Subpattern has no root")
+	}
+	// Because original numbering is parent-before-child and we kept
+	// ascending order, parent[i] < i holds in the result.
+	return Pattern{labels: labels, parent: parent}
+}
+
+// Preorder returns the nodes of p in a depth-first preorder, visiting
+// children in numbering order. Used by the fix-sized decomposition, which
+// covers the query in preorder (Section 3.3).
+func (p Pattern) Preorder() []int32 {
+	children := make([][]int32, len(p.labels))
+	for i := 1; i < len(p.parent); i++ {
+		children[p.parent[i]] = append(children[p.parent[i]], int32(i))
+	}
+	out := make([]int32, 0, len(p.labels))
+	stack := []int32{0}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out = append(out, n)
+		cs := children[n]
+		for j := len(cs) - 1; j >= 0; j-- {
+			stack = append(stack, cs[j])
+		}
+	}
+	return out
+}
+
+// Key returns the canonical encoding of p as an unordered rooted labeled
+// tree. The encoding of a node is "label(" + sorted child encodings + ")";
+// sorting child encodings makes sibling order irrelevant.
+func (p Pattern) Key() Key {
+	children := make([][]int32, len(p.labels))
+	for i := 1; i < len(p.parent); i++ {
+		children[p.parent[i]] = append(children[p.parent[i]], int32(i))
+	}
+	var enc func(i int32) string
+	enc = func(i int32) string {
+		cs := children[i]
+		if len(cs) == 0 {
+			return encodeLabel(p.labels[i])
+		}
+		parts := make([]string, len(cs))
+		for j, c := range cs {
+			parts[j] = enc(c)
+		}
+		sort.Strings(parts)
+		return encodeLabel(p.labels[i]) + "(" + strings.Join(parts, "") + ")"
+	}
+	return Key(enc(0))
+}
+
+// encodeLabel renders a label ID unambiguously inside canonical keys.
+func encodeLabel(l LabelID) string { return fmt.Sprintf("%d.", l) }
+
+// Canonicalize returns an isomorphic copy of p renumbered into canonical
+// preorder: children are visited in the order of their canonical
+// encodings, so two isomorphic patterns canonicalize to structurally
+// identical values. Order-sensitive algorithms (like the fix-sized
+// preorder cover) canonicalize first to become isomorphism-invariant.
+func (p Pattern) Canonicalize() Pattern {
+	children := make([][]int32, len(p.labels))
+	for i := 1; i < len(p.parent); i++ {
+		children[p.parent[i]] = append(children[p.parent[i]], int32(i))
+	}
+	encs := make([]string, len(p.labels))
+	var enc func(i int32) string
+	enc = func(i int32) string {
+		cs := children[i]
+		if len(cs) == 0 {
+			encs[i] = encodeLabel(p.labels[i])
+			return encs[i]
+		}
+		parts := make([]string, len(cs))
+		for j, c := range cs {
+			parts[j] = enc(c)
+		}
+		sort.Strings(parts)
+		encs[i] = encodeLabel(p.labels[i]) + "(" + strings.Join(parts, "") + ")"
+		return encs[i]
+	}
+	enc(0)
+	labels := make([]LabelID, 0, len(p.labels))
+	parent := make([]int32, 0, len(p.labels))
+	var walk func(old, newParent int32)
+	walk = func(old, newParent int32) {
+		idx := int32(len(labels))
+		labels = append(labels, p.labels[old])
+		parent = append(parent, newParent)
+		cs := append([]int32(nil), children[old]...)
+		sort.Slice(cs, func(a, b int) bool {
+			if encs[cs[a]] != encs[cs[b]] {
+				return encs[cs[a]] < encs[cs[b]]
+			}
+			return cs[a] < cs[b]
+		})
+		for _, c := range cs {
+			walk(c, idx)
+		}
+	}
+	walk(0, -1)
+	return Pattern{labels: labels, parent: parent}
+}
+
+// Equal reports whether p and q are isomorphic as unordered trees.
+func (p Pattern) Equal(q Pattern) bool {
+	if len(p.labels) != len(q.labels) {
+		return false
+	}
+	return p.Key() == q.Key()
+}
+
+// Clone returns a deep copy of p.
+func (p Pattern) Clone() Pattern {
+	return Pattern{
+		labels: append([]LabelID(nil), p.labels...),
+		parent: append([]int32(nil), p.parent...),
+	}
+}
+
+// Relabel returns a copy of p with node i relabeled to label.
+func (p Pattern) Relabel(i int32, label LabelID) Pattern {
+	q := p.Clone()
+	q.labels[i] = label
+	return q
+}
+
+// String renders p in the twig syntax using dict for label names, e.g.
+// "a(b,c(d))". Children appear in canonical (sorted-encoding) order so the
+// output is deterministic across isomorphic patterns.
+func (p Pattern) String(dict *Dict) string {
+	children := make([][]int32, len(p.labels))
+	for i := 1; i < len(p.parent); i++ {
+		children[p.parent[i]] = append(children[p.parent[i]], int32(i))
+	}
+	type rendered struct{ key, text string }
+	var enc func(i int32) rendered
+	enc = func(i int32) rendered {
+		name := dict.Name(p.labels[i])
+		cs := children[i]
+		if len(cs) == 0 {
+			return rendered{encodeLabel(p.labels[i]), name}
+		}
+		parts := make([]rendered, len(cs))
+		for j, c := range cs {
+			parts[j] = enc(c)
+		}
+		sort.Slice(parts, func(a, b int) bool { return parts[a].key < parts[b].key })
+		keys := make([]string, len(parts))
+		texts := make([]string, len(parts))
+		for j, r := range parts {
+			keys[j] = r.key
+			texts[j] = r.text
+		}
+		return rendered{
+			encodeLabel(p.labels[i]) + "(" + strings.Join(keys, "") + ")",
+			name + "(" + strings.Join(texts, ",") + ")",
+		}
+	}
+	return enc(0).text
+}

@@ -1,0 +1,90 @@
+package labeltree_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"treelattice/internal/labeltree"
+	"treelattice/internal/treetest"
+)
+
+func TestTreeSerializeRoundTrip(t *testing.T) {
+	dict, alphabet := treetest.Alphabet(5)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		tr := treetest.RandomTree(rng, 1+rng.Intn(300), alphabet, dict)
+		var buf bytes.Buffer
+		n, err := labeltree.WriteTree(&buf, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != int64(buf.Len()) {
+			t.Fatalf("WriteTree reported %d bytes, wrote %d", n, buf.Len())
+		}
+		// Load into a fresh dict with shifted IDs.
+		dict2 := labeltree.NewDict()
+		dict2.Intern("shift")
+		got, err := labeltree.ReadTree(&buf, dict2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Size() != tr.Size() {
+			t.Fatalf("size %d != %d", got.Size(), tr.Size())
+		}
+		for i := int32(0); int(i) < tr.Size(); i++ {
+			if got.LabelName(i) != tr.LabelName(i) || got.Parent(i) != tr.Parent(i) {
+				t.Fatalf("node %d differs", i)
+			}
+		}
+	}
+}
+
+func TestReadTreeRejectsGarbage(t *testing.T) {
+	dict := labeltree.NewDict()
+	for _, data := range [][]byte{
+		nil,
+		[]byte("XXXX\x01"),
+		[]byte("TLTR\x02"),     // bad version
+		[]byte("TLTR\x01\x01"), // truncated label table
+	} {
+		if _, err := labeltree.ReadTree(bytes.NewReader(data), dict); err == nil {
+			t.Errorf("ReadTree(%q) succeeded", data)
+		}
+	}
+}
+
+func TestReadTreeRobustAgainstCorruption(t *testing.T) {
+	// Flip/truncate bytes of a valid serialization: every corruption must
+	// produce an error or a valid tree, never a panic.
+	dict, alphabet := treetest.Alphabet(3)
+	rng := rand.New(rand.NewSource(9))
+	tr := treetest.RandomTree(rng, 60, alphabet, dict)
+	var buf bytes.Buffer
+	if _, err := labeltree.WriteTree(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	orig := buf.Bytes()
+	for trial := 0; trial < 300; trial++ {
+		data := append([]byte(nil), orig...)
+		switch trial % 3 {
+		case 0: // flip a byte
+			data[rng.Intn(len(data))] ^= byte(1 << rng.Intn(8))
+		case 1: // truncate
+			data = data[:rng.Intn(len(data))]
+		case 2: // flip several
+			for k := 0; k < 4; k++ {
+				data[rng.Intn(len(data))] ^= 0xFF
+			}
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("ReadTree panicked on corrupted input: %v", r)
+				}
+			}()
+			d := labeltree.NewDict()
+			_, _ = labeltree.ReadTree(bytes.NewReader(data), d)
+		}()
+	}
+}

@@ -1,0 +1,189 @@
+// Package lattice implements the paper's summary structure: occurrence
+// counts of all basic twigs (subtree patterns) up to a size K, the
+// "K-lattice" (Sections 3 and 4). Patterns are stored in a hash table
+// keyed by canonical encoding — the paper found hash tables preferable to
+// prefix trees for this purpose (Section 4.2) — and the store supports the
+// δ-derivable pruning of Section 4.3 via Filter.
+package lattice
+
+import (
+	"fmt"
+	"sort"
+
+	"treelattice/internal/labeltree"
+)
+
+// Entry is one stored pattern with its occurrence count (selectivity).
+type Entry struct {
+	Pattern labeltree.Pattern
+	Count   int64
+}
+
+// Summary is a K-lattice: all occurred subtree patterns of size ≤ K with
+// their counts (possibly filtered by pruning). The zero value is not ready
+// to use; call New.
+type Summary struct {
+	k       int
+	dict    *labeltree.Dict
+	entries map[labeltree.Key]Entry
+	pruned  bool // true once entries were removed by Filter
+}
+
+// New returns an empty K-lattice over dict.
+func New(k int, dict *labeltree.Dict) *Summary {
+	if k < 2 {
+		panic(fmt.Sprintf("lattice: K must be >= 2, got %d", k))
+	}
+	return &Summary{k: k, dict: dict, entries: make(map[labeltree.Key]Entry)}
+}
+
+// K returns the lattice level: the maximum stored pattern size.
+func (s *Summary) K() int { return s.k }
+
+// Dict returns the label dictionary the summary is keyed against.
+func (s *Summary) Dict() *labeltree.Dict { return s.dict }
+
+// Pruned reports whether entries were removed by Filter, in which case a
+// missing pattern may be derivable rather than absent from the data.
+func (s *Summary) Pruned() bool { return s.pruned }
+
+// MarkPruned declares the summary incomplete: estimators must treat missing
+// patterns as potentially derivable instead of absent. The δ-derivable
+// pruning algorithm marks its working summary this way while it decides
+// which patterns to keep.
+func (s *Summary) MarkPruned() { s.pruned = true }
+
+// Add records pattern p with the given count, replacing any previous
+// entry. Patterns larger than K are rejected.
+func (s *Summary) Add(p labeltree.Pattern, count int64) error {
+	if p.Size() > s.k {
+		return fmt.Errorf("lattice: pattern size %d exceeds K=%d", p.Size(), s.k)
+	}
+	if count < 0 {
+		return fmt.Errorf("lattice: negative count %d", count)
+	}
+	s.entries[p.Key()] = Entry{Pattern: p, Count: count}
+	return nil
+}
+
+// AddCount adds delta to the stored count for p, creating the entry if
+// needed. This is the primitive behind incremental maintenance.
+func (s *Summary) AddCount(p labeltree.Pattern, delta int64) error {
+	if p.Size() > s.k {
+		return fmt.Errorf("lattice: pattern size %d exceeds K=%d", p.Size(), s.k)
+	}
+	key := p.Key()
+	e, ok := s.entries[key]
+	if !ok {
+		e = Entry{Pattern: p}
+	}
+	e.Count += delta
+	if e.Count < 0 {
+		return fmt.Errorf("lattice: count for %s went negative", p.String(s.dict))
+	}
+	if e.Count == 0 {
+		delete(s.entries, key)
+		return nil
+	}
+	s.entries[key] = e
+	return nil
+}
+
+// Count returns the stored count for p and whether p is present.
+func (s *Summary) Count(p labeltree.Pattern) (int64, bool) {
+	e, ok := s.entries[p.Key()]
+	return e.Count, ok
+}
+
+// CountKey is Count for a precomputed canonical key.
+func (s *Summary) CountKey(key labeltree.Key) (int64, bool) {
+	e, ok := s.entries[key]
+	return e.Count, ok
+}
+
+// Len reports the number of stored patterns.
+func (s *Summary) Len() int { return len(s.entries) }
+
+// LevelSizes returns the number of stored patterns per size, indexed by
+// size (index 0 unused).
+func (s *Summary) LevelSizes() []int {
+	out := make([]int, s.k+1)
+	for _, e := range s.entries {
+		out[e.Pattern.Size()]++
+	}
+	return out
+}
+
+// Entries returns all entries of the given size in deterministic
+// (canonical key) order. size 0 means all sizes.
+func (s *Summary) Entries(size int) []Entry {
+	type keyed struct {
+		key labeltree.Key
+		e   Entry
+	}
+	var all []keyed
+	for k, e := range s.entries {
+		if size == 0 || e.Pattern.Size() == size {
+			all = append(all, keyed{k, e})
+		}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if sa, sb := all[a].e.Pattern.Size(), all[b].e.Pattern.Size(); sa != sb {
+			return sa < sb
+		}
+		return all[a].key < all[b].key
+	})
+	out := make([]Entry, len(all))
+	for i, k := range all {
+		out[i] = k.e
+	}
+	return out
+}
+
+// Filter returns a copy of s keeping only entries for which keep returns
+// true. The result is marked pruned if anything was dropped.
+func (s *Summary) Filter(keep func(Entry) bool) *Summary {
+	out := New(s.k, s.dict)
+	out.pruned = s.pruned
+	for k, e := range s.entries {
+		if keep(e) {
+			out.entries[k] = e
+		} else {
+			out.pruned = true
+		}
+	}
+	return out
+}
+
+// Merge adds every count in other into s. Both summaries must share a
+// dictionary and lattice level; used for incremental maintenance across
+// document batches.
+func (s *Summary) Merge(other *Summary) error {
+	if other.k != s.k {
+		return fmt.Errorf("lattice: merging K=%d into K=%d", other.k, s.k)
+	}
+	if other.dict != s.dict {
+		return fmt.Errorf("lattice: merging summaries with different dictionaries")
+	}
+	for _, e := range other.entries {
+		if err := s.AddCount(e.Pattern, e.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// entryBytes is the accounted storage cost of an entry: 8 bytes of count
+// plus 5 bytes per node (4-byte label, 1-byte parent index). This mirrors
+// the compact serialized form and is what the paper-style "summary size
+// (KB)" figures report.
+func entryBytes(e Entry) int { return 8 + 5*e.Pattern.Size() }
+
+// SizeBytes returns the accounted storage size of the summary.
+func (s *Summary) SizeBytes() int {
+	total := 0
+	for _, e := range s.entries {
+		total += entryBytes(e)
+	}
+	return total
+}

@@ -1,0 +1,68 @@
+package lattice
+
+import "treelattice/internal/labeltree"
+
+// TrieStore is a byte-trie over canonical pattern keys, the alternative
+// summary store the paper considered and rejected (Section 4.2: prefix
+// trees lose to hash tables because of pointer chasing). It exists for
+// the store ablation benchmark and as an executable record of that design
+// decision.
+type TrieStore struct {
+	root trieNode
+	n    int
+}
+
+type trieNode struct {
+	children map[byte]*trieNode
+	count    int64
+	present  bool
+}
+
+// NewTrieStore returns an empty trie store.
+func NewTrieStore() *TrieStore { return &TrieStore{} }
+
+// FromSummary loads every entry of s into a trie store.
+func FromSummary(s *Summary) *TrieStore {
+	t := NewTrieStore()
+	for _, e := range s.Entries(0) {
+		t.Put(e.Pattern.Key(), e.Count)
+	}
+	return t
+}
+
+// Put stores count under key, replacing any previous value.
+func (t *TrieStore) Put(key labeltree.Key, count int64) {
+	at := &t.root
+	for i := 0; i < len(key); i++ {
+		if at.children == nil {
+			at.children = make(map[byte]*trieNode)
+		}
+		next, ok := at.children[key[i]]
+		if !ok {
+			next = &trieNode{}
+			at.children[key[i]] = next
+		}
+		at = next
+	}
+	if !at.present {
+		t.n++
+	}
+	at.present = true
+	at.count = count
+}
+
+// Get returns the stored count for key and whether it is present.
+func (t *TrieStore) Get(key labeltree.Key) (int64, bool) {
+	at := &t.root
+	for i := 0; i < len(key); i++ {
+		next, ok := at.children[key[i]]
+		if !ok {
+			return 0, false
+		}
+		at = next
+	}
+	return at.count, at.present
+}
+
+// Len reports the number of stored keys.
+func (t *TrieStore) Len() int { return t.n }

@@ -1,0 +1,59 @@
+package lattice
+
+import (
+	"math/rand"
+	"testing"
+
+	"treelattice/internal/labeltree"
+	"treelattice/internal/treetest"
+)
+
+func TestTrieStoreBasics(t *testing.T) {
+	tr := NewTrieStore()
+	if _, ok := tr.Get("missing"); ok {
+		t.Fatal("empty trie reported a hit")
+	}
+	tr.Put("abc", 7)
+	tr.Put("abd", 8)
+	tr.Put("ab", 9) // prefix of an existing key
+	if got, ok := tr.Get("abc"); !ok || got != 7 {
+		t.Fatalf("Get(abc) = %d,%v", got, ok)
+	}
+	if got, ok := tr.Get("ab"); !ok || got != 9 {
+		t.Fatalf("Get(ab) = %d,%v", got, ok)
+	}
+	if _, ok := tr.Get("a"); ok {
+		t.Fatal("interior node reported present")
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tr.Len())
+	}
+	tr.Put("abc", 70) // overwrite
+	if got, _ := tr.Get("abc"); got != 70 || tr.Len() != 3 {
+		t.Fatalf("overwrite failed: %d len=%d", got, tr.Len())
+	}
+}
+
+func TestTrieStoreMatchesSummary(t *testing.T) {
+	d, alphabet := treetest.Alphabet(4)
+	_ = d
+	rng := rand.New(rand.NewSource(19))
+	s := New(4, d)
+	var patterns []labeltree.Pattern
+	for i := 0; i < 100; i++ {
+		p := treetest.RandomPattern(rng, 1+rng.Intn(4), alphabet)
+		s.Add(p, int64(i+1))
+		patterns = append(patterns, p)
+	}
+	tr := FromSummary(s)
+	if tr.Len() != s.Len() {
+		t.Fatalf("trie has %d keys, summary %d", tr.Len(), s.Len())
+	}
+	for _, p := range patterns {
+		want, _ := s.Count(p)
+		got, ok := tr.Get(p.Key())
+		if !ok || got != want {
+			t.Fatalf("trie disagrees on %v: %d vs %d", p.Key(), got, want)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package markov_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"treelattice/internal/labeltree"
+	"treelattice/internal/markov"
+	"treelattice/internal/xmlparse"
+)
+
+// ExampleTable_Estimate extends a path beyond the stored length with the
+// order-(K−1) Markov formula of Lemma 4.
+func ExampleTable_Estimate() {
+	dict := labeltree.NewDict()
+	tree, err := xmlparse.Parse(strings.NewReader(
+		`<a><b><c><d/></c></b><b><c><d/><d/></c></b></a>`), dict, xmlparse.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tb := markov.Build(tree, 3)
+	a, _ := dict.Lookup("a")
+	b, _ := dict.Lookup("b")
+	c, _ := dict.Lookup("c")
+	d, _ := dict.Lookup("d")
+	// f(a/b/c/d) = f(a/b/c) · f(b/c/d)/f(b/c) = 2 · 3/2 = 3.
+	fmt.Println(tb.Estimate([]labeltree.LabelID{a, b, c, d}))
+	// Output: 3
+}

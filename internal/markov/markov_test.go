@@ -1,0 +1,162 @@
+package markov
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"treelattice/internal/labeltree"
+	"treelattice/internal/match"
+	"treelattice/internal/treetest"
+	"treelattice/internal/xmlparse"
+)
+
+func chainTree(t *testing.T) (*labeltree.Tree, *labeltree.Dict) {
+	t.Helper()
+	dict := labeltree.NewDict()
+	doc := `<a><b><c><d/></c></b><b><c><d/><d/></c></b></a>`
+	tr, err := xmlparse.Parse(strings.NewReader(doc), dict, xmlparse.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, dict
+}
+
+func ids(dict *labeltree.Dict, names ...string) []labeltree.LabelID {
+	out := make([]labeltree.LabelID, len(names))
+	for i, n := range names {
+		id, ok := dict.Lookup(n)
+		if !ok {
+			id = -1
+		}
+		out[i] = id
+	}
+	return out
+}
+
+func TestBuildCounts(t *testing.T) {
+	tr, dict := chainTree(t)
+	tb := Build(tr, 3)
+	for _, tc := range []struct {
+		path []string
+		want int64
+	}{
+		{[]string{"a"}, 1},
+		{[]string{"b"}, 2},
+		{[]string{"d"}, 3},
+		{[]string{"a", "b"}, 2},
+		{[]string{"b", "c"}, 2},
+		{[]string{"c", "d"}, 3},
+		{[]string{"a", "b", "c"}, 2},
+		{[]string{"b", "c", "d"}, 3},
+		{[]string{"a", "b", "d"}, 0},
+	} {
+		got := tb.Count(ids(dict, tc.path...))
+		if got != tc.want {
+			t.Errorf("Count(%v) = %d, want %d", tc.path, got, tc.want)
+		}
+	}
+}
+
+func TestCountPanicsBeyondK(t *testing.T) {
+	tr, dict := chainTree(t)
+	tb := Build(tr, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Count beyond K did not panic")
+		}
+	}()
+	tb.Count(ids(dict, "a", "b", "c"))
+}
+
+func TestEstimateShortPathIsExact(t *testing.T) {
+	tr, dict := chainTree(t)
+	tb := Build(tr, 3)
+	if got := tb.Estimate(ids(dict, "a", "b", "c")); got != 2 {
+		t.Fatalf("Estimate = %v, want 2", got)
+	}
+}
+
+func TestEstimateMarkovFormula(t *testing.T) {
+	tr, dict := chainTree(t)
+	tb := Build(tr, 3)
+	// f(a/b/c/d) = f(a/b/c) * f(b/c/d) / f(b/c) = 2 * 3 / 2 = 3.
+	got := tb.Estimate(ids(dict, "a", "b", "c", "d"))
+	if math.Abs(got-3) > 1e-12 {
+		t.Fatalf("Estimate = %v, want 3", got)
+	}
+	// The true count is also 3 here (independence holds trivially).
+	q := labeltree.MustParsePattern("a(b(c(d)))", dict)
+	if truth := match.NewCounter(tr).Count(q); truth != 3 {
+		t.Fatalf("true count = %d, want 3", truth)
+	}
+}
+
+func TestEstimateZeroDenominator(t *testing.T) {
+	tr, dict := chainTree(t)
+	tb := Build(tr, 2)
+	// Path with an unseen intermediate pair must estimate 0.
+	if got := tb.Estimate(ids(dict, "a", "d", "c", "b")); got != 0 {
+		t.Fatalf("Estimate = %v, want 0", got)
+	}
+	if got := tb.Estimate(nil); got != 0 {
+		t.Fatalf("Estimate(empty) = %v, want 0", got)
+	}
+}
+
+func TestEstimatePattern(t *testing.T) {
+	tr, dict := chainTree(t)
+	tb := Build(tr, 3)
+	p := labeltree.MustParsePattern("b(c(d))", dict)
+	if got := tb.EstimatePattern(p); got != 3 {
+		t.Fatalf("EstimatePattern = %v, want 3", got)
+	}
+	branching := labeltree.MustParsePattern("a(b,b)", dict)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EstimatePattern on branching pattern did not panic")
+		}
+	}()
+	tb.EstimatePattern(branching)
+}
+
+func TestPathCountsAgreeWithMatcher(t *testing.T) {
+	// Path counts in the Markov table must equal twig-match counts of the
+	// corresponding path patterns: the lattice and the table agree on the
+	// shared special case.
+	dict, alphabet := treetest.Alphabet(3)
+	rng := rand.New(rand.NewSource(7))
+	tr := treetest.RandomTree(rng, 80, alphabet, dict)
+	tb := Build(tr, 4)
+	counter := match.NewCounter(tr)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(4)
+		path := make([]labeltree.LabelID, n)
+		for i := range path {
+			path[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		want := counter.Count(labeltree.PathPattern(path...))
+		if got := tb.Count(path); got != want {
+			t.Fatalf("path %v: table=%d matcher=%d", path, got, want)
+		}
+	}
+}
+
+func TestSizeBytesPositive(t *testing.T) {
+	tr, _ := chainTree(t)
+	tb := Build(tr, 3)
+	if tb.SizeBytes() <= 0 || tb.Len() <= 0 {
+		t.Fatalf("SizeBytes=%d Len=%d", tb.SizeBytes(), tb.Len())
+	}
+}
+
+func TestBuildPanicsOnTinyK(t *testing.T) {
+	tr, _ := chainTree(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("K=1 accepted")
+		}
+	}()
+	Build(tr, 1)
+}

@@ -1,0 +1,42 @@
+package match
+
+import "treelattice/internal/labeltree"
+
+// BruteCount counts matches by exhaustive enumeration of mappings. It is
+// exponential and exists to cross-check the DP counter in tests and to
+// document the match semantics executably. limit aborts the enumeration
+// once that many matches are found (0 = unlimited).
+func BruteCount(t *labeltree.Tree, p labeltree.Pattern, limit int64) int64 {
+	n := p.Size()
+	assigned := make([]int32, n)
+	used := make(map[int32]bool, n)
+	var total int64
+	var rec func(i int32) bool // returns false to abort
+	rec = func(i int32) bool {
+		if int(i) == n {
+			total++
+			return limit == 0 || total < limit
+		}
+		var candidates []int32
+		if i == 0 {
+			candidates = t.NodesByLabel(p.Label(0))
+		} else {
+			candidates = t.Children(assigned[p.Parent(i)])
+		}
+		for _, v := range candidates {
+			if used[v] || t.Label(v) != p.Label(i) {
+				continue
+			}
+			used[v] = true
+			assigned[i] = v
+			ok := rec(i + 1)
+			used[v] = false
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0)
+	return total
+}

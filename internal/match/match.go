@@ -1,0 +1,248 @@
+// Package match counts exact twig matches: the selectivity s(T) of a twig
+// pattern per Definition 1 of the paper — the number of 1-1 mappings from
+// pattern nodes to data nodes that preserve labels and parent-child edges.
+//
+// The counter runs a sparse bottom-up dynamic program over the data tree.
+// For a pattern node p and data node v, cnt(p, v) is the number of matches
+// of the subtree of p rooted at p that map p to v. For internal nodes the
+// pattern children must map to *distinct* data children (the mapping is
+// 1-1), which is a matrix permanent; it factorizes into a product of row
+// sums when the pattern children carry pairwise distinct labels (the
+// common case, and the paper's simplifying assumption) and is otherwise
+// computed by a subset DP.
+package match
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"treelattice/internal/labeltree"
+)
+
+// MaxDuplicateChildren bounds the number of children of a single pattern
+// node when duplicate sibling labels force the permanent DP. Patterns in
+// this system are small (lattice level + query sizes ≤ ~16), so the bound
+// is generous.
+const MaxDuplicateChildren = 20
+
+// Counter counts matches of patterns against one data tree. It is safe for
+// concurrent use after construction.
+type Counter struct {
+	t *labeltree.Tree
+}
+
+// NewCounter returns a Counter over t. It forces construction of the
+// label index so that subsequent concurrent Count calls do not race.
+func NewCounter(t *labeltree.Tree) *Counter {
+	t.NodesByLabel(0) // build index eagerly
+	return &Counter{t: t}
+}
+
+// Tree returns the data tree the counter was built over.
+func (c *Counter) Tree() *labeltree.Tree { return c.t }
+
+// Count returns the number of matches of p in the data tree. Counts
+// saturate at math.MaxInt64 instead of overflowing.
+func (c *Counter) Count(p labeltree.Pattern) int64 {
+	n := p.Size()
+	children := make([][]int32, n)
+	for i := int32(1); int(i) < n; i++ {
+		children[p.Parent(i)] = append(children[p.Parent(i)], i)
+	}
+	// maps[i] holds cnt(i, ·) for internal pattern nodes; leaves are
+	// handled implicitly (cnt = 1 on label match).
+	maps := make([]map[int32]int64, n)
+	// Children have larger indices than parents, so descending index
+	// order is a children-first traversal.
+	for i := int32(n - 1); i >= 0; i-- {
+		if len(children[i]) == 0 {
+			continue
+		}
+		maps[i] = c.countInternal(p, i, children[i], maps)
+		if len(maps[i]) == 0 && i > 0 {
+			return 0 // early out: some pattern subtree never occurs
+		}
+	}
+	var total int64
+	if len(children[0]) == 0 {
+		return int64(len(c.t.NodesByLabel(p.Label(0))))
+	}
+	for _, v := range maps[0] {
+		total = satAdd(total, v)
+	}
+	return total
+}
+
+// countInternal computes cnt(pi, ·) for internal pattern node pi.
+func (c *Counter) countInternal(p labeltree.Pattern, pi int32, pcs []int32, maps []map[int32]int64) map[int32]int64 {
+	out := make(map[int32]int64)
+	dup := hasDuplicateLabels(p, pcs)
+	if dup && len(pcs) > MaxDuplicateChildren {
+		panic("match: pattern node exceeds MaxDuplicateChildren with duplicate labels")
+	}
+	var rows [][]int64 // reused permanent matrix rows
+	for _, v := range c.t.NodesByLabel(p.Label(pi)) {
+		dcs := c.t.Children(v)
+		if len(dcs) < len(pcs) {
+			continue
+		}
+		if !dup {
+			// Distinct labels: injectivity is automatic, the count is
+			// the product over pattern children of the sum over data
+			// children.
+			prod := int64(1)
+			for _, pc := range pcs {
+				var sum int64
+				for _, w := range dcs {
+					sum = satAdd(sum, childCount(p, pc, w, c.t, maps))
+				}
+				if sum == 0 {
+					prod = 0
+					break
+				}
+				prod = satMul(prod, sum)
+			}
+			if prod > 0 {
+				out[v] = prod
+			}
+			continue
+		}
+		// Duplicate labels: permanent of a[i][j] = cnt(pcs[i], dcs[j]).
+		rows = rows[:0]
+		viable := true
+		for _, pc := range pcs {
+			row := make([]int64, len(dcs))
+			var rowSum int64
+			for j, w := range dcs {
+				row[j] = childCount(p, pc, w, c.t, maps)
+				rowSum = satAdd(rowSum, row[j])
+			}
+			if rowSum == 0 {
+				viable = false
+				break
+			}
+			rows = append(rows, row)
+		}
+		if !viable {
+			continue
+		}
+		if perm := permanent(rows); perm > 0 {
+			out[v] = perm
+		}
+	}
+	return out
+}
+
+// childCount returns cnt(pc, w): 1 for a leaf pattern node with matching
+// label, the DP value for internal nodes.
+func childCount(p labeltree.Pattern, pc, w int32, t *labeltree.Tree, maps []map[int32]int64) int64 {
+	if maps[pc] == nil {
+		if p.Label(pc) == t.Label(w) {
+			return 1
+		}
+		return 0
+	}
+	return maps[pc][w]
+}
+
+func hasDuplicateLabels(p labeltree.Pattern, nodes []int32) bool {
+	if len(nodes) < 2 {
+		return false
+	}
+	seen := make(map[labeltree.LabelID]bool, len(nodes))
+	for _, n := range nodes {
+		l := p.Label(n)
+		if seen[l] {
+			return true
+		}
+		seen[l] = true
+	}
+	return false
+}
+
+// permanent computes the number of systems of distinct representatives
+// weighted by the matrix: sum over injective maps rows→columns of the
+// product of selected entries. Rows are pattern children (≤ 20), columns
+// data children (unbounded). Runs in O(cols · 2^rows).
+func permanent(rows [][]int64) int64 {
+	m := len(rows)
+	if m == 0 {
+		return 1
+	}
+	cols := len(rows[0])
+	full := (1 << m) - 1
+	f := make([]int64, full+1)
+	f[0] = 1
+	for j := 0; j < cols; j++ {
+		// Descending subset order: writes only target numerically larger
+		// sets, so f[S] is still the pre-column value when read.
+		for s := full; s >= 0; s-- {
+			if f[s] == 0 {
+				continue
+			}
+			for i := 0; i < m; i++ {
+				if s&(1<<i) != 0 {
+					continue
+				}
+				if a := rows[i][j]; a != 0 {
+					t := s | 1<<i
+					f[t] = satAdd(f[t], satMul(f[s], a))
+				}
+			}
+		}
+	}
+	return f[full]
+}
+
+// CountAll counts every pattern concurrently and returns the counts in
+// input order.
+func (c *Counter) CountAll(patterns []labeltree.Pattern) []int64 {
+	out := make([]int64, len(patterns))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(patterns) {
+		workers = len(patterns)
+	}
+	if workers <= 1 {
+		for i, p := range patterns {
+			out[i] = c.Count(p)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = c.Count(patterns[i])
+			}
+		}()
+	}
+	for i := range patterns {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+func satAdd(a, b int64) int64 {
+	s := a + b
+	if s < a {
+		return math.MaxInt64
+	}
+	return s
+}
+
+func satMul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	p := a * b
+	if p/b != a || p < 0 {
+		return math.MaxInt64
+	}
+	return p
+}

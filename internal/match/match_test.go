@@ -1,0 +1,316 @@
+package match
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"treelattice/internal/labeltree"
+	"treelattice/internal/treetest"
+	"treelattice/internal/xmlparse"
+)
+
+// figure1Tree builds the paper's Figure 1(a) document.
+func figure1Tree(t *testing.T) (*labeltree.Tree, *labeltree.Dict) {
+	t.Helper()
+	dict := labeltree.NewDict()
+	doc := `<computer><laptops><laptop><brand/><price/></laptop><laptop><brand/><price/></laptop></laptops><desktops/></computer>`
+	tr, err := xmlparse.Parse(strings.NewReader(doc), dict, xmlparse.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, dict
+}
+
+func TestFigure1TwigQuery(t *testing.T) {
+	tr, dict := figure1Tree(t)
+	c := NewCounter(tr)
+	// Figure 1(b): //laptop(brand, price) has two matches.
+	q := labeltree.MustParsePattern("laptop(brand,price)", dict)
+	if got := c.Count(q); got != 2 {
+		t.Fatalf("Count = %d, want 2", got)
+	}
+}
+
+func TestSingleNodeCounts(t *testing.T) {
+	tr, dict := figure1Tree(t)
+	c := NewCounter(tr)
+	for _, tc := range []struct {
+		q    string
+		want int64
+	}{
+		{"computer", 1}, {"laptop", 2}, {"brand", 2}, {"missing", 0},
+	} {
+		q := labeltree.MustParsePattern(tc.q, dict)
+		if got := c.Count(q); got != tc.want {
+			t.Errorf("Count(%s) = %d, want %d", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestPathCounts(t *testing.T) {
+	tr, dict := figure1Tree(t)
+	c := NewCounter(tr)
+	for _, tc := range []struct {
+		q    string
+		want int64
+	}{
+		{"computer(laptops)", 1},
+		{"laptops(laptop)", 2},
+		{"laptops(laptop(brand))", 2},
+		{"computer(laptops(laptop(price)))", 2},
+		{"computer(desktops(laptop))", 0},
+	} {
+		q := labeltree.MustParsePattern(tc.q, dict)
+		if got := c.Count(q); got != tc.want {
+			t.Errorf("Count(%s) = %d, want %d", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestDuplicateSiblingLabels(t *testing.T) {
+	tr, dict := figure1Tree(t)
+	c := NewCounter(tr)
+	// laptops(laptop, laptop): the two pattern children must map to the
+	// two distinct laptop elements; 2 ordered injective assignments.
+	q := labeltree.MustParsePattern("laptops(laptop,laptop)", dict)
+	if got := c.Count(q); got != 2 {
+		t.Fatalf("Count = %d, want 2", got)
+	}
+	// Three distinct laptop children cannot be found among two elements.
+	q3 := labeltree.MustParsePattern("laptops(laptop,laptop,laptop)", dict)
+	if got := c.Count(q3); got != 0 {
+		t.Fatalf("Count = %d, want 0", got)
+	}
+}
+
+func TestDuplicateLabelsDeeper(t *testing.T) {
+	dict := labeltree.NewDict()
+	doc := `<r><a><x/></a><a><x/><x/></a><a/></r>`
+	tr, err := xmlparse.Parse(strings.NewReader(doc), dict, xmlparse.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCounter(tr)
+	// r(a(x), a): first child can map to a1 (1 way via x) or a2 (2 ways),
+	// second child to any *other* a. a1: 1 * 2 others = 2; a2: 2 * 2 = 4.
+	q := labeltree.MustParsePattern("r(a(x),a)", dict)
+	want := BruteCount(tr, q, 0)
+	if got := c.Count(q); got != want {
+		t.Fatalf("Count = %d, brute = %d", got, want)
+	}
+	if want != 6 {
+		t.Fatalf("brute = %d, want 6 (hand computed)", want)
+	}
+}
+
+func TestCountAgainstBruteRandom(t *testing.T) {
+	dict, alphabet := treetest.Alphabet(3)
+	rng := rand.New(rand.NewSource(99))
+	c := 0
+	for trial := 0; trial < 300; trial++ {
+		tr := treetest.RandomTree(rng, 2+rng.Intn(40), alphabet, dict)
+		counter := NewCounter(tr)
+		p := treetest.RandomPattern(rng, 1+rng.Intn(5), alphabet)
+		want := BruteCount(tr, p, 0)
+		if got := counter.Count(p); got != want {
+			t.Fatalf("trial %d: DP=%d brute=%d pattern=%s", trial, got, want, p.String(dict))
+		}
+		if want > 0 {
+			c++
+		}
+	}
+	if c == 0 {
+		t.Fatal("random workload never produced a positive count; test is vacuous")
+	}
+}
+
+func TestQuickCountMatchesBrute(t *testing.T) {
+	dict, alphabet := treetest.Alphabet(2) // tiny alphabet to force duplicates
+	_ = dict
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := treetest.RandomTree(rng, 2+rng.Intn(25), alphabet, dict)
+		p := treetest.RandomPattern(rng, 1+rng.Intn(4), alphabet)
+		return NewCounter(tr).Count(p) == BruteCount(tr, p, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountAll(t *testing.T) {
+	tr, dict := figure1Tree(t)
+	c := NewCounter(tr)
+	patterns := []labeltree.Pattern{
+		labeltree.MustParsePattern("laptop", dict),
+		labeltree.MustParsePattern("laptop(brand,price)", dict),
+		labeltree.MustParsePattern("missing", dict),
+	}
+	got := c.CountAll(patterns)
+	want := []int64{2, 2, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("CountAll[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPatternOccursOnceInItself(t *testing.T) {
+	dict, alphabet := treetest.Alphabet(8) // distinct labels per node
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		// All-distinct labels: the pattern matches its own materialized
+		// tree exactly once.
+		size := 1 + rng.Intn(8)
+		labels := make([]labeltree.LabelID, size)
+		parent := make([]int32, size)
+		parent[0] = -1
+		for i := 0; i < size; i++ {
+			labels[i] = alphabet[i]
+			if i > 0 {
+				parent[i] = int32(rng.Intn(i))
+			}
+		}
+		p := labeltree.MustPattern(labels, parent)
+		tr := treetest.TreeFromPattern(p, dict)
+		if got := NewCounter(tr).Count(p); got != 1 {
+			t.Fatalf("trial %d: Count = %d, want 1", trial, got)
+		}
+	}
+}
+
+func TestSaturationArithmetic(t *testing.T) {
+	if satAdd(math.MaxInt64, 1) != math.MaxInt64 {
+		t.Fatal("satAdd did not saturate")
+	}
+	if satMul(math.MaxInt64/2, 3) != math.MaxInt64 {
+		t.Fatal("satMul did not saturate")
+	}
+	if satMul(0, math.MaxInt64) != 0 || satMul(7, 6) != 42 || satAdd(3, 4) != 7 {
+		t.Fatal("saturating arithmetic broke exact small values")
+	}
+}
+
+func TestPermanentSmall(t *testing.T) {
+	// permanent of [[1,1],[1,1]] = 2 (two ways to pick distinct columns).
+	if got := permanent([][]int64{{1, 1}, {1, 1}}); got != 2 {
+		t.Fatalf("permanent = %d, want 2", got)
+	}
+	// 3 identical rows over 2 columns: no injective assignment.
+	if got := permanent([][]int64{{1, 1}, {1, 1}, {1, 1}}); got != 0 {
+		t.Fatalf("permanent = %d, want 0", got)
+	}
+	if got := permanent(nil); got != 1 {
+		t.Fatalf("empty permanent = %d, want 1", got)
+	}
+	// Weighted: [[2,3],[5,7]] -> 2*7 + 3*5 = 29.
+	if got := permanent([][]int64{{2, 3}, {5, 7}}); got != 29 {
+		t.Fatalf("permanent = %d, want 29", got)
+	}
+}
+
+func BenchmarkCountSmallPattern(b *testing.B) {
+	dict, alphabet := treetest.Alphabet(10)
+	rng := rand.New(rand.NewSource(1))
+	tr := treetest.RandomTree(rng, 50000, alphabet, dict)
+	c := NewCounter(tr)
+	p := treetest.RandomPattern(rng, 4, alphabet)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Count(p)
+	}
+}
+
+func TestCounterTreeAccessor(t *testing.T) {
+	tr, _ := figure1Tree(t)
+	c := NewCounter(tr)
+	if c.Tree() != tr {
+		t.Fatal("Tree() returned a different tree")
+	}
+}
+
+func TestMaxDuplicateChildrenGuard(t *testing.T) {
+	// A pattern node with > MaxDuplicateChildren same-label children must
+	// panic rather than hang in the exponential permanent DP.
+	dict := labeltree.NewDict()
+	x := dict.Intern("x")
+	y := dict.Intern("y")
+	n := MaxDuplicateChildren + 2
+	labels := make([]labeltree.LabelID, n)
+	parents := make([]int32, n)
+	labels[0] = x
+	parents[0] = -1
+	for i := 1; i < n; i++ {
+		labels[i] = y
+		parents[i] = 0
+	}
+	p := labeltree.MustPattern(labels, parents)
+	b := labeltree.NewBuilder(dict)
+	root := b.AddRoot("x")
+	for i := 0; i < n; i++ {
+		b.AddChildID(root, y)
+	}
+	tr := b.Build()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized duplicate-children pattern accepted")
+		}
+	}()
+	NewCounter(tr).Count(p)
+}
+
+func TestCountAllSingleWorker(t *testing.T) {
+	tr, dict := figure1Tree(t)
+	c := NewCounter(tr)
+	got := c.CountAll([]labeltree.Pattern{labeltree.MustParsePattern("laptop", dict)})
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("CountAll = %v", got)
+	}
+	if out := c.CountAll(nil); len(out) != 0 {
+		t.Fatalf("CountAll(nil) = %v", out)
+	}
+}
+
+func TestBruteCountLimit(t *testing.T) {
+	tr, dict := figure1Tree(t)
+	q := labeltree.MustParsePattern("laptop", dict)
+	if got := BruteCount(tr, q, 1); got != 1 {
+		t.Fatalf("limited brute = %d, want 1", got)
+	}
+}
+
+func TestDeepChainPattern(t *testing.T) {
+	// A 12-level chain stresses the DP's sparse propagation.
+	var sb strings.Builder
+	for i := 0; i < 12; i++ {
+		sb.WriteString("<p>")
+	}
+	sb.WriteString("<q/>")
+	for i := 0; i < 12; i++ {
+		sb.WriteString("</p>")
+	}
+	dict := labeltree.NewDict()
+	tr, err := xmlparse.Parse(strings.NewReader(sb.String()), dict, xmlparse.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := dict.Lookup("p")
+	q, _ := dict.Lookup("q")
+	chain := make([]labeltree.LabelID, 0, 13)
+	for i := 0; i < 12; i++ {
+		chain = append(chain, p)
+	}
+	chain = append(chain, q)
+	pat := labeltree.PathPattern(chain...)
+	if got := NewCounter(tr).Count(pat); got != 1 {
+		t.Fatalf("deep chain count = %d, want 1", got)
+	}
+	// Suffix chains: p/p/q occurs once per depth offset.
+	short := labeltree.PathPattern(p, p, q)
+	if got := NewCounter(tr).Count(short); got != 1 {
+		t.Fatalf("short chain count = %d, want 1", got)
+	}
+}

@@ -1,0 +1,157 @@
+// Package online implements workload-aware summary tuning in the spirit
+// of XPathLearner, the paper's third future-work direction ("adapt
+// TreeLattice in a manner similar to XPathLearner where information
+// learned from on-line workload can guide what is to be maintained in the
+// summary structure").
+//
+// The tuner wraps a lattice summary. Estimation runs normally; when the
+// system later observes a query's true selectivity — for example after
+// actually executing it — Feedback records the (pattern, true count) pair
+// as a correction. Corrections live in a budgeted auxiliary store that
+// the estimators consult before the lattice, at any pattern size: a
+// correction for a size-7 twig short-circuits the decomposition not only
+// for that exact query but for every larger query that decomposes through
+// it. When the budget is exceeded, the correction with the least benefit
+// (observed error × hit count) is evicted.
+package online
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"treelattice/internal/estimate"
+	"treelattice/internal/labeltree"
+	"treelattice/internal/lattice"
+)
+
+// Tuner is a workload-adaptive wrapper around a lattice summary. It is
+// not safe for concurrent use; wrap with a mutex if shared.
+type Tuner struct {
+	base        *lattice.Summary
+	budgetBytes int
+	corrections map[labeltree.Key]*correction
+	usedBytes   int
+	clock       int64
+}
+
+type correction struct {
+	pattern  labeltree.Pattern
+	count    int64
+	benefit  float64 // observed |error| at feedback time, relative
+	hits     int64
+	lastUsed int64
+}
+
+// NewTuner wraps base with a correction store of at most budgetBytes.
+func NewTuner(base *lattice.Summary, budgetBytes int) *Tuner {
+	if budgetBytes <= 0 {
+		panic(fmt.Sprintf("online: budget must be positive, got %d", budgetBytes))
+	}
+	return &Tuner{
+		base:        base,
+		budgetBytes: budgetBytes,
+		corrections: make(map[labeltree.Key]*correction),
+	}
+}
+
+// Store interface: corrections first, then the base summary.
+
+// Count implements estimate.Store.
+func (t *Tuner) Count(p labeltree.Pattern) (int64, bool) {
+	if c, ok := t.corrections[p.Key()]; ok {
+		t.clock++
+		c.hits++
+		c.lastUsed = t.clock
+		return c.count, true
+	}
+	return t.base.Count(p)
+}
+
+// K implements estimate.Store.
+func (t *Tuner) K() int { return t.base.K() }
+
+// Pruned implements estimate.Store.
+func (t *Tuner) Pruned() bool { return t.base.Pruned() }
+
+var _ estimate.Store = (*Tuner)(nil)
+
+// Estimator returns a decomposition estimator reading through the tuner.
+func (t *Tuner) Estimator(voting bool) *estimate.Recursive {
+	return estimate.NewRecursive(t, voting)
+}
+
+// Estimate estimates q with the voting estimator through the corrections.
+func (t *Tuner) Estimate(q labeltree.Pattern) float64 {
+	return t.Estimator(true).Estimate(q)
+}
+
+// Feedback records the observed true selectivity of q. Worthless feedback
+// (the estimate was already exact) is ignored; otherwise the correction
+// is stored and the budget enforced by evicting the least valuable
+// entries (lowest benefit × hits, oldest first).
+func (t *Tuner) Feedback(q labeltree.Pattern, trueCount int64) {
+	if trueCount < 0 {
+		panic("online: negative true count")
+	}
+	key := q.Key()
+	est := t.Estimate(q)
+	errRel := math.Abs(est-float64(trueCount)) / math.Max(1, float64(trueCount))
+	if c, ok := t.corrections[key]; ok {
+		// Refresh an existing correction (document may have changed).
+		c.count = trueCount
+		c.benefit = math.Max(c.benefit, errRel)
+		return
+	}
+	if errRel == 0 {
+		return // the summary already answers this exactly
+	}
+	t.clock++
+	t.corrections[key] = &correction{
+		pattern:  q.Clone(),
+		count:    trueCount,
+		benefit:  errRel,
+		lastUsed: t.clock,
+	}
+	t.usedBytes += correctionBytes(q)
+	t.enforceBudget()
+}
+
+// Corrections reports the number of stored corrections.
+func (t *Tuner) Corrections() int { return len(t.corrections) }
+
+// UsedBytes reports the accounted size of the correction store.
+func (t *Tuner) UsedBytes() int { return t.usedBytes }
+
+// correctionBytes matches the lattice's per-entry accounting.
+func correctionBytes(p labeltree.Pattern) int { return 8 + 5*p.Size() }
+
+// enforceBudget evicts corrections until the store fits.
+func (t *Tuner) enforceBudget() {
+	if t.usedBytes <= t.budgetBytes {
+		return
+	}
+	type scored struct {
+		key   labeltree.Key
+		score float64
+		used  int64
+	}
+	var all []scored
+	for k, c := range t.corrections {
+		all = append(all, scored{k, c.benefit * float64(1+c.hits), c.lastUsed})
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].score != all[b].score {
+			return all[a].score < all[b].score
+		}
+		return all[a].used < all[b].used
+	})
+	for _, s := range all {
+		if t.usedBytes <= t.budgetBytes {
+			return
+		}
+		c := t.corrections[s.key]
+		t.usedBytes -= correctionBytes(c.pattern)
+		delete(t.corrections, s.key)
+	}
+}

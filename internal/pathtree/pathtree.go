@@ -1,0 +1,264 @@
+// Package pathtree implements the path-tree summary of Aboulnaga et al.
+// (VLDB 2001), cited by the paper as the structural alternative to Markov
+// tables for XML path selectivity (and found inferior to them on real
+// data — a comparison the extended benchmarks reproduce).
+//
+// A path tree is the label-path quotient of the document: one node per
+// distinct root-to-node label path, annotated with the number of document
+// nodes on that path. Under a memory budget, low-count sibling subtrees
+// are coalesced into a "*" node that keeps only aggregate statistics —
+// the paper's sibling-* pruning — and estimation through * nodes assumes
+// uniformity.
+package pathtree
+
+import (
+	"sort"
+
+	"treelattice/internal/labeltree"
+)
+
+// StarLabel marks coalesced low-frequency siblings.
+const StarLabel labeltree.LabelID = -2
+
+// Options configures construction.
+type Options struct {
+	// BudgetBytes bounds the summary size; 0 keeps the full path tree.
+	BudgetBytes int
+}
+
+// Tree is a built path tree. Immutable and safe for concurrent use.
+type Tree struct {
+	dict  *labeltree.Dict
+	nodes []node
+}
+
+type node struct {
+	label    labeltree.LabelID // StarLabel for coalesced nodes
+	count    int64
+	distinct int32 // distinct label paths folded into this node (1 unless star)
+	parent   int32
+	children []int32
+}
+
+// Build constructs the path tree of t, pruning to the budget if one is
+// set.
+func Build(t *labeltree.Tree, opts Options) *Tree {
+	pt := &Tree{dict: t.Dict()}
+	pt.nodes = append(pt.nodes, node{label: t.Label(0), count: 1, distinct: 1, parent: -1})
+	// Map data nodes to path-tree nodes breadth-first.
+	assign := make([]int32, t.Size())
+	order := make([]int32, 0, t.Size())
+	order = append(order, 0)
+	for i := 0; i < len(order); i++ {
+		v := order[i]
+		ptn := assign[v]
+		// Group v's children by label. Children of every data node on
+		// the same label path share path-tree nodes, so the lookup map
+		// must persist per path-tree node, not per data node.
+		for _, c := range t.Children(v) {
+			l := t.Label(c)
+			child := pt.findChild(ptn, l)
+			if child < 0 {
+				child = pt.addChild(ptn, l)
+			} else {
+				pt.nodes[child].count++
+			}
+			assign[c] = child
+			order = append(order, c)
+		}
+	}
+	if opts.BudgetBytes > 0 {
+		pt.pruneToBudget(opts.BudgetBytes)
+	}
+	return pt
+}
+
+// findChild returns parent's child with the given label, or -1.
+func (pt *Tree) findChild(parent int32, label labeltree.LabelID) int32 {
+	for _, c := range pt.nodes[parent].children {
+		if pt.nodes[c].label == label {
+			return c
+		}
+	}
+	return -1
+}
+
+func (pt *Tree) addChild(parent int32, label labeltree.LabelID) int32 {
+	id := int32(len(pt.nodes))
+	pt.nodes = append(pt.nodes, node{label: label, count: 1, distinct: 1, parent: parent})
+	pt.nodes[parent].children = append(pt.nodes[parent].children, id)
+	return id
+}
+
+// NodeCount reports the number of live path-tree nodes. (Coalescing
+// detaches nodes rather than compacting the arena, so liveness is
+// counted by reachability from the root.)
+func (pt *Tree) NodeCount() int {
+	n := 0
+	var walk func(i int32)
+	walk = func(i int32) {
+		n++
+		for _, c := range pt.nodes[i].children {
+			walk(c)
+		}
+	}
+	walk(0)
+	return n
+}
+
+// SizeBytes is the accounted size: 16 bytes per live node.
+func (pt *Tree) SizeBytes() int { return 16 * pt.NodeCount() }
+
+// Name identifies the estimator in experiment output.
+func (pt *Tree) Name() string { return "pathtree" }
+
+// pruneToBudget repeatedly coalesces the lowest-count leaf siblings into
+// * nodes until the summary fits.
+func (pt *Tree) pruneToBudget(budget int) {
+	for pt.SizeBytes() > budget {
+		// Find the parent whose children include the lowest-count leaf.
+		best := int32(-1)
+		var bestCount int64
+		for i := range pt.nodes {
+			n := &pt.nodes[i]
+			if len(n.children) == 0 || n.label == StarLabel {
+				continue
+			}
+			leaves := 0
+			var minCount int64 = 1 << 62
+			for _, c := range n.children {
+				if len(pt.nodes[c].children) == 0 {
+					leaves++
+					if pt.nodes[c].count < minCount {
+						minCount = pt.nodes[c].count
+					}
+				}
+			}
+			if leaves < 2 {
+				continue
+			}
+			if best == -1 || minCount < bestCount {
+				best = int32(i)
+				bestCount = minCount
+			}
+		}
+		if best == -1 {
+			return // nothing coalescible
+		}
+		pt.coalesceLeaves(best)
+	}
+}
+
+// coalesceLeaves folds all leaf children of parent into a single * node.
+func (pt *Tree) coalesceLeaves(parent int32) {
+	star := node{label: StarLabel, parent: parent}
+	var kept []int32
+	for _, c := range pt.nodes[parent].children {
+		if len(pt.nodes[c].children) == 0 {
+			star.count += pt.nodes[c].count
+			star.distinct += pt.nodes[c].distinct
+		} else {
+			kept = append(kept, c)
+		}
+	}
+	id := int32(len(pt.nodes))
+	pt.nodes = append(pt.nodes, star)
+	pt.nodes[parent].children = append(kept, id)
+}
+
+// EstimatePath estimates the selectivity of a downward label path
+// (matched anywhere in the document, like the Markov estimators): the sum
+// over all path-tree nodes of the count reached by walking the labels.
+// Walks through a * node contribute its average count per folded path.
+func (pt *Tree) EstimatePath(labels []labeltree.LabelID) float64 {
+	if len(labels) == 0 {
+		return 0
+	}
+	var total float64
+	var visit func(i int32)
+	visit = func(i int32) {
+		total += pt.walk(i, labels)
+		for _, c := range pt.nodes[i].children {
+			visit(c)
+		}
+	}
+	visit(0)
+	return total
+}
+
+// walk returns the estimated nodes reached by following labels starting
+// at path-tree node n (which must match labels[0]).
+func (pt *Tree) walk(n int32, labels []labeltree.LabelID) float64 {
+	nd := &pt.nodes[n]
+	var here float64
+	switch nd.label {
+	case labels[0]:
+		here = float64(nd.count)
+	case StarLabel:
+		// Uniformity assumption: the star's mass is spread over its
+		// folded label paths.
+		if nd.distinct > 0 {
+			here = float64(nd.count) / float64(nd.distinct)
+		}
+	default:
+		return 0
+	}
+	if here == 0 {
+		return 0
+	}
+	if len(labels) == 1 {
+		return here
+	}
+	// Fraction of this node's population continuing to each child is
+	// child.count / node.count per occurrence.
+	var out float64
+	for _, c := range nd.children {
+		sub := pt.walk(c, labels[1:])
+		if sub > 0 {
+			out += sub * (here / float64(nd.count))
+		}
+	}
+	return out
+}
+
+// EstimatePattern estimates a path-shaped pattern; it panics on branching
+// patterns (path trees summarize paths only).
+func (pt *Tree) EstimatePattern(p labeltree.Pattern) float64 {
+	return pt.EstimatePath(p.PathLabels())
+}
+
+// Paths returns the distinct root-to-node label paths with counts, in
+// deterministic order — useful for inspection and tests.
+func (pt *Tree) Paths() []PathCount {
+	var out []PathCount
+	var walk func(n int32, prefix []string)
+	walk = func(n int32, prefix []string) {
+		nd := &pt.nodes[n]
+		name := "*"
+		if nd.label != StarLabel {
+			name = pt.dict.Name(nd.label)
+		}
+		prefix = append(prefix, name)
+		out = append(out, PathCount{Path: append([]string(nil), prefix...), Count: nd.count})
+		for _, c := range nd.children {
+			walk(c, prefix)
+		}
+	}
+	walk(0, nil)
+	sort.Slice(out, func(a, b int) bool {
+		pa, pb := out[a].Path, out[b].Path
+		for i := 0; i < len(pa) && i < len(pb); i++ {
+			if pa[i] != pb[i] {
+				return pa[i] < pb[i]
+			}
+		}
+		return len(pa) < len(pb)
+	})
+	return out
+}
+
+// PathCount is one root-to-node label path with its population.
+type PathCount struct {
+	Path  []string
+	Count int64
+}

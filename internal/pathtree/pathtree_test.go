@@ -1,0 +1,143 @@
+package pathtree
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"treelattice/internal/labeltree"
+	"treelattice/internal/markov"
+	"treelattice/internal/treetest"
+	"treelattice/internal/xmlparse"
+)
+
+func parseDoc(t *testing.T, doc string) (*labeltree.Tree, *labeltree.Dict) {
+	t.Helper()
+	dict := labeltree.NewDict()
+	tr, err := xmlparse.Parse(strings.NewReader(doc), dict, xmlparse.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, dict
+}
+
+func ids(dict *labeltree.Dict, names ...string) []labeltree.LabelID {
+	out := make([]labeltree.LabelID, len(names))
+	for i, n := range names {
+		id, ok := dict.Lookup(n)
+		if !ok {
+			id = -1
+		}
+		out[i] = id
+	}
+	return out
+}
+
+func TestBuildGroupsByLabelPath(t *testing.T) {
+	// Two b-elements share one path-tree node; their c-children share one
+	// child node with count 3.
+	tr, dict := parseDoc(t, `<a><b><c/></b><b><c/><c/></b></a>`)
+	pt := Build(tr, Options{})
+	// Path tree: a(1) -> b(2) -> c(3): exactly 3 nodes.
+	if pt.NodeCount() != 3 {
+		t.Fatalf("NodeCount = %d, want 3 (paths: %v)", pt.NodeCount(), pt.Paths())
+	}
+	paths := pt.Paths()
+	want := map[string]int64{"a": 1, "a/b": 2, "a/b/c": 3}
+	for _, p := range paths {
+		key := strings.Join(p.Path, "/")
+		if want[key] != p.Count {
+			t.Fatalf("path %s count %d, want %d", key, p.Count, want[key])
+		}
+	}
+	_ = dict
+}
+
+func TestExactOnFullTree(t *testing.T) {
+	// An unpruned path tree answers path queries exactly — cross-check
+	// against the Markov table's exact stored counts.
+	dict, alphabet := treetest.Alphabet(3)
+	rng := rand.New(rand.NewSource(3))
+	tr := treetest.RandomTree(rng, 150, alphabet, dict)
+	pt := Build(tr, Options{})
+	tb := markov.Build(tr, 4)
+	checked := 0
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(4)
+		path := make([]labeltree.LabelID, n)
+		for i := range path {
+			path[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		want := float64(tb.Count(path))
+		got := pt.EstimatePath(path)
+		if math.Abs(got-want) > 1e-9*math.Max(1, want) {
+			t.Fatalf("path %v: pathtree=%v markov=%v", path, got, want)
+		}
+		if want > 0 {
+			checked++
+		}
+	}
+	if checked < 20 {
+		t.Fatalf("only %d positive paths", checked)
+	}
+}
+
+func TestPruningCoalesces(t *testing.T) {
+	// Many distinct low-count leaf labels under one parent get starred.
+	var sb strings.Builder
+	sb.WriteString("<r>")
+	for i := 0; i < 26; i++ {
+		sb.WriteString("<leaf" + string(rune('a'+i)) + "/>")
+	}
+	sb.WriteString("</r>")
+	tr, dict := parseDoc(t, sb.String())
+	full := Build(tr, Options{})
+	pruned := Build(tr, Options{BudgetBytes: full.SizeBytes() / 3})
+	if pruned.SizeBytes() > full.SizeBytes()/3+16 {
+		t.Fatalf("pruned size %d exceeds budget", pruned.SizeBytes())
+	}
+	if pruned.NodeCount() >= full.NodeCount() {
+		t.Fatal("pruning did not coalesce")
+	}
+	// The starred estimate for one coalesced leaf is the uniform share.
+	got := pruned.EstimatePath(ids(dict, "r", "leafa"))
+	if got <= 0 || got > 2 {
+		t.Fatalf("starred estimate = %v, want ~1", got)
+	}
+	// Totals are preserved: summing over all leaves recovers 26.
+	var total float64
+	for i := 0; i < 26; i++ {
+		total += pruned.EstimatePath(ids(dict, "r", "leaf"+string(rune('a'+i))))
+	}
+	if math.Abs(total-26) > 1e-6 {
+		t.Fatalf("starred total = %v, want 26", total)
+	}
+}
+
+func TestEstimateAnywhere(t *testing.T) {
+	// Paths match at any depth, like the Markov estimators.
+	tr, dict := parseDoc(t, `<a><x><b><c/></b></x><b><c/></b></a>`)
+	pt := Build(tr, Options{})
+	if got := pt.EstimatePath(ids(dict, "b", "c")); got != 2 {
+		t.Fatalf("b/c = %v, want 2", got)
+	}
+}
+
+func TestEstimateMisc(t *testing.T) {
+	tr, dict := parseDoc(t, `<a><b/></a>`)
+	pt := Build(tr, Options{})
+	if got := pt.EstimatePath(nil); got != 0 {
+		t.Fatalf("empty path = %v", got)
+	}
+	if got := pt.EstimatePath(ids(dict, "zzz")); got != 0 {
+		t.Fatalf("absent label = %v", got)
+	}
+	if pt.Name() != "pathtree" {
+		t.Fatal("name changed")
+	}
+	p := labeltree.MustParsePattern("a(b)", dict)
+	if got := pt.EstimatePattern(p); got != 1 {
+		t.Fatalf("EstimatePattern = %v", got)
+	}
+}

@@ -1,0 +1,108 @@
+// Package qcache caches twig-selectivity estimates keyed by the query's
+// canonical form and estimation method. Estimation is microseconds, but a
+// served corpus answers the same optimizer-generated queries repeatedly;
+// the cache turns those into map hits and is invalidated wholesale
+// whenever the underlying summary changes (a generation counter, bumped
+// by the owner on any mutation).
+package qcache
+
+import (
+	"container/list"
+	"sync"
+
+	"treelattice/internal/labeltree"
+)
+
+// Cache is a bounded LRU of estimates. Safe for concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	gen      uint64
+	order    *list.List // front = most recent; values are *entry
+	items    map[string]*list.Element
+
+	hits, misses uint64
+}
+
+type entry struct {
+	key   string
+	value float64
+}
+
+// New returns a cache holding up to capacity entries.
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Cache{
+		capacity: capacity,
+		order:    list.New(),
+		items:    make(map[string]*list.Element, capacity),
+	}
+}
+
+// key combines method name and canonical query key.
+func cacheKey(method string, q labeltree.Pattern) string {
+	return method + "\x00" + string(q.Key())
+}
+
+// Get returns the cached estimate for (method, q).
+func (c *Cache) Get(method string, q labeltree.Pattern) (float64, bool) {
+	k := cacheKey(method, q)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		c.misses++
+		return 0, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*entry).value, true
+}
+
+// Put stores an estimate, evicting the least recently used entry when
+// full.
+func (c *Cache) Put(method string, q labeltree.Pattern, value float64) {
+	k := cacheKey(method, q)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		el.Value.(*entry).value = value
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[k] = c.order.PushFront(&entry{key: k, value: value})
+	for c.order.Len() > c.capacity {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.items, last.Value.(*entry).key)
+	}
+}
+
+// GetOrCompute returns the cached estimate or computes, stores, and
+// returns it.
+func (c *Cache) GetOrCompute(method string, q labeltree.Pattern, compute func() float64) float64 {
+	if v, ok := c.Get(method, q); ok {
+		return v
+	}
+	v := compute()
+	c.Put(method, q, v)
+	return v
+}
+
+// Invalidate drops every entry; call when the summary changes.
+func (c *Cache) Invalidate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gen++
+	c.order.Init()
+	c.items = make(map[string]*list.Element, c.capacity)
+}
+
+// Stats reports hits, misses, and current size.
+func (c *Cache) Stats() (hits, misses uint64, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.order.Len()
+}

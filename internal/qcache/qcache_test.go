@@ -1,0 +1,122 @@
+package qcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"treelattice/internal/labeltree"
+)
+
+func patterns(n int) ([]labeltree.Pattern, *labeltree.Dict) {
+	d := labeltree.NewDict()
+	out := make([]labeltree.Pattern, n)
+	for i := range out {
+		out[i] = labeltree.SingleNode(d.Intern(fmt.Sprintf("l%d", i)))
+	}
+	return out, d
+}
+
+func TestGetPut(t *testing.T) {
+	ps, _ := patterns(3)
+	c := New(10)
+	if _, ok := c.Get("m", ps[0]); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put("m", ps[0], 42)
+	if v, ok := c.Get("m", ps[0]); !ok || v != 42 {
+		t.Fatalf("Get = %v,%v", v, ok)
+	}
+	// Method is part of the key.
+	if _, ok := c.Get("other", ps[0]); ok {
+		t.Fatal("method leaked across keys")
+	}
+	// Isomorphic patterns share an entry.
+	iso := ps[0].Clone()
+	if v, ok := c.Get("m", iso); !ok || v != 42 {
+		t.Fatal("canonical keying failed")
+	}
+	// Overwrite.
+	c.Put("m", ps[0], 7)
+	if v, _ := c.Get("m", ps[0]); v != 7 {
+		t.Fatalf("overwrite = %v", v)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	ps, _ := patterns(4)
+	c := New(2)
+	c.Put("m", ps[0], 0)
+	c.Put("m", ps[1], 1)
+	c.Get("m", ps[0]) // refresh 0
+	c.Put("m", ps[2], 2)
+	if _, ok := c.Get("m", ps[1]); ok {
+		t.Fatal("LRU entry not evicted")
+	}
+	if _, ok := c.Get("m", ps[0]); !ok {
+		t.Fatal("refreshed entry evicted")
+	}
+	_, _, size := c.Stats()
+	if size != 2 {
+		t.Fatalf("size = %d", size)
+	}
+}
+
+func TestGetOrCompute(t *testing.T) {
+	ps, _ := patterns(1)
+	c := New(4)
+	calls := 0
+	compute := func() float64 { calls++; return 5 }
+	if v := c.GetOrCompute("m", ps[0], compute); v != 5 {
+		t.Fatalf("first = %v", v)
+	}
+	if v := c.GetOrCompute("m", ps[0], compute); v != 5 {
+		t.Fatalf("second = %v", v)
+	}
+	if calls != 1 {
+		t.Fatalf("compute called %d times", calls)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	ps, _ := patterns(2)
+	c := New(4)
+	c.Put("m", ps[0], 1)
+	c.Invalidate()
+	if _, ok := c.Get("m", ps[0]); ok {
+		t.Fatal("entry survived invalidation")
+	}
+	hits, misses, size := c.Stats()
+	if size != 0 || hits != 0 || misses != 1 {
+		t.Fatalf("stats = %d %d %d", hits, misses, size)
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	c := New(0)
+	ps, _ := patterns(1)
+	c.Put("m", ps[0], 1)
+	if _, ok := c.Get("m", ps[0]); !ok {
+		t.Fatal("default-capacity cache broken")
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	ps, _ := patterns(8)
+	c := New(4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				p := ps[(g+i)%len(ps)]
+				c.GetOrCompute("m", p, func() float64 { return float64(i) })
+				if i%13 == 0 {
+					c.Invalidate()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,211 @@
+// Package serve exposes a corpus over HTTP, stdlib only — the service
+// shape a query optimizer or interactive UI calls into.
+//
+// Endpoints (JSON unless noted):
+//
+//	GET    /v1/estimate?q=<twig>&method=<name>  estimated selectivity
+//	GET    /v1/exact?q=<twig>                   exact count (scans documents)
+//	GET    /v1/explain?q=<twig>                 estimate + trace + spread interval
+//	GET    /v1/stats                            summary and corpus statistics
+//	POST   /v1/docs/{name}                      add a document (XML body)
+//	DELETE /v1/docs/{name}                      remove a document
+//
+// Queries use the twig syntax ("a(b,c(d))"). Estimation methods:
+// recursive, recursive+voting (default), fix-sized.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"treelattice/internal/core"
+	"treelattice/internal/corpus"
+	"treelattice/internal/estimate"
+	"treelattice/internal/labeltree"
+	"treelattice/internal/qcache"
+)
+
+// MaxDocumentBytes bounds uploaded document size.
+const MaxDocumentBytes = 64 << 20
+
+// Handler serves a corpus. Reads take the read lock; document mutations
+// serialize on the write lock and invalidate the estimate cache.
+type Handler struct {
+	mu    sync.RWMutex
+	c     *corpus.Corpus
+	cache *qcache.Cache
+}
+
+// NewHandler wraps a corpus.
+func NewHandler(c *corpus.Corpus) *Handler {
+	return &Handler{c: c, cache: qcache.New(4096)}
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.URL.Path == "/v1/estimate" && r.Method == http.MethodGet:
+		h.estimate(w, r)
+	case r.URL.Path == "/v1/exact" && r.Method == http.MethodGet:
+		h.exact(w, r)
+	case r.URL.Path == "/v1/explain" && r.Method == http.MethodGet:
+		h.explain(w, r)
+	case r.URL.Path == "/v1/stats" && r.Method == http.MethodGet:
+		h.stats(w, r)
+	case strings.HasPrefix(r.URL.Path, "/v1/docs/"):
+		h.docs(w, r)
+	default:
+		httpError(w, http.StatusNotFound, "no such endpoint")
+	}
+}
+
+func (h *Handler) method(r *http.Request) core.Method {
+	m := r.URL.Query().Get("method")
+	if m == "" {
+		return core.MethodRecursiveVoting
+	}
+	return core.Method(m)
+}
+
+func (h *Handler) estimate(w http.ResponseWriter, r *http.Request) {
+	qs := r.URL.Query().Get("q")
+	if qs == "" {
+		httpError(w, http.StatusBadRequest, "missing q parameter")
+		return
+	}
+	method := h.method(r)
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	q, err := labeltree.ParsePattern(qs, h.c.Dict())
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	estimator, err := h.c.Summary().Estimator(method)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	est := h.cache.GetOrCompute(string(method), q, func() float64 {
+		return estimator.Estimate(q)
+	})
+	writeJSON(w, map[string]any{"query": qs, "estimate": est})
+}
+
+func (h *Handler) exact(w http.ResponseWriter, r *http.Request) {
+	qs := r.URL.Query().Get("q")
+	if qs == "" {
+		httpError(w, http.StatusBadRequest, "missing q parameter")
+		return
+	}
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	q, err := labeltree.ParsePattern(qs, h.c.Dict())
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, map[string]any{"query": qs, "count": h.c.ExactCount(q)})
+}
+
+func (h *Handler) explain(w http.ResponseWriter, r *http.Request) {
+	qs := r.URL.Query().Get("q")
+	if qs == "" {
+		httpError(w, http.StatusBadRequest, "missing q parameter")
+		return
+	}
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	q, err := labeltree.ParsePattern(qs, h.c.Dict())
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	est, trace, err := h.c.Summary().EstimateWithTrace(q, core.MethodRecursiveVoting)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	iv := h.c.Summary().EstimateInterval(q)
+	writeJSON(w, explainResponse{
+		Query:    qs,
+		Estimate: est,
+		Trace:    trace,
+		SpreadLo: iv.Lo,
+		SpreadHi: iv.Hi,
+	})
+}
+
+type explainResponse struct {
+	Query    string         `json:"query"`
+	Estimate float64        `json:"estimate"`
+	Trace    estimate.Trace `json:"trace"`
+	SpreadLo float64        `json:"spread_lo"`
+	SpreadHi float64        `json:"spread_hi"`
+}
+
+func (h *Handler) stats(w http.ResponseWriter, _ *http.Request) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	s := h.c.Summary()
+	hits, misses, size := h.cache.Stats()
+	writeJSON(w, map[string]any{
+		"k":            s.K(),
+		"patterns":     s.Patterns(),
+		"bytes":        s.SizeBytes(),
+		"documents":    h.c.Docs(),
+		"cache_hits":   hits,
+		"cache_misses": misses,
+		"cache_size":   size,
+	})
+}
+
+func (h *Handler) docs(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/v1/docs/")
+	switch r.Method {
+	case http.MethodPost:
+		h.mu.Lock()
+		err := h.c.AddXML(name, http.MaxBytesReader(w, r.Body, MaxDocumentBytes))
+		if err == nil {
+			h.cache.Invalidate()
+		}
+		h.mu.Unlock()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+		writeJSON(w, map[string]any{"added": name})
+	case http.MethodDelete:
+		h.mu.Lock()
+		err := h.c.Remove(name)
+		if err == nil {
+			h.cache.Invalidate()
+		}
+		h.mu.Unlock()
+		if err != nil {
+			httpError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		writeJSON(w, map[string]any{"removed": name})
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "use POST or DELETE")
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are gone; nothing more to do than note it.
+		fmt.Println("serve: encoding response:", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

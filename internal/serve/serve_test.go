@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"treelattice/internal/corpus"
+)
+
+const doc = `<computer><laptops><laptop><brand/><price/></laptop><laptop><brand/><price/></laptop></laptops></computer>`
+
+func newServer(t *testing.T) (*httptest.Server, *corpus.Corpus) {
+	t.Helper()
+	c, err := corpus.Create(t.TempDir(), corpus.Options{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandler(c))
+	t.Cleanup(srv.Close)
+	return srv, c
+}
+
+func do(t *testing.T, method, url, body string) (int, map[string]any) {
+	t.Helper()
+	var req *http.Request
+	var err error
+	if body == "" {
+		req, err = http.NewRequest(method, url, nil)
+	} else {
+		req, err = http.NewRequest(method, url, strings.NewReader(body))
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+func TestLifecycle(t *testing.T) {
+	srv, _ := newServer(t)
+
+	code, out := do(t, "POST", srv.URL+"/v1/docs/sample", doc)
+	if code != http.StatusCreated || out["added"] != "sample" {
+		t.Fatalf("add: %d %v", code, out)
+	}
+
+	code, out = do(t, "GET", srv.URL+"/v1/estimate?q=laptop(brand,price)", "")
+	if code != 200 || out["estimate"].(float64) != 2 {
+		t.Fatalf("estimate: %d %v", code, out)
+	}
+
+	code, out = do(t, "GET", srv.URL+"/v1/exact?q=laptop(brand,price)", "")
+	if code != 200 || out["count"].(float64) != 2 {
+		t.Fatalf("exact: %d %v", code, out)
+	}
+
+	code, out = do(t, "GET", srv.URL+"/v1/stats", "")
+	if code != 200 || out["k"].(float64) != 3 {
+		t.Fatalf("stats: %d %v", code, out)
+	}
+	docs := out["documents"].([]any)
+	if len(docs) != 1 || docs[0] != "sample" {
+		t.Fatalf("stats docs: %v", docs)
+	}
+
+	code, out = do(t, "DELETE", srv.URL+"/v1/docs/sample", "")
+	if code != 200 || out["removed"] != "sample" {
+		t.Fatalf("delete: %d %v", code, out)
+	}
+	code, out = do(t, "GET", srv.URL+"/v1/estimate?q=laptop", "")
+	if code != 200 || out["estimate"].(float64) != 0 {
+		t.Fatalf("estimate after delete: %d %v", code, out)
+	}
+}
+
+func TestExplain(t *testing.T) {
+	srv, _ := newServer(t)
+	do(t, "POST", srv.URL+"/v1/docs/sample", doc)
+	code, out := do(t, "GET", srv.URL+"/v1/explain?q=computer(laptops(laptop(brand,price)))", "")
+	if code != 200 {
+		t.Fatalf("explain: %d %v", code, out)
+	}
+	if out["estimate"].(float64) <= 0 {
+		t.Fatalf("explain estimate: %v", out)
+	}
+	if _, ok := out["trace"]; !ok {
+		t.Fatalf("explain missing trace: %v", out)
+	}
+	lo, hi := out["spread_lo"].(float64), out["spread_hi"].(float64)
+	if lo > hi {
+		t.Fatalf("inverted spread: %v %v", lo, hi)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	srv, _ := newServer(t)
+	for _, tc := range []struct {
+		method, path, body string
+		wantCode           int
+	}{
+		{"GET", "/v1/estimate", "", 400},                  // missing q
+		{"GET", "/v1/estimate?q=a((", "", 400},            // bad query
+		{"GET", "/v1/estimate?q=a&method=bogus", "", 400}, // bad method
+		{"GET", "/v1/exact", "", 400},
+		{"GET", "/v1/explain", "", 400},
+		{"GET", "/v1/nope", "", 404},
+		{"POST", "/v1/docs/bad", "<a><b>", 400}, // malformed XML
+		{"DELETE", "/v1/docs/missing", "", 404}, // unknown doc
+		{"PUT", "/v1/docs/x", "<a/>", 405},      // bad method
+		{"POST", "/v1/docs/..", "<a/>", 400},    // bad name
+	} {
+		code, out := do(t, tc.method, srv.URL+tc.path, tc.body)
+		if code != tc.wantCode {
+			t.Errorf("%s %s: code %d (%v), want %d", tc.method, tc.path, code, out, tc.wantCode)
+		}
+		if _, ok := out["error"]; !ok && code >= 400 {
+			t.Errorf("%s %s: error response missing error field: %v", tc.method, tc.path, out)
+		}
+	}
+}
+
+func TestConcurrentReads(t *testing.T) {
+	srv, _ := newServer(t)
+	do(t, "POST", srv.URL+"/v1/docs/sample", doc)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(srv.URL + "/v1/estimate?q=laptop(brand)")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != 200 {
+				t.Errorf("status %d", resp.StatusCode)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestEstimateCaching(t *testing.T) {
+	srv, _ := newServer(t)
+	do(t, "POST", srv.URL+"/v1/docs/sample", doc)
+	do(t, "GET", srv.URL+"/v1/estimate?q=laptop(brand)", "")
+	do(t, "GET", srv.URL+"/v1/estimate?q=laptop(brand)", "")
+	_, out := do(t, "GET", srv.URL+"/v1/stats", "")
+	if out["cache_hits"].(float64) < 1 {
+		t.Fatalf("no cache hits recorded: %v", out)
+	}
+	// A mutation invalidates: estimates change after a second document.
+	do(t, "POST", srv.URL+"/v1/docs/sample2", doc)
+	_, est := do(t, "GET", srv.URL+"/v1/estimate?q=laptop(brand)", "")
+	if est["estimate"].(float64) != 4 {
+		t.Fatalf("post-invalidation estimate = %v, want 4", est["estimate"])
+	}
+}

@@ -1,0 +1,184 @@
+// Package statix implements a StatiX-style baseline (Freire et al.,
+// SIGMOD 2002), the schema-aware statistics system in the paper's related
+// work. Types are approximated by element labels; for every (parent
+// label, child label) pair the summary stores a *histogram* of per-parent
+// child counts, not just an average.
+//
+// Histograms are what distinguish this estimator from the synopsis
+// baselines: the expected number of injective sibling assignments needs
+// falling-factorial moments E[k·(k−1)···(k−m+1)], which a histogram
+// answers exactly while an average (TreeSketches, XSketch) must
+// approximate by k̄^m — the Figure 11 failure mode. Across different
+// child labels StatiX still assumes independence, so correlated data
+// (IMDB) defeats it the same way it defeats decomposition.
+package statix
+
+import (
+	"sort"
+
+	"treelattice/internal/labeltree"
+)
+
+// Options configures construction.
+type Options struct {
+	// MaxBuckets bounds each histogram's distinct-count buckets; counts
+	// beyond the cap are folded into the largest bucket (default 64).
+	MaxBuckets int
+}
+
+func (o *Options) fill() {
+	if o.MaxBuckets == 0 {
+		o.MaxBuckets = 64
+	}
+}
+
+// Summary is a built StatiX summary. Immutable and safe for concurrent
+// use.
+type Summary struct {
+	opts        Options
+	labelCounts map[labeltree.LabelID]int64
+	hists       map[[2]labeltree.LabelID]*histogram // (parent, child) → counts
+}
+
+// histogram maps a child-count value to the number of parent elements
+// with exactly that many children of the label (zero-count parents
+// included implicitly via the parent label total).
+type histogram struct {
+	buckets map[int32]int64
+	parents int64 // parents with ≥1 child of the label
+}
+
+// Build scans t once, collecting per-(parent,child) count histograms.
+func Build(t *labeltree.Tree, opts Options) *Summary {
+	opts.fill()
+	s := &Summary{
+		opts:        opts,
+		labelCounts: make(map[labeltree.LabelID]int64),
+		hists:       make(map[[2]labeltree.LabelID]*histogram),
+	}
+	counts := make(map[labeltree.LabelID]int32)
+	for v := int32(0); int(v) < t.Size(); v++ {
+		s.labelCounts[t.Label(v)]++
+		for k := range counts {
+			delete(counts, k)
+		}
+		for _, c := range t.Children(v) {
+			counts[t.Label(c)]++
+		}
+		for cl, k := range counts {
+			key := [2]labeltree.LabelID{t.Label(v), cl}
+			h, ok := s.hists[key]
+			if !ok {
+				h = &histogram{buckets: make(map[int32]int64)}
+				s.hists[key] = h
+			}
+			h.add(k, opts.MaxBuckets)
+		}
+	}
+	return s
+}
+
+func (h *histogram) add(k int32, maxBuckets int) {
+	h.parents++
+	if _, ok := h.buckets[k]; !ok && len(h.buckets) >= maxBuckets {
+		// Fold into the largest existing bucket to respect the cap.
+		var largest int32
+		for b := range h.buckets {
+			if b > largest {
+				largest = b
+			}
+		}
+		k = largest
+	}
+	h.buckets[k]++
+}
+
+// fallingFactorialMoment returns Σ_parents k·(k−1)···(k−m+1) over parents
+// of the pair, i.e. the exact number of ordered injective selections of m
+// children summed across parents.
+func (h *histogram) fallingFactorialMoment(m int) float64 {
+	var total float64
+	for k, parents := range h.buckets {
+		term := 1.0
+		for j := 0; j < m; j++ {
+			term *= float64(int(k) - j)
+		}
+		if term > 0 {
+			total += term * float64(parents)
+		}
+	}
+	return total
+}
+
+// Pairs reports the number of stored (parent, child) histograms.
+func (s *Summary) Pairs() int { return len(s.hists) }
+
+// SizeBytes is the accounted size: 12 bytes per histogram bucket plus 16
+// per pair.
+func (s *Summary) SizeBytes() int {
+	total := 0
+	for _, h := range s.hists {
+		total += 16 + 12*len(h.buckets)
+	}
+	return total
+}
+
+// Name identifies the estimator in experiment output.
+func (s *Summary) Name() string { return "statix" }
+
+// Estimate returns the StatiX estimate of a twig pattern: per element of
+// the root label, multiply the expected injective assignments per child
+// label group (falling-factorial moments from the histograms, exact per
+// label) and recurse, assuming independence across labels and levels.
+func (s *Summary) Estimate(q labeltree.Pattern) float64 {
+	children := make([][]int32, q.Size())
+	for i := int32(1); int(i) < q.Size(); i++ {
+		children[q.Parent(i)] = append(children[q.Parent(i)], i)
+	}
+	var perElement func(n int32) float64
+	perElement = func(n int32) float64 {
+		kids := children[n]
+		if len(kids) == 0 {
+			return 1
+		}
+		// Group children by label; within a group the falling-factorial
+		// moment gives the exact injective-assignment count when the
+		// group members have identical subtrees, and an independence
+		// approximation otherwise.
+		groups := make(map[labeltree.LabelID][]int32)
+		var order []labeltree.LabelID
+		for _, k := range kids {
+			l := q.Label(k)
+			if _, ok := groups[l]; !ok {
+				order = append(order, l)
+			}
+			groups[l] = append(groups[l], k)
+		}
+		sort.Slice(order, func(a, b int) bool { return order[a] < order[b] })
+		parentCount := float64(s.labelCounts[q.Label(n)])
+		if parentCount == 0 {
+			return 0
+		}
+		prod := 1.0
+		for _, l := range order {
+			group := groups[l]
+			h, ok := s.hists[[2]labeltree.LabelID{q.Label(n), l}]
+			if !ok {
+				return 0
+			}
+			m := len(group)
+			// Expected ordered injective selections per parent element.
+			avgAssignments := h.fallingFactorialMoment(m) / parentCount
+			if avgAssignments == 0 {
+				return 0
+			}
+			subProd := 1.0
+			for _, k := range group {
+				subProd *= perElement(k)
+			}
+			prod *= avgAssignments * subProd
+		}
+		return prod
+	}
+	return float64(s.labelCounts[q.RootLabel()]) * perElement(0)
+}

@@ -1,0 +1,102 @@
+// Package treetest provides deterministic random generators for trees and
+// patterns, shared by the test suites of the other packages. It is not
+// part of the public API.
+package treetest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"treelattice/internal/labeltree"
+)
+
+// Alphabet interns n single-letter-ish labels ("l0".."l{n-1}") into a fresh
+// dict and returns both.
+func Alphabet(n int) (*labeltree.Dict, []labeltree.LabelID) {
+	dict := labeltree.NewDict()
+	ids := make([]labeltree.LabelID, n)
+	for i := range ids {
+		ids[i] = dict.Intern(fmt.Sprintf("l%d", i))
+	}
+	return dict, ids
+}
+
+// RandomPattern generates a random pattern with size nodes drawing labels
+// from alphabet using rng. Shapes are uniform over parent choices, biased
+// toward bushy trees.
+func RandomPattern(rng *rand.Rand, size int, alphabet []labeltree.LabelID) labeltree.Pattern {
+	if size < 1 {
+		panic("treetest: size must be >= 1")
+	}
+	labels := make([]labeltree.LabelID, size)
+	parent := make([]int32, size)
+	parent[0] = -1
+	for i := 0; i < size; i++ {
+		labels[i] = alphabet[rng.Intn(len(alphabet))]
+		if i > 0 {
+			parent[i] = int32(rng.Intn(i))
+		}
+	}
+	return labeltree.MustPattern(labels, parent)
+}
+
+// ShufflePattern returns an isomorphic renumbering of p: the same unordered
+// tree with node indices permuted (respecting parent-before-child). Used to
+// check that canonical keys are order-insensitive.
+func ShufflePattern(rng *rand.Rand, p labeltree.Pattern) labeltree.Pattern {
+	n := p.Size()
+	// Generate a random topological order of p's nodes.
+	indeg := make([]int, n)
+	children := make([][]int32, n)
+	for i := int32(1); int(i) < n; i++ {
+		children[p.Parent(i)] = append(children[p.Parent(i)], i)
+		indeg[i] = 1
+	}
+	ready := []int32{0}
+	order := make([]int32, 0, n) // order[newIdx] = oldIdx
+	for len(ready) > 0 {
+		k := rng.Intn(len(ready))
+		nd := ready[k]
+		ready[k] = ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+		order = append(order, nd)
+		ready = append(ready, children[nd]...)
+	}
+	newIdx := make([]int32, n)
+	for ni, oi := range order {
+		newIdx[oi] = int32(ni)
+	}
+	labels := make([]labeltree.LabelID, n)
+	parent := make([]int32, n)
+	for ni, oi := range order {
+		labels[ni] = p.Label(oi)
+		if pp := p.Parent(oi); pp < 0 {
+			parent[ni] = -1
+		} else {
+			parent[ni] = newIdx[pp]
+		}
+	}
+	return labeltree.MustPattern(labels, parent)
+}
+
+// RandomTree generates a random data tree with size nodes drawing labels
+// from alphabet using rng.
+func RandomTree(rng *rand.Rand, size int, alphabet []labeltree.LabelID, dict *labeltree.Dict) *labeltree.Tree {
+	b := labeltree.NewBuilder(dict)
+	b.AddRoot(dict.Name(alphabet[rng.Intn(len(alphabet))]))
+	for i := 1; i < size; i++ {
+		parent := int32(rng.Intn(i))
+		b.AddChildID(parent, alphabet[rng.Intn(len(alphabet))])
+	}
+	return b.Build()
+}
+
+// TreeFromPattern materializes a pattern as a one-occurrence data tree.
+func TreeFromPattern(p labeltree.Pattern, dict *labeltree.Dict) *labeltree.Tree {
+	b := labeltree.NewBuilder(dict)
+	b.AddRoot(dict.Name(p.Label(0)))
+	for i := int32(1); int(i) < p.Size(); i++ {
+		b.AddChildID(p.Parent(i), p.Label(i))
+	}
+	return b.Build()
+}

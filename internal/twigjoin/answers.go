@@ -1,0 +1,79 @@
+package twigjoin
+
+import "fmt"
+
+// MaxAnswerQueryNodes bounds query size for the answer-selection DP,
+// which packs query nodes into a 64-bit satisfaction mask.
+const MaxAnswerQueryNodes = 64
+
+// Answers returns the data nodes that can root a satisfaction of q under
+// XPath's existential semantics: a node answers the query if, for every
+// query child, *some* node in the right axis relation satisfies that
+// child's subquery. Unlike Enumerate/Count — which count 1-1 embeddings
+// per the paper's Definition 1 — answers do not require distinct sibling
+// witnesses: a(b,b) is answered by an element with a single b child.
+// Results are in document order. Runs in O(n·|q|) time.
+func Answers(x *Index, q Query) []int32 {
+	n := q.Pattern.Size()
+	if n > MaxAnswerQueryNodes {
+		panic(fmt.Sprintf("twigjoin: query has %d nodes; Answers supports at most %d", n, MaxAnswerQueryNodes))
+	}
+	children := make([][]int32, n)
+	for i := int32(1); int(i) < n; i++ {
+		children[q.Pattern.Parent(i)] = append(children[q.Pattern.Parent(i)], i)
+	}
+	t := x.tree
+	sat := make([]uint64, t.Size())     // query nodes satisfied at this data node
+	below := make([]uint64, t.Size())   // satisfied at some strict descendant
+	byChild := make([]uint64, t.Size()) // satisfied at some child
+
+	// Post-order over the data tree (children before parents): node
+	// indices are parent-before-child, so descending order works.
+	for v := int32(t.Size() - 1); v >= 0; v-- {
+		for _, c := range t.Children(v) {
+			below[v] |= sat[c] | below[c]
+			byChild[v] |= sat[c]
+		}
+		for qi := int32(n - 1); qi >= 0; qi-- {
+			if t.Label(v) != q.Pattern.Label(qi) {
+				continue
+			}
+			ok := true
+			for _, qc := range children[qi] {
+				var have uint64
+				if q.Axes[qc] == Child {
+					have = byChild[v]
+				} else {
+					have = below[v]
+				}
+				if have&(1<<uint(qc)) == 0 {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				sat[v] |= 1 << uint(qi)
+			}
+		}
+	}
+	var out []int32
+	if q.Axes[0] == Child {
+		if sat[0]&1 != 0 {
+			out = append(out, 0)
+		}
+		return out
+	}
+	// Document order = ascending start rank.
+	root := q.Pattern.RootLabel()
+	for _, v := range x.Stream(root) {
+		if sat[v]&1 != 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// CountAnswers reports the number of answer nodes.
+func CountAnswers(x *Index, q Query) int {
+	return len(Answers(x, q))
+}

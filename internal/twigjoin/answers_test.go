@@ -1,0 +1,152 @@
+package twigjoin
+
+import (
+	"math/rand"
+	"testing"
+
+	"treelattice/internal/labeltree"
+	"treelattice/internal/treetest"
+)
+
+// bruteAnswers checks each candidate root by recursive existential
+// satisfaction.
+func bruteAnswers(x *Index, q Query) []int32 {
+	p := q.Pattern
+	children := make([][]int32, p.Size())
+	for i := int32(1); int(i) < p.Size(); i++ {
+		children[p.Parent(i)] = append(children[p.Parent(i)], i)
+	}
+	var satisfies func(v, qi int32) bool
+	satisfies = func(v, qi int32) bool {
+		if x.tree.Label(v) != p.Label(qi) {
+			return false
+		}
+		for _, qc := range children[qi] {
+			var pool []int32
+			if q.Axes[qc] == Child {
+				pool = x.tree.Children(v)
+			} else {
+				pool = x.DescendantsByLabel(v, p.Label(qc))
+			}
+			found := false
+			for _, w := range pool {
+				if satisfies(w, qc) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	var out []int32
+	if q.Axes[0] == Child {
+		if satisfies(0, 0) {
+			out = append(out, 0)
+		}
+		return out
+	}
+	for _, v := range x.Stream(p.RootLabel()) {
+		if satisfies(v, 0) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func TestAnswersAgainstBrute(t *testing.T) {
+	dict, alphabet := treetest.Alphabet(2)
+	rng := rand.New(rand.NewSource(71))
+	nonEmpty := 0
+	for trial := 0; trial < 200; trial++ {
+		tr := treetest.RandomTree(rng, 2+rng.Intn(50), alphabet, dict)
+		x := NewIndex(tr)
+		p := treetest.RandomPattern(rng, 1+rng.Intn(4), alphabet)
+		axes := make([]Axis, p.Size())
+		axes[0] = Descendant
+		for i := 1; i < p.Size(); i++ {
+			if rng.Intn(2) == 0 {
+				axes[i] = Descendant
+			}
+		}
+		q := MustQuery(p, axes)
+		want := bruteAnswers(x, q)
+		got := Answers(x, q)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d answers, want %d for %s", trial, len(got), len(want), q.String(dict))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: answer %d = %d, want %d", trial, i, got[i], want[i])
+			}
+		}
+		if len(want) > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty < 20 {
+		t.Fatalf("only %d non-empty trials", nonEmpty)
+	}
+}
+
+func TestAnswersExistentialVsInjective(t *testing.T) {
+	// a(b,b) on an a with a single b child: existential answers include
+	// it, injective matching does not.
+	tr, dict := parseDoc(t, `<a><b/></a>`)
+	x := NewIndex(tr)
+	q := MustParseQuery("//a(b,b)", dict)
+	if got := CountAnswers(x, q); got != 1 {
+		t.Fatalf("CountAnswers = %d, want 1 (existential)", got)
+	}
+	if got := Count(x, q); got != 0 {
+		t.Fatalf("Count = %d, want 0 (injective)", got)
+	}
+}
+
+func TestAnswersAnchoredRoot(t *testing.T) {
+	tr, dict := parseDoc(t, `<a><a><b/></a></a>`)
+	x := NewIndex(tr)
+	if got := CountAnswers(x, MustParseQuery("/a(//b)", dict)); got != 1 {
+		t.Fatalf("anchored = %d, want 1", got)
+	}
+	if got := CountAnswers(x, MustParseQuery("/b", dict)); got != 0 {
+		t.Fatalf("mislabeled anchor = %d", got)
+	}
+	// Unanchored //a(b): only the inner a has a b child.
+	if got := CountAnswers(x, MustParseQuery("//a(b)", dict)); got != 1 {
+		t.Fatalf("unanchored = %d, want 1", got)
+	}
+}
+
+func TestAnswersDocumentOrder(t *testing.T) {
+	tr, dict := parseDoc(t, `<r><a><b/></a><c/><a><b/></a></r>`)
+	x := NewIndex(tr)
+	got := Answers(x, MustParseQuery("//a(b)", dict))
+	if len(got) != 2 || x.Start(got[0]) >= x.Start(got[1]) {
+		t.Fatalf("answers not in document order: %v", got)
+	}
+}
+
+func TestAnswersSizeGuard(t *testing.T) {
+	dict := labeltree.NewDict()
+	labels := make([]labeltree.LabelID, 65)
+	parents := make([]int32, 65)
+	parents[0] = -1
+	for i := range labels {
+		labels[i] = dict.Intern("x")
+		if i > 0 {
+			parents[i] = 0
+		}
+	}
+	big := labeltree.MustPattern(labels, parents)
+	tr, _ := parseDoc(t, `<x/>`)
+	x := NewIndex(tr)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized query accepted")
+		}
+	}()
+	Answers(x, MustQuery(big, nil))
+}

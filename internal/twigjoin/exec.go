@@ -1,0 +1,131 @@
+package twigjoin
+
+import "treelattice/internal/labeltree"
+
+// Match is one query answer: Match[i] is the data node bound to query
+// node i. The slice passed to emit callbacks is reused between calls;
+// copy it to retain.
+type Match []int32
+
+// Stats reports the work an execution performed — the planner's cost
+// signal.
+type Stats struct {
+	// Candidates is the number of data nodes considered for binding.
+	Candidates int64
+	// Matches is the number of tuples produced.
+	Matches int64
+}
+
+// Enumerate streams every match of q to emit in a deterministic order,
+// binding query nodes in the given bind order (nil = stored numbering,
+// which is parent-before-child). It stops early if emit returns false.
+func Enumerate(x *Index, q Query, bindOrder []int32, emit func(Match) bool) Stats {
+	if bindOrder == nil {
+		bindOrder = make([]int32, q.Pattern.Size())
+		for i := range bindOrder {
+			bindOrder[i] = int32(i)
+		}
+	}
+	e := executor{x: x, q: q, order: validateOrder(q.Pattern, bindOrder)}
+	e.assigned = make([]int32, q.Pattern.Size())
+	e.used = make(map[int32]bool, q.Pattern.Size())
+	e.run(0, emit)
+	return e.stats
+}
+
+// Count counts all matches of q.
+func Count(x *Index, q Query) int64 {
+	st := Enumerate(x, q, nil, func(Match) bool { return true })
+	return st.Matches
+}
+
+// validateOrder checks that order is a permutation binding parents before
+// children and returns it.
+func validateOrder(p labeltree.Pattern, order []int32) []int32 {
+	if len(order) != p.Size() {
+		panic("twigjoin: bind order has wrong length")
+	}
+	pos := make([]int, p.Size())
+	for i := range pos {
+		pos[i] = -1
+	}
+	for at, n := range order {
+		if n < 0 || int(n) >= p.Size() || pos[n] != -1 {
+			panic("twigjoin: bind order is not a permutation")
+		}
+		pos[n] = at
+	}
+	for i := int32(1); int(i) < p.Size(); i++ {
+		if pos[i] < pos[p.Parent(i)] {
+			panic("twigjoin: bind order binds a child before its parent")
+		}
+	}
+	return order
+}
+
+type executor struct {
+	x        *Index
+	q        Query
+	order    []int32
+	assigned []int32
+	used     map[int32]bool
+	stats    Stats
+	stopped  bool
+}
+
+func (e *executor) run(depth int, emit func(Match) bool) {
+	if e.stopped {
+		return
+	}
+	if depth == len(e.order) {
+		e.stats.Matches++
+		if !emit(Match(e.assigned)) {
+			e.stopped = true
+		}
+		return
+	}
+	qn := e.order[depth]
+	label := e.q.Pattern.Label(qn)
+	var candidates []int32
+	if par := e.q.Pattern.Parent(qn); par < 0 {
+		if e.q.Axes[qn] == Child {
+			// Anchored at the document root.
+			if e.x.tree.Label(0) == label {
+				candidates = []int32{0}
+			}
+		} else {
+			candidates = e.x.Stream(label)
+		}
+	} else {
+		pv := e.assigned[par]
+		if e.q.Axes[qn] == Child {
+			candidates = e.x.ChildrenByLabel(pv, label)
+		} else {
+			candidates = e.x.DescendantsByLabel(pv, label)
+		}
+	}
+	for _, v := range candidates {
+		e.stats.Candidates++
+		if e.used[v] {
+			continue
+		}
+		e.used[v] = true
+		e.assigned[qn] = v
+		e.run(depth+1, emit)
+		delete(e.used, v)
+		if e.stopped {
+			return
+		}
+	}
+}
+
+// EstimatedFirstMatch returns the first match in the deterministic order,
+// or nil if the query has none; a convenience for EXISTS-style checks.
+func EstimatedFirstMatch(x *Index, q Query) Match {
+	var got Match
+	Enumerate(x, q, nil, func(m Match) bool {
+		got = append(Match(nil), m...)
+		return false
+	})
+	return got
+}

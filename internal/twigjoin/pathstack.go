@@ -1,0 +1,88 @@
+package twigjoin
+
+import "treelattice/internal/labeltree"
+
+// CountPath counts matches of a pure path query q1 ▸ q2 ▸ … ▸ qk where ▸
+// is the given axis for every step, without enumerating tuples — the
+// PathStack-style linear-merge counting of Bruno et al., realized as a
+// single DFS carrying per-level accumulators. Runs in O(n·k) time
+// regardless of the (possibly enormous) number of path solutions.
+//
+// For the Descendant axis, acc[j] maintains the number of partial matches
+// of the prefix q1…qj that end at an ancestor of the current DFS
+// position; a node matching qj+1 extends all of them at once. For the
+// Child axis the accumulator is per-edge rather than per-root-path.
+func CountPath(x *Index, labels []labeltree.LabelID, axis Axis) int64 {
+	k := len(labels)
+	if k == 0 {
+		return 0
+	}
+	var total int64
+
+	switch axis {
+	case Descendant:
+		acc := make([]int64, k+1) // acc[j]: prefix matches of length j on the root path
+		type delta struct {
+			j int
+			f int64
+		}
+		var dfs func(v int32)
+		dfs = func(v int32) {
+			// Compute this node's contribution per level, high to low so
+			// a node matching several levels does not feed itself.
+			var touched []delta
+			for j := k; j >= 1; j-- {
+				if x.tree.Label(v) != labels[j-1] {
+					continue
+				}
+				var f int64
+				if j == 1 {
+					f = 1
+				} else {
+					f = acc[j-1]
+				}
+				if f == 0 {
+					continue
+				}
+				if j == k {
+					total += f
+				}
+				touched = append(touched, delta{j, f})
+				acc[j] += f
+			}
+			for _, c := range x.tree.Children(v) {
+				dfs(c)
+			}
+			for _, d := range touched {
+				acc[d.j] -= d.f
+			}
+		}
+		dfs(0)
+
+	case Child:
+		// f[v][j] depends only on the parent: carry the parent's vector
+		// down the DFS.
+		var dfs func(v int32, parentF []int64)
+		dfs = func(v int32, parentF []int64) {
+			f := make([]int64, k+1)
+			for j := 1; j <= k; j++ {
+				if x.tree.Label(v) != labels[j-1] {
+					continue
+				}
+				if j == 1 {
+					f[1] = 1
+				} else if parentF != nil {
+					f[j] = parentF[j-1]
+				}
+				if j == k {
+					total += f[j]
+				}
+			}
+			for _, c := range x.tree.Children(v) {
+				dfs(c, f)
+			}
+		}
+		dfs(0, nil)
+	}
+	return total
+}

@@ -1,0 +1,125 @@
+// Package twigjoin executes twig queries against data trees: where
+// internal/match only counts, this engine produces the actual match
+// tuples — the output whose cardinality TreeLattice estimates. It is the
+// substrate the paper's motivation presumes ("determining an optimal
+// query plan, based on said estimates"): internal/planner chooses
+// evaluation orders over this engine using TreeLattice estimates.
+//
+// The engine supports both structural axes of twig queries:
+//
+//   - Child ("/"): the paper's Definition 1 semantics; an edge (u, u')
+//     must map to a parent-child edge.
+//   - Descendant ("//"): the edge may map to any ancestor-descendant
+//     pair, the usual XPath semantics.
+//
+// Matching is 1-1 (injective) in both cases, matching Definition 1.
+//
+// Data access goes through an Index: a region (start, end, level)
+// encoding from one DFS, per-label node streams in document order, and
+// per-node label-filtered child adjacency. Descendant steps become
+// binary-searched range scans of a label stream within (start, end).
+package twigjoin
+
+import (
+	"sort"
+
+	"treelattice/internal/labeltree"
+)
+
+// Index is the access structure the join algorithms run on. Build one per
+// document with NewIndex; it is immutable and safe for concurrent use.
+type Index struct {
+	tree  *labeltree.Tree
+	start []int32 // preorder rank
+	end   []int32 // start of last descendant + 1 (exclusive bound on subtree)
+	level []int32
+
+	streams map[labeltree.LabelID][]int32 // nodes per label, document order
+}
+
+// NewIndex region-encodes t and builds the label streams.
+func NewIndex(t *labeltree.Tree) *Index {
+	n := t.Size()
+	idx := &Index{
+		tree:    t,
+		start:   make([]int32, n),
+		end:     make([]int32, n),
+		level:   make([]int32, n),
+		streams: make(map[labeltree.LabelID][]int32),
+	}
+	// Iterative DFS assigning preorder starts and subtree ends.
+	type frame struct {
+		node  int32
+		child int // next child index to visit
+	}
+	var counter int32
+	stack := []frame{{node: 0}}
+	idx.start[0] = counter
+	counter++
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		kids := t.Children(f.node)
+		if f.child < len(kids) {
+			c := kids[f.child]
+			f.child++
+			idx.start[c] = counter
+			idx.level[c] = idx.level[f.node] + 1
+			counter++
+			stack = append(stack, frame{node: c})
+			continue
+		}
+		idx.end[f.node] = counter
+		stack = stack[:len(stack)-1]
+	}
+	for i := int32(0); int(i) < n; i++ {
+		l := t.Label(i)
+		idx.streams[l] = append(idx.streams[l], i)
+	}
+	// Document order within a stream = ascending start; node indices are
+	// assigned parent-before-child but not in DFS order, so sort.
+	for _, s := range idx.streams {
+		sort.Slice(s, func(a, b int) bool { return idx.start[s[a]] < idx.start[s[b]] })
+	}
+	return idx
+}
+
+// Tree returns the indexed document.
+func (x *Index) Tree() *labeltree.Tree { return x.tree }
+
+// Start returns the preorder rank of node i.
+func (x *Index) Start(i int32) int32 { return x.start[i] }
+
+// End returns the exclusive preorder bound of node i's subtree.
+func (x *Index) End(i int32) int32 { return x.end[i] }
+
+// Level returns the depth of node i (root = 0).
+func (x *Index) Level(i int32) int32 { return x.level[i] }
+
+// Stream returns all nodes with the given label in document order. The
+// slice is shared and must not be modified.
+func (x *Index) Stream(label labeltree.LabelID) []int32 { return x.streams[label] }
+
+// IsAncestor reports whether a is a proper ancestor of d.
+func (x *Index) IsAncestor(a, d int32) bool {
+	return x.start[a] < x.start[d] && x.start[d] < x.end[a]
+}
+
+// DescendantsByLabel returns the descendants of node i carrying label, in
+// document order, as a subslice of the label stream.
+func (x *Index) DescendantsByLabel(i int32, label labeltree.LabelID) []int32 {
+	s := x.streams[label]
+	lo := sort.Search(len(s), func(k int) bool { return x.start[s[k]] > x.start[i] })
+	hi := sort.Search(len(s), func(k int) bool { return x.start[s[k]] >= x.end[i] })
+	return s[lo:hi]
+}
+
+// ChildrenByLabel returns the children of node i carrying label.
+func (x *Index) ChildrenByLabel(i int32, label labeltree.LabelID) []int32 {
+	var out []int32
+	for _, c := range x.tree.Children(i) {
+		if x.tree.Label(c) == label {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+// Package xmlparse converts XML documents to and from the labeltree data
+// model. Following the paper (and Polyzotis & Garofalakis), text values are
+// not modeled by default: only element structure is retained. An optional
+// mode buckets leaf text into synthetic value labels, supporting the
+// paper's future-work extension to value predicates.
+package xmlparse
+
+import (
+	"encoding/xml"
+	"fmt"
+	"hash/fnv"
+	"io"
+
+	"treelattice/internal/labeltree"
+)
+
+// Options configures parsing.
+type Options struct {
+	// ValueBuckets, when positive, maps leaf text content to one of this
+	// many synthetic labels "#vN" attached as an extra child, so value
+	// predicates can be estimated like structural predicates (the
+	// paper's future-work extension). ValueLabel computes the bucket
+	// label for a predicate value.
+	ValueBuckets int
+	// Attributes, when true, models each XML attribute as a child node
+	// labeled "@name" (the paper's data model labels non-leaf nodes with
+	// element tags *and attribute names*). With ValueBuckets set, the
+	// attribute node gets a value-bucket child.
+	Attributes bool
+	// MaxNodes aborts the parse once the tree exceeds this many nodes.
+	// Zero means unlimited.
+	MaxNodes int
+}
+
+// Parse reads one XML document from r into a data tree, interning element
+// names into dict.
+func Parse(r io.Reader, dict *labeltree.Dict, opts Options) (*labeltree.Tree, error) {
+	dec := xml.NewDecoder(r)
+	b := labeltree.NewBuilder(dict)
+	var stack []int32
+	var pendingText []byte
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmlparse: %w", err)
+		}
+		switch tk := tok.(type) {
+		case xml.StartElement:
+			var id int32
+			if len(stack) == 0 {
+				if b.Len() > 0 {
+					return nil, fmt.Errorf("xmlparse: multiple document roots")
+				}
+				id = b.AddRoot(tk.Name.Local)
+			} else {
+				id = b.AddChild(stack[len(stack)-1], tk.Name.Local)
+			}
+			if opts.MaxNodes > 0 && b.Len() > opts.MaxNodes {
+				return nil, fmt.Errorf("xmlparse: document exceeds %d nodes", opts.MaxNodes)
+			}
+			if opts.Attributes {
+				for _, attr := range tk.Attr {
+					an := b.AddChild(id, "@"+attr.Name.Local)
+					if opts.ValueBuckets > 0 {
+						b.AddChild(an, ValueLabel(attr.Value, opts.ValueBuckets))
+					}
+					if opts.MaxNodes > 0 && b.Len() > opts.MaxNodes {
+						return nil, fmt.Errorf("xmlparse: document exceeds %d nodes", opts.MaxNodes)
+					}
+				}
+			}
+			stack = append(stack, id)
+			pendingText = pendingText[:0]
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmlparse: unbalanced end element %q", tk.Name.Local)
+			}
+			if opts.ValueBuckets > 0 && len(pendingText) > 0 {
+				b.AddChild(stack[len(stack)-1], ValueLabel(string(pendingText), opts.ValueBuckets))
+				pendingText = pendingText[:0]
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			if opts.ValueBuckets > 0 {
+				pendingText = appendTrimmed(pendingText, tk)
+			}
+		}
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("xmlparse: unexpected EOF with %d open elements", len(stack))
+	}
+	if b.Len() == 0 {
+		return nil, fmt.Errorf("xmlparse: no elements in document")
+	}
+	return b.Build(), nil
+}
+
+// ValueLabel buckets a text value into one of n synthetic labels "#vN".
+// Queries with value predicates use the same function to name the bucket
+// a predicate value falls into, e.g.
+// "price(" + ValueLabel("42", 16) + ")".
+func ValueLabel(text string, n int) string {
+	h := fnv.New32a()
+	h.Write([]byte(text))
+	return fmt.Sprintf("#v%d", h.Sum32()%uint32(n))
+}
+
+func appendTrimmed(dst []byte, src []byte) []byte {
+	for _, c := range src {
+		if c != ' ' && c != '\n' && c != '\t' && c != '\r' {
+			dst = append(dst, c)
+		}
+	}
+	return dst
+}
+
+// Write serializes a data tree back to XML. Attribute nodes (labels
+// starting with '@', produced by Options.Attributes) are emitted as
+// attributes of their parent element; synthetic value-bucket nodes
+// (labels starting with '#') are skipped — bucket identities are hashes
+// and do not survive a round trip. Structural and attribute content
+// round-trips exactly under the same parse options.
+func Write(w io.Writer, t *labeltree.Tree) error {
+	bw := &errWriter{w: w}
+	var walk func(i int32, depth int)
+	walk = func(i int32, depth int) {
+		name := t.LabelName(i)
+		var attrs, elems []int32
+		for _, c := range t.Children(i) {
+			switch t.LabelName(c)[0] {
+			case '@':
+				attrs = append(attrs, c)
+			case '#':
+				// value bucket: dropped
+			default:
+				elems = append(elems, c)
+			}
+		}
+		bw.printf("<%s", name)
+		for _, a := range attrs {
+			bw.printf(" %s=%q", t.LabelName(a)[1:], "")
+		}
+		if len(elems) == 0 {
+			bw.printf("/>")
+			return
+		}
+		bw.printf(">")
+		for _, c := range elems {
+			walk(c, depth+1)
+		}
+		bw.printf("</%s>", name)
+	}
+	walk(0, 0)
+	bw.printf("\n")
+	return bw.err
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

@@ -1,0 +1,255 @@
+package xmlparse
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"treelattice/internal/labeltree"
+	"treelattice/internal/treetest"
+)
+
+const sampleDoc = `<computer>
+  <laptops>
+    <laptop><brand/><price/></laptop>
+    <laptop><brand/><price/></laptop>
+  </laptops>
+  <desktops/>
+</computer>`
+
+func TestParseSample(t *testing.T) {
+	dict := labeltree.NewDict()
+	tr, err := Parse(strings.NewReader(sampleDoc), dict, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Size() != 9 {
+		t.Fatalf("Size = %d, want 9", tr.Size())
+	}
+	if tr.LabelName(0) != "computer" {
+		t.Fatalf("root = %q", tr.LabelName(0))
+	}
+	laptop, ok := dict.Lookup("laptop")
+	if !ok || tr.LabelCount(laptop) != 2 {
+		t.Fatalf("laptop count wrong")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	dict := labeltree.NewDict()
+	cases := map[string]string{
+		"empty":          "",
+		"unbalanced":     "<a><b></a>",
+		"truncated":      "<a><b>",
+		"multiple roots": "<a/><b/>",
+	}
+	for name, doc := range cases {
+		if _, err := Parse(strings.NewReader(doc), dict, Options{}); err == nil {
+			t.Errorf("%s: parse succeeded, want error", name)
+		}
+	}
+}
+
+func TestParseMaxNodes(t *testing.T) {
+	dict := labeltree.NewDict()
+	if _, err := Parse(strings.NewReader(sampleDoc), dict, Options{MaxNodes: 3}); err == nil {
+		t.Fatal("MaxNodes not enforced")
+	}
+	if _, err := Parse(strings.NewReader(sampleDoc), dict, Options{MaxNodes: 9}); err != nil {
+		t.Fatalf("MaxNodes=9 rejected 9-node doc: %v", err)
+	}
+}
+
+func TestParseValueBuckets(t *testing.T) {
+	dict := labeltree.NewDict()
+	doc := `<a><b>hello</b><c>world</c></a>`
+	tr, err := Parse(strings.NewReader(doc), dict, Options{ValueBuckets: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a, b, c plus two value leaves.
+	if tr.Size() != 5 {
+		t.Fatalf("Size = %d, want 5", tr.Size())
+	}
+	values := 0
+	for _, l := range tr.DistinctLabels() {
+		if strings.HasPrefix(dict.Name(l), "#v") {
+			values++
+		}
+	}
+	if values == 0 {
+		t.Fatal("no value bucket labels created")
+	}
+	// Same text must land in the same bucket.
+	tr2, err := Parse(strings.NewReader(doc), dict, Options{ValueBuckets: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Size() != tr.Size() {
+		t.Fatal("value bucketing not deterministic")
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	dict := labeltree.NewDict()
+	tr, err := Parse(strings.NewReader(sampleDoc), dict, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := Parse(&buf, dict, Options{})
+	if err != nil {
+		t.Fatalf("reparsing serialized doc: %v", err)
+	}
+	if tr2.Size() != tr.Size() {
+		t.Fatalf("round trip size %d != %d", tr2.Size(), tr.Size())
+	}
+	for i := int32(0); int(i) < tr.Size(); i++ {
+		if tr.Label(i) != tr2.Label(i) || tr.Parent(i) != tr2.Parent(i) {
+			t.Fatalf("round trip differs at node %d", i)
+		}
+	}
+}
+
+func TestRoundTripRandomTrees(t *testing.T) {
+	dict, alphabet := treetest.Alphabet(6)
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		tr := treetest.RandomTree(rng, 1+rng.Intn(200), alphabet, dict)
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			t.Fatal(err)
+		}
+		tr2, err := Parse(&buf, dict, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if tr2.Size() != tr.Size() {
+			t.Fatalf("trial %d: size %d != %d", trial, tr2.Size(), tr.Size())
+		}
+	}
+}
+
+func TestIgnoresCommentsAndPI(t *testing.T) {
+	dict := labeltree.NewDict()
+	doc := `<?xml version="1.0"?><!-- hi --><a><!-- inner --><b/></a>`
+	tr, err := Parse(strings.NewReader(doc), dict, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Size() != 2 {
+		t.Fatalf("Size = %d, want 2", tr.Size())
+	}
+}
+
+func TestParseAttributes(t *testing.T) {
+	dict := labeltree.NewDict()
+	doc := `<a id="1" kind="x"><b ref="2"/></a>`
+	tr, err := Parse(strings.NewReader(doc), dict, Options{Attributes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a, @id, @kind, b, @ref
+	if tr.Size() != 5 {
+		t.Fatalf("Size = %d, want 5", tr.Size())
+	}
+	id, ok := dict.Lookup("@id")
+	if !ok || tr.LabelCount(id) != 1 {
+		t.Fatal("@id attribute node missing")
+	}
+	// Without the option, attributes are ignored.
+	tr2, err := Parse(strings.NewReader(doc), dict, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Size() != 2 {
+		t.Fatalf("Size without attributes = %d, want 2", tr2.Size())
+	}
+}
+
+func TestParseAttributeValueBuckets(t *testing.T) {
+	dict := labeltree.NewDict()
+	doc := `<a id="42"/>`
+	tr, err := Parse(strings.NewReader(doc), dict, Options{Attributes: true, ValueBuckets: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a, @id, #vN
+	if tr.Size() != 3 {
+		t.Fatalf("Size = %d, want 3", tr.Size())
+	}
+	want := ValueLabel("42", 8)
+	if _, ok := dict.Lookup(want); !ok {
+		t.Fatalf("bucket label %s not interned", want)
+	}
+}
+
+func TestValueLabelDeterministic(t *testing.T) {
+	if ValueLabel("hello", 16) != ValueLabel("hello", 16) {
+		t.Fatal("ValueLabel not deterministic")
+	}
+	seen := map[string]bool{}
+	for _, s := range []string{"a", "b", "c", "d", "e", "f", "g", "h"} {
+		seen[ValueLabel(s, 4)] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("ValueLabel degenerate: everything in one bucket")
+	}
+	for l := range seen {
+		if !strings.HasPrefix(l, "#v") {
+			t.Fatalf("bucket label %q lacks #v prefix", l)
+		}
+	}
+}
+
+func TestWriteAttributesRoundTrip(t *testing.T) {
+	dict := labeltree.NewDict()
+	doc := `<a id="1"><b ref="2"><c/></b></a>`
+	tr, err := Parse(strings.NewReader(doc), dict, Options{Attributes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := Parse(bytes.NewReader(buf.Bytes()), dict, Options{Attributes: true})
+	if err != nil {
+		t.Fatalf("reparse %q: %v", buf.String(), err)
+	}
+	if tr2.Size() != tr.Size() {
+		t.Fatalf("round trip size %d != %d (%q)", tr2.Size(), tr.Size(), buf.String())
+	}
+	for i := int32(0); int(i) < tr.Size(); i++ {
+		if tr.Label(i) != tr2.Label(i) || tr.Parent(i) != tr2.Parent(i) {
+			t.Fatalf("round trip differs at node %d", i)
+		}
+	}
+}
+
+func TestWriteSkipsValueBuckets(t *testing.T) {
+	dict := labeltree.NewDict()
+	doc := `<a><b>text</b></a>`
+	tr, err := Parse(strings.NewReader(doc), dict, Options{ValueBuckets: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "#v") {
+		t.Fatalf("serialized bucket label: %q", buf.String())
+	}
+	tr2, err := Parse(bytes.NewReader(buf.Bytes()), dict, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Size() != 2 {
+		t.Fatalf("structural content lost: size %d", tr2.Size())
+	}
+}

@@ -1,0 +1,213 @@
+// Package xpath compiles a practical XPath subset into twig queries, the
+// front-end syntax users actually write. Supported:
+//
+//	/a/b          child steps, anchored at the document root
+//	//a//b        descendant steps
+//	a[b][.//c]    structural predicates (nested relative paths)
+//	a[@id]        attribute predicates (documents parsed with Attributes)
+//	a[b = "v"]    value predicates via bucket labels (documents parsed
+//	              with ValueBuckets; pass the same bucket count here)
+//
+// The compiled twigjoin.Query matches per Definition 1 of the paper
+// (embedding counts); use it with the estimators, the execution engine,
+// or the planner.
+package xpath
+
+import (
+	"fmt"
+	"strings"
+
+	"treelattice/internal/labeltree"
+	"treelattice/internal/twigjoin"
+	"treelattice/internal/xmlparse"
+)
+
+// Options configures compilation.
+type Options struct {
+	// ValueBuckets must match the bucket count the document was parsed
+	// with for value predicates to line up; 0 rejects value predicates.
+	ValueBuckets int
+}
+
+// Compile parses an XPath expression into a twig query.
+func Compile(expr string, dict *labeltree.Dict, opts Options) (twigjoin.Query, error) {
+	p := &parser{src: strings.TrimSpace(expr), dict: dict, opts: opts}
+	if p.src == "" {
+		return twigjoin.Query{}, fmt.Errorf("xpath: empty expression")
+	}
+	rootAxis := twigjoin.Descendant
+	switch {
+	case strings.HasPrefix(p.src, "//"):
+		p.pos = 2
+	case strings.HasPrefix(p.src, "/"):
+		rootAxis = twigjoin.Child
+		p.pos = 1
+	default:
+		return twigjoin.Query{}, fmt.Errorf("xpath: expression must start with / or //")
+	}
+	if _, err := p.parseSteps(-1, rootAxis); err != nil {
+		return twigjoin.Query{}, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return twigjoin.Query{}, fmt.Errorf("xpath: trailing input %q", p.src[p.pos:])
+	}
+	pat, err := labeltree.NewPattern(p.labels, p.parents)
+	if err != nil {
+		return twigjoin.Query{}, err
+	}
+	return twigjoin.Query{Pattern: pat, Axes: p.axes}, nil
+}
+
+// MustCompile is Compile that panics on error.
+func MustCompile(expr string, dict *labeltree.Dict, opts Options) twigjoin.Query {
+	q, err := Compile(expr, dict, opts)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	src     string
+	pos     int
+	dict    *labeltree.Dict
+	opts    Options
+	labels  []labeltree.LabelID
+	parents []int32
+	axes    []twigjoin.Axis
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func isNameByte(c byte) bool {
+	return c == '_' || c == '-' || c == '.' || c == ':' ||
+		'a' <= c && c <= 'z' || 'A' <= c && c <= 'Z' || '0' <= c && c <= '9'
+}
+
+// parseSteps parses Step (('/'|'//') Step)* under parent with the given
+// axis for the first step, returning the last step's node index.
+func (p *parser) parseSteps(parent int32, axis twigjoin.Axis) (int32, error) {
+	node, err := p.parseStep(parent, axis)
+	if err != nil {
+		return -1, err
+	}
+	for {
+		p.skipSpace()
+		switch {
+		case strings.HasPrefix(p.src[p.pos:], "//"):
+			p.pos += 2
+			node, err = p.parseStep(node, twigjoin.Descendant)
+		case p.pos < len(p.src) && p.src[p.pos] == '/':
+			p.pos++
+			node, err = p.parseStep(node, twigjoin.Child)
+		default:
+			return node, nil
+		}
+		if err != nil {
+			return -1, err
+		}
+	}
+}
+
+// parseStep parses Name Predicate* and returns the new node index.
+func (p *parser) parseStep(parent int32, axis twigjoin.Axis) (int32, error) {
+	p.skipSpace()
+	name, err := p.parseName()
+	if err != nil {
+		return -1, err
+	}
+	idx := int32(len(p.labels))
+	p.labels = append(p.labels, p.dict.Intern(name))
+	p.parents = append(p.parents, parent)
+	p.axes = append(p.axes, axis)
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.src) || p.src[p.pos] != '[' {
+			return idx, nil
+		}
+		p.pos++
+		if err := p.parsePredicate(idx); err != nil {
+			return -1, err
+		}
+		p.skipSpace()
+		if p.pos >= len(p.src) || p.src[p.pos] != ']' {
+			return -1, fmt.Errorf("xpath: unterminated predicate at offset %d", p.pos)
+		}
+		p.pos++
+	}
+}
+
+func (p *parser) parseName() (string, error) {
+	start := p.pos
+	if p.pos < len(p.src) && p.src[p.pos] == '@' {
+		p.pos++
+	}
+	for p.pos < len(p.src) && isNameByte(p.src[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start || (p.src[start] == '@' && p.pos == start+1) {
+		return "", fmt.Errorf("xpath: expected name at offset %d in %q", start, p.src)
+	}
+	return p.src[start:p.pos], nil
+}
+
+// parsePredicate parses the contents of [...] under node owner: a
+// relative path, optionally compared to a string literal.
+func (p *parser) parsePredicate(owner int32) error {
+	p.skipSpace()
+	axis := twigjoin.Child
+	switch {
+	case strings.HasPrefix(p.src[p.pos:], ".//"):
+		axis = twigjoin.Descendant
+		p.pos += 3
+	case strings.HasPrefix(p.src[p.pos:], "//"):
+		axis = twigjoin.Descendant
+		p.pos += 2
+	case strings.HasPrefix(p.src[p.pos:], "./"):
+		p.pos += 2
+	}
+	last, err := p.parseSteps(owner, axis)
+	if err != nil {
+		return err
+	}
+	p.skipSpace()
+	if p.pos < len(p.src) && p.src[p.pos] == '=' {
+		p.pos++
+		p.skipSpace()
+		lit, err := p.parseLiteral()
+		if err != nil {
+			return err
+		}
+		if p.opts.ValueBuckets <= 0 {
+			return fmt.Errorf("xpath: value predicate needs Options.ValueBuckets")
+		}
+		bucket := xmlparse.ValueLabel(lit, p.opts.ValueBuckets)
+		p.labels = append(p.labels, p.dict.Intern(bucket))
+		p.parents = append(p.parents, last)
+		p.axes = append(p.axes, twigjoin.Child)
+	}
+	return nil
+}
+
+func (p *parser) parseLiteral() (string, error) {
+	if p.pos >= len(p.src) || (p.src[p.pos] != '"' && p.src[p.pos] != '\'') {
+		return "", fmt.Errorf("xpath: expected string literal at offset %d", p.pos)
+	}
+	quote := p.src[p.pos]
+	p.pos++
+	start := p.pos
+	for p.pos < len(p.src) && p.src[p.pos] != quote {
+		p.pos++
+	}
+	if p.pos >= len(p.src) {
+		return "", fmt.Errorf("xpath: unterminated string literal")
+	}
+	lit := p.src[start:p.pos]
+	p.pos++
+	return lit, nil
+}

@@ -1,0 +1,113 @@
+package xpath
+
+import (
+	"strings"
+	"testing"
+
+	"treelattice/internal/labeltree"
+	"treelattice/internal/twigjoin"
+	"treelattice/internal/xmlparse"
+)
+
+func compile(t *testing.T, expr string, dict *labeltree.Dict, opts Options) twigjoin.Query {
+	t.Helper()
+	q, err := Compile(expr, dict, opts)
+	if err != nil {
+		t.Fatalf("Compile(%q): %v", expr, err)
+	}
+	return q
+}
+
+func TestCompileShapes(t *testing.T) {
+	dict := labeltree.NewDict()
+	cases := []struct {
+		expr string
+		want string // twigjoin.Query.String form
+	}{
+		{"//a", "//a"},
+		{"/a", "/a"},
+		{"//a/b", "//a(b)"},
+		{"//a//b", "//a(//b)"},
+		{"/a/b//c", "/a(b(//c))"},
+		{"//a[b]", "//a(b)"},
+		{"//a[b][c]", "//a(b,c)"},
+		{"//a[b/c]/d", "//a(b(c),d)"},
+		{"//a[.//c]", "//a(//c)"},
+		{"//a[//c]", "//a(//c)"},
+		{"//a[./b]", "//a(b)"},
+		{"//a[@id]", "//a(@id)"},
+		{"//a[b[c]]/d", "//a(b(c),d)"},
+	}
+	for _, tc := range cases {
+		q := compile(t, tc.expr, dict, Options{})
+		if got := q.String(dict); got != tc.want {
+			t.Errorf("Compile(%q) = %s, want %s", tc.expr, got, tc.want)
+		}
+	}
+}
+
+func TestCompileValuePredicate(t *testing.T) {
+	dict := labeltree.NewDict()
+	q := compile(t, `//laptop[price = "42"]`, dict, Options{ValueBuckets: 64})
+	want := "//laptop(price(" + xmlparse.ValueLabel("42", 64) + "))"
+	if got := q.String(dict); got != want {
+		t.Fatalf("value predicate = %s, want %s", got, want)
+	}
+	// Single quotes too.
+	q2 := compile(t, `//laptop[price = '42']`, dict, Options{ValueBuckets: 64})
+	if q2.String(dict) != want {
+		t.Fatal("single-quoted literal differs")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	dict := labeltree.NewDict()
+	for _, expr := range []string{
+		"", "a", "//", "//a[", "//a[b", "//a]b", "//a[@]",
+		`//a[b = "v"]`, // no buckets configured
+		`//a[b = 42]`,  // unquoted literal
+		`//a[b = "v]`,  // unterminated
+		"//a/", "//a[b]/",
+	} {
+		if _, err := Compile(expr, dict, Options{}); err == nil {
+			t.Errorf("Compile(%q) succeeded, want error", expr)
+		}
+	}
+}
+
+func TestCompiledQueryExecutes(t *testing.T) {
+	dict := labeltree.NewDict()
+	doc := `<site><item id="1"><name>x</name><price>42</price></item><item><name>y</name><price>99</price></item></site>`
+	tree, err := xmlparse.Parse(strings.NewReader(doc), dict,
+		xmlparse.Options{Attributes: true, ValueBuckets: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := twigjoin.NewIndex(tree)
+	for _, tc := range []struct {
+		expr string
+		want int64
+	}{
+		{"//item", 2},
+		{"//item[name]", 2},
+		{"//item[@id]", 1},
+		{`//item[price = "42"]`, 1},
+		{`//site//price`, 2},
+		{`/site/item[name][price]`, 2},
+		{`//item[zzz]`, 0},
+	} {
+		q := compile(t, tc.expr, dict, Options{ValueBuckets: 32})
+		if got := twigjoin.Count(x, q); got != tc.want {
+			t.Errorf("%s: count = %d, want %d", tc.expr, got, tc.want)
+		}
+	}
+}
+
+func TestMustCompilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustCompile did not panic")
+		}
+	}()
+	MustCompile("not-an-xpath", labeltree.NewDict(), Options{})
+}

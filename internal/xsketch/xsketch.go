@@ -1,0 +1,244 @@
+// Package xsketch implements an XSketch-style baseline (Polyzotis &
+// Garofalakis, SIGMOD 2002), the predecessor of TreeSketches in the
+// paper's related work. Where TreeSketches clusters by child-count
+// similarity and stores average multiplicities, XSketch refines a label
+// partition toward *backward stability* — every element of a synopsis
+// node has its parent in the same synopsis node — within a memory budget,
+// and estimates by multiplying conditional edge probabilities under
+// statistical independence assumptions on the unstable parts.
+//
+// Estimation model: for a synopsis edge u→v, the synopsis stores both the
+// average number of v-children per u-element (forward multiplicity) and
+// the fraction of v-elements whose parent lies in u (backward fraction).
+// A twig estimate anchors at the root label's nodes and multiplies
+// forward multiplicities down the query, exactly as a B-stable sketch
+// justifies; where stability was sacrificed to the budget, the
+// multiplication is an independence assumption and the estimate degrades
+// — the behaviour the paper's lineage discusion describes.
+package xsketch
+
+import (
+	"sort"
+
+	"treelattice/internal/labeltree"
+)
+
+// Options configures construction.
+type Options struct {
+	// BudgetBytes bounds the synopsis size (default 50 KB).
+	BudgetBytes int
+	// MaxRefineRounds bounds stability refinement (default 12).
+	MaxRefineRounds int
+}
+
+func (o *Options) fill() {
+	if o.BudgetBytes == 0 {
+		o.BudgetBytes = 50 << 10
+	}
+	if o.MaxRefineRounds == 0 {
+		o.MaxRefineRounds = 12
+	}
+}
+
+// Synopsis is a built XSketch. Immutable, safe for concurrent use.
+type Synopsis struct {
+	dict    *labeltree.Dict
+	labels  []labeltree.LabelID
+	counts  []int64
+	forward [][]edge // avg children per element
+	byLabel map[labeltree.LabelID][]int32
+	stable  []bool // whether the node is backward-stable
+}
+
+type edge struct {
+	to  int32
+	avg float64
+}
+
+// Build constructs the synopsis: label partition, backward-stability
+// refinement (split a node when its elements' parents span several
+// synopsis nodes) until the budget or stability is reached.
+func Build(t *labeltree.Tree, opts Options) *Synopsis {
+	opts.fill()
+	n := t.Size()
+	cluster := make([]int32, n)
+	next := make(map[labeltree.LabelID]int32)
+	for i := int32(0); int(i) < n; i++ {
+		l := t.Label(i)
+		id, ok := next[l]
+		if !ok {
+			id = int32(len(next))
+			next[l] = id
+		}
+		cluster[i] = id
+	}
+	numClusters := len(next)
+	for round := 0; round < opts.MaxRefineRounds; round++ {
+		if estimatedBytes(t, cluster) > opts.BudgetBytes {
+			break
+		}
+		// Split by parent cluster: backward-stability refinement.
+		type key struct{ own, parent int32 }
+		ids := make(map[key]int32)
+		refined := make([]int32, n)
+		for i := int32(0); int(i) < n; i++ {
+			k := key{own: cluster[i], parent: -1}
+			if p := t.Parent(i); p >= 0 {
+				k.parent = cluster[p]
+			}
+			id, ok := ids[k]
+			if !ok {
+				id = int32(len(ids))
+				ids[k] = id
+			}
+			refined[i] = id
+		}
+		if len(ids) == numClusters {
+			break // backward-stable
+		}
+		if estimatedBytes(t, refined) > opts.BudgetBytes {
+			break // refinement would blow the budget; keep coarser
+		}
+		cluster = refined
+		numClusters = len(ids)
+	}
+	return assemble(t, cluster)
+}
+
+// estimatedBytes approximates the synopsis size of a clustering: 12 bytes
+// per node plus 12 per distinct edge.
+func estimatedBytes(t *labeltree.Tree, cluster []int32) int {
+	nodes := make(map[int32]bool)
+	edges := make(map[[2]int32]bool)
+	for i := int32(0); int(i) < t.Size(); i++ {
+		nodes[cluster[i]] = true
+		if p := t.Parent(i); p >= 0 {
+			edges[[2]int32{cluster[p], cluster[i]}] = true
+		}
+	}
+	return 12*len(nodes) + 12*len(edges)
+}
+
+func assemble(t *labeltree.Tree, cluster []int32) *Synopsis {
+	dense := make(map[int32]int32)
+	for _, c := range cluster {
+		if _, ok := dense[c]; !ok {
+			dense[c] = int32(len(dense))
+		}
+	}
+	m := len(dense)
+	s := &Synopsis{
+		dict:    t.Dict(),
+		labels:  make([]labeltree.LabelID, m),
+		counts:  make([]int64, m),
+		forward: make([][]edge, m),
+		byLabel: make(map[labeltree.LabelID][]int32),
+		stable:  make([]bool, m),
+	}
+	childSums := make([]map[int32]float64, m)
+	parentSeen := make([]map[int32]bool, m)
+	for i := int32(0); int(i) < t.Size(); i++ {
+		c := dense[cluster[i]]
+		s.labels[c] = t.Label(i)
+		s.counts[c]++
+		if childSums[c] == nil {
+			childSums[c] = make(map[int32]float64)
+			parentSeen[c] = make(map[int32]bool)
+		}
+		if p := t.Parent(i); p >= 0 {
+			parentSeen[c][dense[cluster[p]]] = true
+		} else {
+			parentSeen[c][-1] = true
+		}
+		for _, ch := range t.Children(i) {
+			childSums[c][dense[cluster[ch]]]++
+		}
+	}
+	for c := 0; c < m; c++ {
+		targets := make([]int32, 0, len(childSums[c]))
+		for d := range childSums[c] {
+			targets = append(targets, d)
+		}
+		sort.Slice(targets, func(a, b int) bool { return targets[a] < targets[b] })
+		for _, d := range targets {
+			s.forward[c] = append(s.forward[c], edge{to: d, avg: childSums[c][d] / float64(s.counts[c])})
+		}
+		s.stable[c] = len(parentSeen[c]) == 1
+		s.byLabel[s.labels[c]] = append(s.byLabel[s.labels[c]], int32(c))
+	}
+	return s
+}
+
+// Nodes reports the number of synopsis nodes.
+func (s *Synopsis) Nodes() int { return len(s.labels) }
+
+// StableFraction reports the fraction of backward-stable synopsis nodes —
+// 1.0 means estimates along single paths are exact.
+func (s *Synopsis) StableFraction() float64 {
+	if len(s.stable) == 0 {
+		return 0
+	}
+	n := 0
+	for _, st := range s.stable {
+		if st {
+			n++
+		}
+	}
+	return float64(n) / float64(len(s.stable))
+}
+
+// SizeBytes is the accounted storage size.
+func (s *Synopsis) SizeBytes() int {
+	total := 12 * len(s.labels)
+	for _, es := range s.forward {
+		total += 12 * len(es)
+	}
+	return total
+}
+
+// Name identifies the estimator in experiment output.
+func (s *Synopsis) Name() string { return "xsketch" }
+
+// Estimate multiplies forward multiplicities along the query tree from
+// every root-label synopsis node.
+func (s *Synopsis) Estimate(q labeltree.Pattern) float64 {
+	children := make([][]int32, q.Size())
+	for i := int32(1); int(i) < q.Size(); i++ {
+		children[q.Parent(i)] = append(children[q.Parent(i)], i)
+	}
+	memo := make(map[[2]int32]float64)
+	var perElement func(c, p int32) float64
+	perElement = func(c, p int32) float64 {
+		if s.labels[c] != q.Label(p) {
+			return 0
+		}
+		if len(children[p]) == 0 {
+			return 1
+		}
+		key := [2]int32{c, p}
+		if v, ok := memo[key]; ok {
+			return v
+		}
+		prod := 1.0
+		for _, pc := range children[p] {
+			var sum float64
+			for _, e := range s.forward[c] {
+				if s.labels[e.to] == q.Label(pc) {
+					sum += e.avg * perElement(e.to, pc)
+				}
+			}
+			if sum == 0 {
+				prod = 0
+				break
+			}
+			prod *= sum
+		}
+		memo[key] = prod
+		return prod
+	}
+	var total float64
+	for _, c := range s.byLabel[q.RootLabel()] {
+		total += float64(s.counts[c]) * perElement(c, 0)
+	}
+	return total
+}

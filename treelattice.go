@@ -1,0 +1,114 @@
+// Package treelattice reproduces "A Decomposition-Based Probabilistic
+// Framework for Estimating the Selectivity of XML Twig Queries" (Wang,
+// Jin, Parthasarathy): the TreeLattice system for estimating how many
+// matches a twig query has in an XML document, from a small summary of
+// subtree-pattern counts.
+//
+// Quickstart:
+//
+//	dict := treelattice.NewDict()
+//	tree, err := treelattice.ParseXML(file, dict)
+//	sum, err := treelattice.Build(tree, treelattice.BuildOptions{K: 4})
+//	est, err := sum.EstimateQuery("laptop(brand,price)", treelattice.MethodRecursiveVoting)
+//
+// The package re-exports the system's public surface; the implementation
+// lives in the internal packages (see DESIGN.md for the map):
+//
+//   - internal/labeltree: tree and twig-pattern model
+//   - internal/xmlparse: XML ↔ tree conversion
+//   - internal/match: exact match counting (ground truth)
+//   - internal/mine: frequent subtree mining (summary construction)
+//   - internal/lattice: the lattice summary store
+//   - internal/estimate: the decomposition estimators and δ-pruning
+//   - internal/markov: the Markov path-estimator special case
+//   - internal/treesketch: the TreeSketches comparison baseline
+//   - internal/datagen, internal/workload, internal/metrics,
+//     internal/experiments: the evaluation harness
+package treelattice
+
+import (
+	"io"
+
+	"treelattice/internal/core"
+	"treelattice/internal/labeltree"
+	"treelattice/internal/match"
+	"treelattice/internal/twigjoin"
+	"treelattice/internal/xmlparse"
+	"treelattice/internal/xpath"
+)
+
+// Core types, re-exported.
+type (
+	// Dict interns label strings; all trees and queries that interact
+	// must share one.
+	Dict = labeltree.Dict
+	// Tree is a parsed XML document.
+	Tree = labeltree.Tree
+	// Pattern is a twig query or subtree pattern.
+	Pattern = labeltree.Pattern
+	// Summary is a TreeLattice summary supporting estimation.
+	Summary = core.Summary
+	// BuildOptions configures Build.
+	BuildOptions = core.BuildOptions
+	// Method selects an estimation strategy.
+	Method = core.Method
+)
+
+// Estimation methods.
+const (
+	MethodRecursive       = core.MethodRecursive
+	MethodRecursiveVoting = core.MethodRecursiveVoting
+	MethodFixSized        = core.MethodFixSized
+)
+
+// NewDict returns an empty label dictionary.
+func NewDict() *Dict { return labeltree.NewDict() }
+
+// ParseXML reads an XML document into a Tree.
+func ParseXML(r io.Reader, dict *Dict) (*Tree, error) {
+	return xmlparse.Parse(r, dict, xmlparse.Options{})
+}
+
+// WriteXML serializes a Tree as XML.
+func WriteXML(w io.Writer, t *Tree) error { return xmlparse.Write(w, t) }
+
+// ParseQuery parses the twig syntax "a(b,c(d))".
+func ParseQuery(query string, dict *Dict) (Pattern, error) {
+	return labeltree.ParsePattern(query, dict)
+}
+
+// Build mines a K-lattice summary from a document.
+func Build(t *Tree, opts BuildOptions) (*Summary, error) { return core.Build(t, opts) }
+
+// ReadSummary loads a summary serialized with Summary.WriteTo.
+func ReadSummary(r io.Reader, dict *Dict) (*Summary, error) { return core.Read(r, dict) }
+
+// ExactCount returns the true selectivity of q in t (Definition 1 of the
+// paper), by exact counting rather than estimation.
+func ExactCount(t *Tree, q Pattern) int64 { return match.NewCounter(t).Count(q) }
+
+// Execution-side types, re-exported: compile XPath to twig queries, index
+// a document, and enumerate actual matches (see internal/twigjoin and
+// internal/planner).
+type (
+	// TwigQuery is a twig pattern with per-edge axes (child/descendant).
+	TwigQuery = twigjoin.Query
+	// Index is the region-encoded access structure queries execute on.
+	Index = twigjoin.Index
+	// MatchTuple is one query answer: data node per query node.
+	MatchTuple = twigjoin.Match
+)
+
+// NewIndex region-encodes t for query execution.
+func NewIndex(t *Tree) *Index { return twigjoin.NewIndex(t) }
+
+// CompileXPath compiles an XPath-subset expression ("//a[b/c]//d") into a
+// twig query. valueBuckets must match the document's parse options when
+// value predicates are used (0 otherwise).
+func CompileXPath(expr string, dict *Dict, valueBuckets int) (TwigQuery, error) {
+	return xpath.Compile(expr, dict, xpath.Options{ValueBuckets: valueBuckets})
+}
+
+// CountMatches executes q against an indexed document and returns the
+// exact number of matches.
+func CountMatches(x *Index, q TwigQuery) int64 { return twigjoin.Count(x, q) }

@@ -1,0 +1,82 @@
+package treelattice_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"treelattice"
+)
+
+const doc = `<computer><laptops><laptop><brand/><price/></laptop><laptop><brand/><price/></laptop></laptops><desktops/></computer>`
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	dict := treelattice.NewDict()
+	tree, err := treelattice.ParseXML(strings.NewReader(doc), dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := treelattice.Build(tree, treelattice.BuildOptions{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []treelattice.Method{
+		treelattice.MethodRecursive,
+		treelattice.MethodRecursiveVoting,
+		treelattice.MethodFixSized,
+	} {
+		got, err := sum.EstimateQuery("//laptop(brand,price)", m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != 2 {
+			t.Fatalf("%s: estimate = %v, want 2", m, got)
+		}
+	}
+	q, err := treelattice.ParseQuery("laptop(brand)", dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := treelattice.ExactCount(tree, q); got != 2 {
+		t.Fatalf("ExactCount = %d, want 2", got)
+	}
+
+	var xml, summary bytes.Buffer
+	if err := treelattice.WriteXML(&xml, tree); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sum.WriteTo(&summary); err != nil {
+		t.Fatal(err)
+	}
+	dict2 := treelattice.NewDict()
+	sum2, err := treelattice.ReadSummary(&summary, dict2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sum2.EstimateQuery("laptop(brand,price)", treelattice.MethodFixSized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Fatalf("reloaded estimate = %v, want 2", got)
+	}
+}
+
+func TestPublicExecutionAPI(t *testing.T) {
+	dict := treelattice.NewDict()
+	tree, err := treelattice.ParseXML(strings.NewReader(doc), dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := treelattice.NewIndex(tree)
+	q, err := treelattice.CompileXPath("//laptop[brand][price]", dict, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := treelattice.CountMatches(x, q); got != 2 {
+		t.Fatalf("CountMatches = %d, want 2", got)
+	}
+	if _, err := treelattice.CompileXPath("bogus", dict, 0); err == nil {
+		t.Fatal("bad xpath accepted")
+	}
+}
