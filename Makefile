@@ -1,0 +1,24 @@
+# Stdlib-only Go module; no codegen. `make check` is the full gate the
+# test suite is expected to pass, including the race detector (the
+# concurrent build pipeline and the HTTP server are exercised under -race).
+
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x ./...

@@ -10,9 +10,11 @@
 package treelattice_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"strconv"
 	"sync"
 	"testing"
@@ -127,6 +129,42 @@ func BenchmarkTable3LatticeConstruction(b *testing.B) {
 				kb = float64(sum.SizeBytes()) / 1024
 			}
 			b.ReportMetric(kb, "summaryKB")
+		})
+	}
+}
+
+// BenchmarkCorpusBuildWorkers measures the parallel corpus-build pipeline
+// (per-document fan-out plus per-level candidate counting) against the
+// sequential baseline on a many-document forest. The Workers=NumCPU run
+// should show the speedup that motivates the pipeline; results are
+// bit-identical either way (see TestBuildForestEquivalence).
+func BenchmarkCorpusBuildWorkers(b *testing.B) {
+	makeForest := func() []*labeltree.Tree {
+		dict := labeltree.NewDict()
+		trees := make([]*labeltree.Tree, 0, 8)
+		for i, p := range []datagen.Profile{datagen.XMark, datagen.NASA, datagen.IMDB, datagen.PSD} {
+			for j := 0; j < 2; j++ {
+				tr, err := datagen.Generate(datagen.Config{Profile: p, Scale: benchScale() / 2, Seed: int64(42 + 10*i + j)}, dict)
+				if err != nil {
+					b.Fatal(err)
+				}
+				trees = append(trees, tr)
+			}
+		}
+		return trees
+	}
+	forest := makeForest()
+	counts := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.BuildForestContext(context.Background(), forest, core.BuildOptions{K: 4, Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

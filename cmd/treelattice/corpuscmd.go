@@ -1,11 +1,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"path/filepath"
+	"strings"
+	"time"
 
 	"treelattice/internal/core"
 	"treelattice/internal/corpus"
@@ -49,7 +53,7 @@ func runExplain(args []string, stdout io.Writer) error {
 // runCorpus dispatches the corpus subcommands.
 func runCorpus(args []string, stdout io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("corpus: expected init | add | rm | stats")
+		return fmt.Errorf("corpus: expected init | add | addall | rm | stats")
 	}
 	switch args[0] {
 	case "init":
@@ -90,6 +94,41 @@ func runCorpus(args []string, stdout io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(stdout, "added %s\n", *name)
+		return nil
+	case "addall":
+		fs := flag.NewFlagSet("corpus addall", flag.ExitOnError)
+		dir := fs.String("dir", "", "corpus directory")
+		workers := fs.Int("workers", 0, "build parallelism (0 = all CPUs)")
+		fs.Parse(args[1:])
+		files := fs.Args()
+		if *dir == "" || len(files) == 0 {
+			return fmt.Errorf("corpus addall: -dir and at least one XML file are required")
+		}
+		c, err := corpus.Open(*dir)
+		if err != nil {
+			return err
+		}
+		c.SetWorkers(*workers)
+		docs := make([]corpus.BatchDoc, 0, len(files))
+		for _, path := range files {
+			f, err := os.Open(path)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+			docs = append(docs, corpus.BatchDoc{Name: name, R: f})
+		}
+		if err := c.AddXMLBatch(context.Background(), docs); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "added %d documents", len(docs))
+		if t := c.BuildTimings(); t != nil {
+			for _, s := range t.Stages() {
+				fmt.Fprintf(stdout, " %s=%s", s.Stage, s.Duration.Round(time.Millisecond))
+			}
+		}
+		fmt.Fprintln(stdout)
 		return nil
 	case "rm":
 		fs := flag.NewFlagSet("corpus rm", flag.ExitOnError)
@@ -137,6 +176,7 @@ func runServe(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	dir := fs.String("corpus", "", "corpus directory")
 	addr := fs.String("addr", "127.0.0.1:8357", "listen address")
+	workers := fs.Int("workers", 0, "upload mining parallelism (0 = all CPUs)")
 	fs.Parse(args)
 	if *dir == "" {
 		return fmt.Errorf("serve: -corpus is required")
@@ -146,5 +186,5 @@ func runServe(args []string, stdout io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(stdout, "serving corpus %s on http://%s\n", *dir, *addr)
-	return http.ListenAndServe(*addr, serve.NewHandler(c))
+	return http.ListenAndServe(*addr, serve.NewHandlerOptions(c, serve.Options{Workers: *workers}))
 }

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -57,7 +58,7 @@ func usage() {
   exact     count a twig query's true selectivity in a document
   stats     describe a summary file
   explain   estimate with trace and decomposition-spread interval
-  corpus    manage a document corpus (init | add | rm | stats)
+  corpus    manage a document corpus (init | add | addall | rm | stats)
   serve     expose a corpus over HTTP`)
 	os.Exit(2)
 }
@@ -67,6 +68,7 @@ func runBuild(args []string, stdout io.Writer) error {
 	in := fs.String("in", "", "input XML document")
 	out := fs.String("out", "", "output summary file")
 	k := fs.Int("k", 4, "lattice level")
+	workers := fs.Int("workers", 0, "build parallelism (0 = all CPUs)")
 	prune := fs.Float64("prune", -1, "prune delta-derivable patterns (e.g. 0 or 0.1); negative disables")
 	fs.Parse(args)
 	if *in == "" || *out == "" {
@@ -77,7 +79,8 @@ func runBuild(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	sum, err := treelattice.Build(tree, treelattice.BuildOptions{K: *k})
+	sum, err := treelattice.BuildContext(context.Background(), tree,
+		treelattice.BuildOptions{K: *k, Workers: *workers})
 	if err != nil {
 		return err
 	}

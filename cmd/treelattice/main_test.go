@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -135,6 +136,53 @@ func TestExplainCommand(t *testing.T) {
 	}
 	if err := runExplain(nil, &out); err == nil {
 		t.Fatal("explain without flags accepted")
+	}
+}
+
+func TestCorpusAddall(t *testing.T) {
+	docsDir := t.TempDir()
+	xmls := []string{
+		`<computer><laptops><laptop><brand/></laptop></laptops></computer>`,
+		`<computer><laptops><laptop><brand/><price/></laptop></laptops></computer>`,
+		`<computer><desktops><desktop/></desktops></computer>`,
+	}
+	paths := make([]string, len(xmls))
+	for i, doc := range xmls {
+		paths[i] = filepath.Join(docsDir, fmt.Sprintf("doc%d.xml", i))
+		if err := os.WriteFile(paths[i], []byte(doc), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dir := filepath.Join(t.TempDir(), "corpus")
+	var out bytes.Buffer
+	if err := runCorpus([]string{"init", "-dir", dir, "-k", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	args := append([]string{"addall", "-dir", dir, "-workers", "4"}, paths...)
+	if err := runCorpus(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"added 3 documents", "parse=", "mine=", "persist="} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("addall output missing %q: %q", want, out.String())
+		}
+	}
+	out.Reset()
+	if err := runCorpus([]string{"stats", "-dir", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"documents=3", "doc0", "doc1", "doc2"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("stats after addall missing %q: %q", want, out.String())
+		}
+	}
+	// Re-adding the same files must fail on the duplicate names.
+	if err := runCorpus(args, &out); err == nil {
+		t.Fatal("duplicate addall accepted")
+	}
+	if err := runCorpus([]string{"addall", "-dir", dir}, &out); err == nil {
+		t.Fatal("addall without files accepted")
 	}
 }
 

@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -30,8 +31,10 @@ func main() {
 	}
 
 	// Summarize the document: occurrence counts of all subtree patterns
-	// of up to 3 nodes (the "3-lattice").
-	sum, err := treelattice.Build(tree, treelattice.BuildOptions{K: 3})
+	// of up to 3 nodes (the "3-lattice"). The context cancels a long
+	// build; Workers: 0 uses every CPU for the per-level counting.
+	sum, err := treelattice.BuildContext(context.Background(), tree,
+		treelattice.BuildOptions{K: 3})
 	if err != nil {
 		log.Fatal(err)
 	}

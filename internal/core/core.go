@@ -6,12 +6,16 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"runtime"
+	"sync"
 
 	"treelattice/internal/estimate"
 	"treelattice/internal/labeltree"
 	"treelattice/internal/lattice"
+	"treelattice/internal/metrics"
 	"treelattice/internal/mine"
 )
 
@@ -36,13 +40,27 @@ func Methods() []Method {
 	return []Method{MethodRecursive, MethodRecursiveVoting, MethodFixSized}
 }
 
+// MaxK caps the lattice level. Level-wise enumeration is exponential in
+// K, and the paper's evaluation never goes beyond 5; the cap turns a
+// runaway K into ErrKTooLarge instead of an out-of-memory build.
+const MaxK = 16
+
 // BuildOptions configures summary construction.
 type BuildOptions struct {
 	// K is the lattice level: all subtree patterns up to this size are
-	// collected. Default 4, the paper's standard setting.
+	// collected. Default 4, the paper's standard setting. Values beyond
+	// MaxK are rejected with ErrKTooLarge.
 	K int
-	// Mining passes through to the miner.
+	// Workers bounds the build's parallelism: candidate counting within
+	// one document, and document fan-out in BuildForestContext. Zero
+	// means GOMAXPROCS; 1 forces a sequential build.
+	Workers int
+	// Mining passes through to the miner. Its Workers field, when zero,
+	// inherits the Workers setting above.
 	Mining mine.Options
+	// Timings, when non-nil, receives per-stage wall-clock measurements
+	// of the build (mine, reduce).
+	Timings *metrics.BuildTimings
 }
 
 // Summary is a TreeLattice summary of one or more documents.
@@ -53,14 +71,105 @@ type Summary struct {
 
 // Build mines a K-lattice summary from t.
 func Build(t *labeltree.Tree, opts BuildOptions) (*Summary, error) {
-	if opts.K == 0 {
-		opts.K = 4
+	return BuildContext(context.Background(), t, opts)
+}
+
+// BuildContext is Build with cancellation and deadline awareness: mining
+// checks ctx between enumeration levels and while counting candidates, so
+// a long build aborts promptly with ctx.Err() once ctx is done.
+func BuildContext(ctx context.Context, t *labeltree.Tree, opts BuildOptions) (*Summary, error) {
+	if err := checkOptions(&opts); err != nil {
+		return nil, err
 	}
-	lat, err := mine.Mine(t, opts.K, opts.Mining)
+	stop := opts.Timings.Start("mine")
+	lat, err := mine.MineContext(ctx, t, opts.K, miningOptions(opts))
+	stop()
 	if err != nil {
 		return nil, fmt.Errorf("core: building summary: %w", err)
 	}
 	return &Summary{lat: lat, dict: t.Dict()}, nil
+}
+
+// BuildForestContext mines a shared summary of several documents in
+// parallel: each tree is mined into a private shard lattice by a worker
+// pool, and the shards are pairwise-reduced into one summary. All trees
+// must share a dictionary. The result is bit-identical to mining the
+// trees sequentially and merging in order, for any worker count.
+func BuildForestContext(ctx context.Context, trees []*labeltree.Tree, opts BuildOptions) (*Summary, error) {
+	if len(trees) == 0 {
+		return nil, fmt.Errorf("core: BuildForest needs at least one tree")
+	}
+	if err := checkOptions(&opts); err != nil {
+		return nil, err
+	}
+	dict := trees[0].Dict()
+	for _, t := range trees[1:] {
+		if t.Dict() != dict {
+			return nil, fmt.Errorf("%w: trees in a forest must share one dictionary", ErrDictMismatch)
+		}
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// Split the budget: across documents first, leftover capacity into
+	// each document's candidate counting (a single huge document still
+	// uses every worker).
+	inner := workers / len(trees)
+	if inner < 1 {
+		inner = 1
+	}
+	mo := miningOptions(opts)
+	mo.Workers = inner
+
+	shards := make([]*lattice.Summary, len(trees))
+	errs := make([]error, len(trees))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	stop := opts.Timings.Start("mine")
+	for i, t := range trees {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, t *labeltree.Tree) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			shards[i], errs[i] = mine.MineContext(ctx, t, opts.K, mo)
+		}(i, t)
+	}
+	wg.Wait()
+	stop()
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: building summary: %w", err)
+		}
+	}
+	stop = opts.Timings.Start("reduce")
+	merged, err := lattice.Reduce(ctx, shards, workers)
+	stop()
+	if err != nil {
+		return nil, fmt.Errorf("core: merging shards: %w", err)
+	}
+	return &Summary{lat: merged, dict: dict}, nil
+}
+
+// checkOptions applies defaults and validates the lattice level.
+func checkOptions(opts *BuildOptions) error {
+	if opts.K == 0 {
+		opts.K = 4
+	}
+	if opts.K > MaxK {
+		return fmt.Errorf("%w: K=%d exceeds MaxK=%d", ErrKTooLarge, opts.K, MaxK)
+	}
+	return nil
+}
+
+// miningOptions resolves the miner options, inheriting Workers.
+func miningOptions(opts BuildOptions) mine.Options {
+	mo := opts.Mining
+	if mo.Workers == 0 {
+		mo.Workers = opts.Workers
+	}
+	return mo
 }
 
 // FromLattice wraps an existing lattice summary.
@@ -93,12 +202,23 @@ func (s *Summary) Estimator(method Method) (estimate.Estimator, error) {
 	case MethodFixSized:
 		return estimate.NewFixSized(s.lat), nil
 	default:
-		return nil, fmt.Errorf("core: unknown method %q", method)
+		return nil, fmt.Errorf("%w: %q", ErrUnknownMethod, method)
 	}
 }
 
 // Estimate returns the estimated selectivity of q under method.
 func (s *Summary) Estimate(q labeltree.Pattern, method Method) (float64, error) {
+	return s.EstimateContext(context.Background(), q, method)
+}
+
+// EstimateContext is Estimate with cancellation: a done ctx returns
+// ctx.Err() instead of computing. Individual estimates are fast
+// (sub-millisecond), so the check runs once up front — the context's role
+// is letting batch callers stop a workload mid-stream.
+func (s *Summary) EstimateContext(ctx context.Context, q labeltree.Pattern, method Method) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	est, err := s.Estimator(method)
 	if err != nil {
 		return 0, err
@@ -107,13 +227,40 @@ func (s *Summary) Estimate(q labeltree.Pattern, method Method) (float64, error) 
 }
 
 // EstimateQuery parses a twig query in the "a(b,c(d))" syntax and
-// estimates its selectivity.
+// estimates its selectivity. Parse failures wrap ErrBadQuery; queries
+// naming labels the dictionary has never seen wrap ErrUnknownLabel (their
+// true selectivity is zero).
 func (s *Summary) EstimateQuery(query string, method Method) (float64, error) {
-	q, err := labeltree.ParsePattern(query, s.dict)
+	return s.EstimateQueryContext(context.Background(), query, method)
+}
+
+// EstimateQueryContext is EstimateQuery with cancellation.
+func (s *Summary) EstimateQueryContext(ctx context.Context, query string, method Method) (float64, error) {
+	q, err := s.ParseQuery(query)
 	if err != nil {
 		return 0, err
 	}
-	return s.Estimate(q, method)
+	return s.EstimateContext(ctx, q, method)
+}
+
+// ParseQuery parses a twig query against the summary's dictionary,
+// classifying failures: syntax errors wrap ErrBadQuery, and labels the
+// dictionary has never seen wrap ErrUnknownLabel.
+func (s *Summary) ParseQuery(query string) (labeltree.Pattern, error) {
+	// Labels interned by this parse get IDs at or past the current
+	// dictionary length — exactly the ones no document or summary has
+	// ever mentioned.
+	known := labeltree.LabelID(s.dict.Len())
+	q, err := labeltree.ParsePattern(query, s.dict)
+	if err != nil {
+		return labeltree.Pattern{}, fmt.Errorf("%w: %v", ErrBadQuery, err)
+	}
+	for i := int32(0); int(i) < q.Size(); i++ {
+		if l := q.Label(i); l >= known {
+			return labeltree.Pattern{}, fmt.Errorf("%w: %q", ErrUnknownLabel, s.dict.Name(l))
+		}
+	}
+	return q, nil
 }
 
 // EstimateWithTrace estimates q with the recursive estimator (voting per
@@ -142,20 +289,41 @@ func (s *Summary) EstimateInterval(q labeltree.Pattern) estimate.Interval {
 // AddTree incrementally folds another document into the summary: the
 // document is mined at the same K and its counts are merged. (Documents
 // are independent trees, so pattern matches never span batches and counts
-// are additive.) AddTree fails on a pruned summary, whose missing patterns
-// cannot be updated.
+// are additive.) AddTree fails with ErrPrunedSummary on a pruned summary,
+// whose missing patterns cannot be updated.
 func (s *Summary) AddTree(t *labeltree.Tree) error {
+	return s.AddTreeContext(context.Background(), t, 0)
+}
+
+// AddTreeContext is AddTree with cancellation and an explicit worker
+// count for mining the incoming document (0 means GOMAXPROCS). The
+// incremental mine runs on a private lattice, so a canceled add leaves
+// the summary untouched.
+func (s *Summary) AddTreeContext(ctx context.Context, t *labeltree.Tree, workers int) error {
 	if s.lat.Pruned() {
-		return fmt.Errorf("core: cannot add documents to a pruned summary")
+		return fmt.Errorf("%w: cannot add documents", ErrPrunedSummary)
 	}
 	if t.Dict() != s.dict {
-		return fmt.Errorf("core: document uses a different label dictionary")
+		return fmt.Errorf("%w: document dictionary differs from summary's", ErrDictMismatch)
 	}
-	inc, err := mine.Mine(t, s.lat.K(), mine.Options{})
+	inc, err := mine.MineContext(ctx, t, s.lat.K(), mine.Options{Workers: workers})
 	if err != nil {
 		return err
 	}
 	return s.lat.Merge(inc)
+}
+
+// MergeSummary folds another summary's counts into this one — the bulk
+// equivalent of AddTree for pre-mined batches. Both summaries must share
+// a dictionary and K, and neither may be pruned.
+func (s *Summary) MergeSummary(other *Summary) error {
+	if s.lat.Pruned() || other.lat.Pruned() {
+		return fmt.Errorf("%w: cannot merge", ErrPrunedSummary)
+	}
+	if other.dict != s.dict {
+		return fmt.Errorf("%w: summaries do not share a dictionary", ErrDictMismatch)
+	}
+	return s.lat.Merge(other.lat)
 }
 
 // RemoveTree subtracts a previously added document's counts from the
@@ -165,10 +333,10 @@ func (s *Summary) AddTree(t *labeltree.Tree) error {
 // updated when that happens.
 func (s *Summary) RemoveTree(t *labeltree.Tree) error {
 	if s.lat.Pruned() {
-		return fmt.Errorf("core: cannot remove documents from a pruned summary")
+		return fmt.Errorf("%w: cannot remove documents", ErrPrunedSummary)
 	}
 	if t.Dict() != s.dict {
-		return fmt.Errorf("core: document uses a different label dictionary")
+		return fmt.Errorf("%w: document dictionary differs from summary's", ErrDictMismatch)
 	}
 	dec, err := mine.Mine(t, s.lat.K(), mine.Options{})
 	if err != nil {

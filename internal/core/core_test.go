@@ -2,6 +2,9 @@ package core
 
 import (
 	"bytes"
+	"context"
+	"errors"
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -67,6 +70,145 @@ func TestEstimateQueryErrors(t *testing.T) {
 	}
 	if _, err := sum.Estimator("bogus"); err == nil {
 		t.Fatal("bad method accepted by Estimator")
+	}
+}
+
+func TestSentinelErrors(t *testing.T) {
+	sum, tr, _ := buildSample(t, 3)
+	if _, err := sum.EstimateQuery("a((", MethodRecursive); !errors.Is(err, ErrBadQuery) {
+		t.Fatalf("syntax error = %v, want ErrBadQuery", err)
+	}
+	if _, err := sum.EstimateQuery("never_seen_label", MethodRecursive); !errors.Is(err, ErrUnknownLabel) {
+		t.Fatalf("unknown label = %v, want ErrUnknownLabel", err)
+	}
+	if _, err := sum.EstimateQuery("laptop", Method("bogus")); !errors.Is(err, ErrUnknownMethod) {
+		t.Fatalf("bogus method = %v, want ErrUnknownMethod", err)
+	}
+	if _, err := Build(tr, BuildOptions{K: MaxK + 1}); !errors.Is(err, ErrKTooLarge) {
+		t.Fatalf("K=%d accepted, err = %v, want ErrKTooLarge", MaxK+1, err)
+	}
+	if err := sum.Prune(0).AddTree(tr); !errors.Is(err, ErrPrunedSummary) {
+		t.Fatalf("pruned AddTree = %v, want ErrPrunedSummary", err)
+	}
+	otherDict := labeltree.NewDict()
+	other, err := xmlparse.Parse(strings.NewReader("<x><y/></x>"), otherDict, xmlparse.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sum.AddTree(other); !errors.Is(err, ErrDictMismatch) {
+		t.Fatalf("foreign dict AddTree = %v, want ErrDictMismatch", err)
+	}
+}
+
+func TestBuildContextCanceled(t *testing.T) {
+	_, tr, _ := buildSample(t, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := BuildContext(ctx, tr, BuildOptions{K: 3}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled build returned %v, want context.Canceled", err)
+	}
+	if _, err := BuildForestContext(ctx, []*labeltree.Tree{tr}, BuildOptions{K: 3}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled forest build returned %v, want context.Canceled", err)
+	}
+}
+
+// forestTrees parses several distinct documents sharing one dictionary.
+func forestTrees(t *testing.T, n int) []*labeltree.Tree {
+	t.Helper()
+	dict := labeltree.NewDict()
+	trees := make([]*labeltree.Tree, n)
+	for i := range trees {
+		var sb strings.Builder
+		sb.WriteString("<computer><laptops>")
+		for j := 0; j <= i%3; j++ {
+			sb.WriteString("<laptop><brand/><price/></laptop>")
+		}
+		sb.WriteString("</laptops>")
+		if i%2 == 0 {
+			sb.WriteString(fmt.Sprintf("<desktops><desktop><tag%d/></desktop></desktops>", i))
+		}
+		sb.WriteString("</computer>")
+		tr, err := xmlparse.Parse(strings.NewReader(sb.String()), dict, xmlparse.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		trees[i] = tr
+	}
+	return trees
+}
+
+// TestBuildForestEquivalence is the pipeline's core invariant: for any
+// worker count the parallel build is bit-identical (serialized form) to
+// the sequential incremental build.
+func TestBuildForestEquivalence(t *testing.T) {
+	trees := forestTrees(t, 9)
+
+	seq, err := Build(trees[0], BuildOptions{K: 4, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range trees[1:] {
+		if err := seq.AddTree(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var want bytes.Buffer
+	if _, err := seq.WriteTo(&want); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 2, 8} {
+		par, err := BuildForestContext(context.Background(), trees, BuildOptions{K: 4, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got bytes.Buffer
+		if _, err := par.WriteTo(&got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want.Bytes(), got.Bytes()) {
+			t.Fatalf("workers=%d: parallel build differs from sequential build", workers)
+		}
+	}
+}
+
+func TestBuildForestRejectsMixedDicts(t *testing.T) {
+	a := forestTrees(t, 1)
+	b := forestTrees(t, 1)
+	_, err := BuildForestContext(context.Background(), []*labeltree.Tree{a[0], b[0]}, BuildOptions{K: 3})
+	if !errors.Is(err, ErrDictMismatch) {
+		t.Fatalf("mixed dict forest = %v, want ErrDictMismatch", err)
+	}
+}
+
+func TestMergeSummary(t *testing.T) {
+	trees := forestTrees(t, 2)
+	a, err := Build(trees[0], BuildOptions{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(trees[1], BuildOptions{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Build(trees[0], BuildOptions{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := want.AddTree(trees[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.MergeSummary(b); err != nil {
+		t.Fatal(err)
+	}
+	var wantBuf, gotBuf bytes.Buffer
+	want.WriteTo(&wantBuf)
+	a.WriteTo(&gotBuf)
+	if !bytes.Equal(wantBuf.Bytes(), gotBuf.Bytes()) {
+		t.Fatal("MergeSummary differs from AddTree")
+	}
+	if err := a.Prune(0).MergeSummary(b); !errors.Is(err, ErrPrunedSummary) {
+		t.Fatalf("pruned merge = %v, want ErrPrunedSummary", err)
 	}
 }
 

@@ -1,0 +1,94 @@
+package corpus
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"treelattice/internal/core"
+	"treelattice/internal/labeltree"
+	"treelattice/internal/metrics"
+	"treelattice/internal/xmlparse"
+)
+
+// BatchDoc names one document of a batch ingest.
+type BatchDoc struct {
+	Name string
+	R    io.Reader
+}
+
+// AddXMLBatch ingests several documents at once through the parallel
+// build pipeline: all documents are parsed first (sequentially, so label
+// interning order — and therefore the on-disk summary — is deterministic),
+// then fanned out across a worker pool that mines each into a private
+// shard lattice, pairwise-reduced, and finally merged into the corpus
+// summary and persisted.
+//
+// The batch is atomic with respect to the in-memory corpus: name
+// validation, parsing, and mining all complete before the summary is
+// touched, so a bad document or a canceled context leaves the corpus as
+// it was. The result is bit-identical to adding the documents one by one
+// in order, for any worker count (counts are additive across documents).
+func (c *Corpus) AddXMLBatch(ctx context.Context, docs []BatchDoc) error {
+	if len(docs) == 0 {
+		return nil
+	}
+	batchNames := make(map[string]bool, len(docs))
+	for _, d := range docs {
+		if err := validName(d.Name); err != nil {
+			return err
+		}
+		if _, exists := c.docs[d.Name]; exists || batchNames[d.Name] {
+			return fmt.Errorf("%w: %q", ErrDocExists, d.Name)
+		}
+		batchNames[d.Name] = true
+	}
+	timings := &metrics.BuildTimings{}
+	stop := timings.Start("parse")
+	trees := make([]*labeltree.Tree, len(docs))
+	for i, d := range docs {
+		tree, err := xmlparse.Parse(d.R, c.dict, xmlparse.Options{
+			ValueBuckets: c.opts.ValueBuckets,
+			Attributes:   c.opts.Attributes,
+		})
+		if err != nil {
+			stop()
+			return fmt.Errorf("corpus: parsing %q: %w", d.Name, err)
+		}
+		trees[i] = tree
+	}
+	stop()
+
+	batch, err := core.BuildForestContext(ctx, trees, core.BuildOptions{
+		K:       c.opts.K,
+		Workers: c.workers,
+		Timings: timings,
+	})
+	if err != nil {
+		return err
+	}
+
+	stop = timings.Start("merge")
+	err = c.summary.MergeSummary(batch)
+	stop()
+	if err != nil {
+		return err
+	}
+
+	stop = timings.Start("persist")
+	defer stop()
+	for i, d := range docs {
+		if err := c.writeDoc(d.Name, trees[i]); err != nil {
+			return err
+		}
+		c.docs[d.Name] = trees[i]
+	}
+	c.lastBuild = timings
+	return c.writeSummary()
+}
+
+// EstimateQueryContext is EstimateQuery with cancellation; see
+// core.Summary.EstimateQueryContext for the error contract.
+func (c *Corpus) EstimateQueryContext(ctx context.Context, query string, method core.Method) (float64, error) {
+	return c.summary.EstimateQueryContext(ctx, query, method)
+}

@@ -15,6 +15,8 @@ package corpus
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -27,7 +29,16 @@ import (
 	"treelattice/internal/labeltree"
 	"treelattice/internal/lattice"
 	"treelattice/internal/match"
+	"treelattice/internal/metrics"
 	"treelattice/internal/xmlparse"
+)
+
+// Sentinel errors callers can branch on with errors.Is.
+var (
+	// ErrDocExists reports an add under a name already in the corpus.
+	ErrDocExists = errors.New("corpus: document already exists")
+	// ErrNoSuchDoc reports an operation on a name not in the corpus.
+	ErrNoSuchDoc = errors.New("corpus: no such document")
 )
 
 // buildEmptySummary returns a zero-document summary at level k.
@@ -51,14 +62,37 @@ type Options struct {
 	Attributes   bool
 }
 
-// Corpus is an open corpus. Not safe for concurrent mutation.
+// Corpus is an open corpus. Not safe for concurrent mutation; callers
+// that mutate under traffic (the HTTP handler) serialize externally.
 type Corpus struct {
 	dir     string
 	opts    Options
 	dict    *labeltree.Dict
 	summary *core.Summary
 	docs    map[string]*labeltree.Tree
+	workers int
+	// lastBuild holds the per-stage timings of the most recent mutation
+	// (add, batch add, remove).
+	lastBuild *metrics.BuildTimings
 }
+
+// SetWorkers bounds the parallelism of subsequent summary-building
+// operations (document fan-out and per-level candidate counting). Zero
+// or negative, the default, means GOMAXPROCS; 1 forces sequential
+// builds.
+func (c *Corpus) SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	c.workers = n
+}
+
+// Workers returns the configured build parallelism (0 = GOMAXPROCS).
+func (c *Corpus) Workers() int { return c.workers }
+
+// BuildTimings returns the per-stage timings of the most recent mutating
+// operation, or nil if none has run.
+func (c *Corpus) BuildTimings() *metrics.BuildTimings { return c.lastBuild }
 
 // Create initializes a new corpus directory. dir must not already contain
 // a corpus.
@@ -158,36 +192,54 @@ func (c *Corpus) Doc(name string) (*labeltree.Tree, bool) {
 }
 
 // AddXML parses an XML document from r, folds it into the summary, and
-// persists both.
+// persists both. Adding under an existing name wraps ErrDocExists.
 func (c *Corpus) AddXML(name string, r io.Reader) error {
+	return c.AddXMLContext(context.Background(), name, r)
+}
+
+// AddXMLContext is AddXML with cancellation: the incoming document is
+// mined into a private lattice with the corpus's configured worker count
+// and merged only on success, so a canceled upload leaves the summary and
+// the on-disk state untouched.
+func (c *Corpus) AddXMLContext(ctx context.Context, name string, r io.Reader) error {
 	if err := validName(name); err != nil {
 		return err
 	}
 	if _, exists := c.docs[name]; exists {
-		return fmt.Errorf("corpus: document %q already exists", name)
+		return fmt.Errorf("%w: %q", ErrDocExists, name)
 	}
+	timings := &metrics.BuildTimings{}
+	stop := timings.Start("parse")
 	tree, err := xmlparse.Parse(r, c.dict, xmlparse.Options{
 		ValueBuckets: c.opts.ValueBuckets,
 		Attributes:   c.opts.Attributes,
 	})
+	stop()
 	if err != nil {
 		return err
 	}
-	if err := c.summary.AddTree(tree); err != nil {
+	stop = timings.Start("mine")
+	err = c.summary.AddTreeContext(ctx, tree, c.workers)
+	stop()
+	if err != nil {
 		return err
 	}
+	stop = timings.Start("persist")
+	defer stop()
 	if err := c.writeDoc(name, tree); err != nil {
 		return err
 	}
 	c.docs[name] = tree
+	c.lastBuild = timings
 	return c.writeSummary()
 }
 
-// Remove deletes a document and subtracts its counts.
+// Remove deletes a document and subtracts its counts. Unknown names wrap
+// ErrNoSuchDoc.
 func (c *Corpus) Remove(name string) error {
 	tree, ok := c.docs[name]
 	if !ok {
-		return fmt.Errorf("corpus: no document %q", name)
+		return fmt.Errorf("%w: %q", ErrNoSuchDoc, name)
 	}
 	if err := c.summary.RemoveTree(tree); err != nil {
 		return err

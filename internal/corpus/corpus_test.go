@@ -1,6 +1,9 @@
 package corpus
 
 import (
+	"bytes"
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -232,5 +235,129 @@ func TestNonTltrFilesIgnored(t *testing.T) {
 	}
 	if len(re.Docs()) != 1 {
 		t.Fatalf("docs = %v", re.Docs())
+	}
+}
+
+func TestAddXMLBatchMatchesSequential(t *testing.T) {
+	docs := []struct{ name, xml string }{
+		{"a", docA},
+		{"b", docB},
+		{"c", `<computer><desktops><desktop><brand/></desktop></desktops></computer>`},
+	}
+
+	seq := createCorpus(t)
+	for _, d := range docs {
+		if err := seq.AddXML(d.name, strings.NewReader(d.xml)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	bat := createCorpus(t)
+	bat.SetWorkers(4)
+	batch := make([]BatchDoc, len(docs))
+	for i, d := range docs {
+		batch[i] = BatchDoc{Name: d.name, R: strings.NewReader(d.xml)}
+	}
+	if err := bat.AddXMLBatch(context.Background(), batch); err != nil {
+		t.Fatal(err)
+	}
+
+	var wantBuf, gotBuf bytes.Buffer
+	if _, err := seq.Summary().WriteTo(&wantBuf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bat.Summary().WriteTo(&gotBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantBuf.Bytes(), gotBuf.Bytes()) {
+		t.Fatal("batch summary differs from sequential adds")
+	}
+	if got := bat.Docs(); len(got) != 3 {
+		t.Fatalf("Docs = %v", got)
+	}
+	tm := bat.BuildTimings()
+	if tm == nil {
+		t.Fatal("no build timings recorded")
+	}
+	ms := tm.Millis()
+	for _, stage := range []string{"parse", "mine", "reduce", "merge", "persist"} {
+		if _, ok := ms[stage]; !ok {
+			t.Errorf("stage %q missing from timings %v", stage, ms)
+		}
+	}
+
+	// The batch corpus must survive a reopen with identical contents.
+	re, err := Open(bat.dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := re.EstimateQuery("laptop(brand)", core.MethodRecursive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Fatalf("reopened batch estimate = %v, want 3", got)
+	}
+}
+
+func TestAddXMLBatchAtomicOnError(t *testing.T) {
+	c := createCorpus(t)
+	if err := c.AddXML("a", strings.NewReader(docA)); err != nil {
+		t.Fatal(err)
+	}
+	var before bytes.Buffer
+	if _, err := c.Summary().WriteTo(&before); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, batch := range [][]BatchDoc{
+		{{Name: "b", R: strings.NewReader(docB)}, {Name: "bad", R: strings.NewReader("<x><y>")}},
+		{{Name: "a", R: strings.NewReader(docB)}},
+		{{Name: "dup", R: strings.NewReader(docA)}, {Name: "dup", R: strings.NewReader(docB)}},
+		{{Name: "../evil", R: strings.NewReader(docA)}},
+	} {
+		if err := c.AddXMLBatch(context.Background(), batch); err == nil {
+			t.Fatalf("bad batch %v accepted", batch)
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := c.AddXMLBatch(ctx, []BatchDoc{{Name: "b", R: strings.NewReader(docB)}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled batch returned %v, want context.Canceled", err)
+	}
+
+	var after bytes.Buffer
+	if _, err := c.Summary().WriteTo(&after); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before.Bytes(), after.Bytes()) {
+		t.Fatal("failed batches mutated the summary")
+	}
+	if docs := c.Docs(); len(docs) != 1 || docs[0] != "a" {
+		t.Fatalf("Docs after failed batches = %v", docs)
+	}
+}
+
+func TestAddXMLBatchEmpty(t *testing.T) {
+	c := createCorpus(t)
+	if err := c.AddXMLBatch(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if c.BuildTimings() != nil {
+		t.Fatal("empty batch recorded timings")
+	}
+}
+
+func TestSetWorkers(t *testing.T) {
+	c := createCorpus(t)
+	c.SetWorkers(3)
+	if got := c.Workers(); got != 3 {
+		t.Fatalf("Workers = %d, want 3", got)
+	}
+	c.SetWorkers(-1)
+	if got := c.Workers(); got != 0 {
+		t.Fatalf("Workers after negative set = %d, want 0", got)
 	}
 }

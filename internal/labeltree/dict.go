@@ -13,13 +13,19 @@ package labeltree
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Dict interns label strings as dense int32 identifiers. All trees and
 // patterns that are compared against each other must share a Dict.
 //
+// A Dict is safe for concurrent use: parsing goroutines may intern while
+// estimators resolve names, which is what the parallel build pipeline and
+// the HTTP serving path do.
+//
 // The zero value is not ready to use; call NewDict.
 type Dict struct {
+	mu     sync.RWMutex
 	byName map[string]LabelID
 	names  []string
 }
@@ -34,10 +40,18 @@ func NewDict() *Dict {
 
 // Intern returns the ID for name, assigning a fresh one if needed.
 func (d *Dict) Intern(name string) LabelID {
+	d.mu.RLock()
+	id, ok := d.byName[name]
+	d.mu.RUnlock()
+	if ok {
+		return id
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if id, ok := d.byName[name]; ok {
 		return id
 	}
-	id := LabelID(len(d.names))
+	id = LabelID(len(d.names))
 	d.byName[name] = id
 	d.names = append(d.names, name)
 	return id
@@ -45,6 +59,8 @@ func (d *Dict) Intern(name string) LabelID {
 
 // Lookup returns the ID for name and whether it is known.
 func (d *Dict) Lookup(name string) (LabelID, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	id, ok := d.byName[name]
 	return id, ok
 }
@@ -52,6 +68,8 @@ func (d *Dict) Lookup(name string) (LabelID, bool) {
 // Name returns the label string for id. It panics on unknown IDs, which
 // indicate trees built against a different dictionary.
 func (d *Dict) Name(id LabelID) string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if int(id) < 0 || int(id) >= len(d.names) {
 		panic(fmt.Sprintf("labeltree: unknown label id %d", id))
 	}
@@ -59,11 +77,17 @@ func (d *Dict) Name(id LabelID) string {
 }
 
 // Len reports the number of interned labels.
-func (d *Dict) Len() int { return len(d.names) }
+func (d *Dict) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.names)
+}
 
 // Names returns all interned labels in ID order. The returned slice is a
 // copy and may be modified by the caller.
 func (d *Dict) Names() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	out := make([]string, len(d.names))
 	copy(out, d.names)
 	return out

@@ -1,0 +1,61 @@
+package lattice
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Reduce merges per-worker shard summaries into a single summary using a
+// parallel pairwise reduction: on each round adjacent shard pairs are
+// merged concurrently (each pair touches two disjoint summaries, so no
+// locking is needed), halving the shard count until one remains. The
+// merge order is fixed by shard position, and counts are additive, so the
+// result is identical to a sequential left-to-right merge regardless of
+// worker count.
+//
+// Reduce consumes the shards: it merges into them in place and the caller
+// must not reuse them afterwards. workers <= 0 means GOMAXPROCS.
+func Reduce(ctx context.Context, shards []*Summary, workers int) (*Summary, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("lattice: reduce of zero shards")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cur := append([]*Summary(nil), shards...)
+	for len(cur) > 1 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		pairs := len(cur) / 2
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		errs := make([]error, pairs)
+		for i := 0; i < pairs; i++ {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				errs[i] = cur[2*i].Merge(cur[2*i+1])
+			}(i)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		next := make([]*Summary, 0, (len(cur)+1)/2)
+		for i := 0; i < pairs; i++ {
+			next = append(next, cur[2*i])
+		}
+		if len(cur)%2 == 1 {
+			next = append(next, cur[len(cur)-1])
+		}
+		cur = next
+	}
+	return cur[0], nil
+}

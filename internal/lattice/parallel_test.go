@@ -1,0 +1,86 @@
+package lattice
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"treelattice/internal/labeltree"
+)
+
+// reduceShards builds n shards with overlapping pattern sets so the merge
+// has both hit and miss cases.
+func reduceShards(t *testing.T, d *labeltree.Dict, a, b labeltree.LabelID, n int) []*Summary {
+	t.Helper()
+	shards := make([]*Summary, n)
+	for i := range shards {
+		s := New(4, d)
+		if err := s.Add(labeltree.SingleNode(a), int64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Add(labeltree.PathPattern(a, b), int64(2*i+1)); err != nil {
+			t.Fatal(err)
+		}
+		if i%2 == 0 {
+			if err := s.Add(labeltree.PathPattern(a, b, a), 3); err != nil {
+				t.Fatal(err)
+			}
+		}
+		shards[i] = s
+	}
+	return shards
+}
+
+func TestReduceMatchesSequentialMerge(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 8} {
+		for _, workers := range []int{1, 4} {
+			t.Run(fmt.Sprintf("shards=%d/workers=%d", n, workers), func(t *testing.T) {
+				d, a, b := twoLabels()
+
+				seq := New(4, d)
+				for _, sh := range reduceShards(t, d, a, b, n) {
+					if err := seq.Merge(sh); err != nil {
+						t.Fatal(err)
+					}
+				}
+
+				got, err := Reduce(context.Background(), reduceShards(t, d, a, b, n), workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var wantBuf, gotBuf bytes.Buffer
+				if _, err := seq.WriteTo(&wantBuf); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := got.WriteTo(&gotBuf); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(wantBuf.Bytes(), gotBuf.Bytes()) {
+					t.Fatal("reduced summary differs from sequential merge")
+				}
+			})
+		}
+	}
+}
+
+func TestReduceErrors(t *testing.T) {
+	d, a, _ := twoLabels()
+	if _, err := Reduce(context.Background(), nil, 2); err == nil {
+		t.Fatal("reduce of zero shards accepted")
+	}
+
+	mismatched := []*Summary{New(4, d), New(3, d)}
+	if _, err := Reduce(context.Background(), mismatched, 2); err == nil {
+		t.Fatal("reduce of mismatched K accepted")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	shards := []*Summary{New(4, d), New(4, d)}
+	shards[0].Add(labeltree.SingleNode(a), 1)
+	if _, err := Reduce(ctx, shards, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled reduce returned %v, want context.Canceled", err)
+	}
+}

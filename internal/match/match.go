@@ -13,6 +13,7 @@
 package match
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sync"
@@ -196,18 +197,33 @@ func permanent(rows [][]int64) int64 {
 }
 
 // CountAll counts every pattern concurrently and returns the counts in
-// input order.
+// input order, using all available CPUs.
 func (c *Counter) CountAll(patterns []labeltree.Pattern) []int64 {
+	out, _ := c.CountAllContext(context.Background(), patterns, 0)
+	return out
+}
+
+// CountAllContext is CountAll with an explicit worker count and
+// cancellation: counting stops early (returning ctx.Err()) once ctx is
+// done. workers <= 0 means GOMAXPROCS.
+func (c *Counter) CountAllContext(ctx context.Context, patterns []labeltree.Pattern, workers int) ([]int64, error) {
 	out := make([]int64, len(patterns))
-	workers := runtime.GOMAXPROCS(0)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > len(patterns) {
 		workers = len(patterns)
 	}
 	if workers <= 1 {
 		for i, p := range patterns {
+			if i%64 == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			out[i] = c.Count(p)
 		}
-		return out
+		return out, nil
 	}
 	var wg sync.WaitGroup
 	next := make(chan int)
@@ -220,12 +236,20 @@ func (c *Counter) CountAll(patterns []labeltree.Pattern) []int64 {
 			}
 		}()
 	}
+dispatch:
 	for i := range patterns {
-		next <- i
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
-	return out
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 func satAdd(a, b int64) int64 {

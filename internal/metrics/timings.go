@@ -1,0 +1,70 @@
+package metrics
+
+import (
+	"sync"
+	"time"
+)
+
+// StageTiming is the wall-clock duration of one named build stage.
+type StageTiming struct {
+	Stage    string        `json:"stage"`
+	Duration time.Duration `json:"duration"`
+}
+
+// BuildTimings accumulates per-stage wall-clock timings of a summary
+// build (parse, mine, reduce, merge, persist). It is safe for concurrent
+// use, and a nil *BuildTimings is a valid no-op sink, so producers can
+// record unconditionally.
+type BuildTimings struct {
+	mu     sync.Mutex
+	stages []StageTiming
+}
+
+// Record adds a completed stage measurement.
+func (b *BuildTimings) Record(stage string, d time.Duration) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.stages = append(b.stages, StageTiming{Stage: stage, Duration: d})
+}
+
+// Start begins timing a stage and returns the function that stops the
+// clock and records the measurement.
+func (b *BuildTimings) Start(stage string) func() {
+	if b == nil {
+		return func() {}
+	}
+	t0 := time.Now()
+	return func() { b.Record(stage, time.Since(t0)) }
+}
+
+// Stages returns the recorded measurements in record order.
+func (b *BuildTimings) Stages() []StageTiming {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]StageTiming(nil), b.stages...)
+}
+
+// Total sums all recorded stage durations.
+func (b *BuildTimings) Total() time.Duration {
+	var total time.Duration
+	for _, s := range b.Stages() {
+		total += s.Duration
+	}
+	return total
+}
+
+// Millis returns stage durations in (fractional) milliseconds, summing
+// repeated stages — the shape the stats endpoint serves.
+func (b *BuildTimings) Millis() map[string]float64 {
+	out := make(map[string]float64)
+	for _, s := range b.Stages() {
+		out[s.Stage] += float64(s.Duration) / float64(time.Millisecond)
+	}
+	return out
+}

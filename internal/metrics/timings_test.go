@@ -1,0 +1,68 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBuildTimingsNilSafe(t *testing.T) {
+	var b *BuildTimings
+	b.Record("mine", time.Second) // must not panic
+	b.Start("parse")()
+	if got := b.Stages(); got != nil {
+		t.Fatalf("nil Stages = %v", got)
+	}
+	if got := b.Total(); got != 0 {
+		t.Fatalf("nil Total = %v", got)
+	}
+	if got := b.Millis(); len(got) != 0 {
+		t.Fatalf("nil Millis = %v", got)
+	}
+}
+
+func TestBuildTimingsRecordAndStart(t *testing.T) {
+	b := &BuildTimings{}
+	b.Record("parse", 20*time.Millisecond)
+	stop := b.Start("mine")
+	time.Sleep(time.Millisecond)
+	stop()
+	b.Record("mine", 10*time.Millisecond)
+
+	stages := b.Stages()
+	if len(stages) != 3 || stages[0].Stage != "parse" || stages[1].Stage != "mine" {
+		t.Fatalf("stages = %v", stages)
+	}
+	if stages[1].Duration <= 0 {
+		t.Fatalf("Start/stop recorded %v", stages[1].Duration)
+	}
+	if got := b.Total(); got < 30*time.Millisecond {
+		t.Fatalf("Total = %v, want >= 30ms", got)
+	}
+	ms := b.Millis()
+	if ms["parse"] != 20 {
+		t.Fatalf("Millis[parse] = %v, want 20", ms["parse"])
+	}
+	// Repeated stages sum.
+	if ms["mine"] <= 10 {
+		t.Fatalf("Millis[mine] = %v, want > 10", ms["mine"])
+	}
+}
+
+func TestBuildTimingsConcurrent(t *testing.T) {
+	b := &BuildTimings{}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				b.Record("mine", time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(b.Stages()); got != 800 {
+		t.Fatalf("recorded %d stages, want 800", got)
+	}
+}

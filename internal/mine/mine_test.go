@@ -1,6 +1,8 @@
 package mine
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
@@ -152,6 +154,42 @@ func TestMineDeterministic(t *testing.T) {
 	for i := range e1 {
 		if e1[i].Pattern.Key() != e2[i].Pattern.Key() || e1[i].Count != e2[i].Count {
 			t.Fatal("nondeterministic mining result")
+		}
+	}
+}
+
+func TestMineContextCanceled(t *testing.T) {
+	dict, alphabet := treetest.Alphabet(3)
+	rng := rand.New(rand.NewSource(5))
+	tr := treetest.RandomTree(rng, 200, alphabet, dict)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := MineContext(ctx, tr, 4, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled mine returned %v, want context.Canceled", err)
+	}
+}
+
+func TestMineWorkerCountEquivalence(t *testing.T) {
+	dict, alphabet := treetest.Alphabet(3)
+	rng := rand.New(rand.NewSource(31))
+	tr := treetest.RandomTree(rng, 80, alphabet, dict)
+	base, err := Mine(tr, 4, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		got, err := Mine(tr, 4, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e1, e2 := base.Entries(0), got.Entries(0)
+		if len(e1) != len(e2) {
+			t.Fatalf("workers=%d: %d patterns, want %d", workers, len(e2), len(e1))
+		}
+		for i := range e1 {
+			if e1[i].Pattern.Key() != e2[i].Pattern.Key() || e1[i].Count != e2[i].Count {
+				t.Fatalf("workers=%d: entry %d differs", workers, i)
+			}
 		}
 	}
 }

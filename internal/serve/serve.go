@@ -12,54 +12,94 @@
 //
 // Queries use the twig syntax ("a(b,c(d))"). Estimation methods:
 // recursive, recursive+voting (default), fix-sized.
+//
+// Every error response carries the JSON envelope
+//
+//	{"error": <message>, "code": <machine-readable code>}
+//
+// with codes: bad_query, unknown_method, bad_document, too_large,
+// exists, not_found, method_not_allowed, canceled, internal.
+//
+// Document uploads are mined into a private shard lattice and merged
+// into the live summary incrementally — a POST never triggers a full
+// rebuild — and the mine is bounded by the request context, so a client
+// disconnect abandons the work without mutating the corpus.
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
-	"strings"
 	"sync"
 
 	"treelattice/internal/core"
 	"treelattice/internal/corpus"
 	"treelattice/internal/estimate"
-	"treelattice/internal/labeltree"
 	"treelattice/internal/qcache"
 )
 
-// MaxDocumentBytes bounds uploaded document size.
+// MaxDocumentBytes bounds uploaded document size; larger bodies get 413.
 const MaxDocumentBytes = 64 << 20
+
+// Options configures the handler.
+type Options struct {
+	// Workers bounds the parallelism of upload mining (0 = GOMAXPROCS).
+	Workers int
+	// MaxDocumentBytes overrides the upload size limit (0 = the
+	// MaxDocumentBytes constant).
+	MaxDocumentBytes int64
+}
 
 // Handler serves a corpus. Reads take the read lock; document mutations
 // serialize on the write lock and invalidate the estimate cache.
 type Handler struct {
-	mu    sync.RWMutex
-	c     *corpus.Corpus
-	cache *qcache.Cache
+	mu       sync.RWMutex
+	c        *corpus.Corpus
+	cache    *qcache.Cache
+	mux      *http.ServeMux
+	maxBytes int64
 }
 
-// NewHandler wraps a corpus.
+// NewHandler wraps a corpus with default options.
 func NewHandler(c *corpus.Corpus) *Handler {
-	return &Handler{c: c, cache: qcache.New(4096)}
+	return NewHandlerOptions(c, Options{})
+}
+
+// NewHandlerOptions wraps a corpus.
+func NewHandlerOptions(c *corpus.Corpus, opts Options) *Handler {
+	if opts.Workers > 0 {
+		c.SetWorkers(opts.Workers)
+	}
+	h := &Handler{c: c, cache: qcache.New(4096), maxBytes: opts.MaxDocumentBytes}
+	if h.maxBytes <= 0 {
+		h.maxBytes = MaxDocumentBytes
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/estimate", h.estimate)
+	mux.HandleFunc("GET /v1/exact", h.exact)
+	mux.HandleFunc("GET /v1/explain", h.explain)
+	mux.HandleFunc("GET /v1/stats", h.stats)
+	mux.HandleFunc("POST /v1/docs/{name}", h.addDoc)
+	mux.HandleFunc("DELETE /v1/docs/{name}", h.removeDoc)
+	// Method-less fallbacks: a matching path with the wrong verb gets the
+	// JSON envelope instead of the mux's plain-text 405.
+	mux.HandleFunc("/v1/estimate", methodNotAllowed("GET"))
+	mux.HandleFunc("/v1/exact", methodNotAllowed("GET"))
+	mux.HandleFunc("/v1/explain", methodNotAllowed("GET"))
+	mux.HandleFunc("/v1/stats", methodNotAllowed("GET"))
+	mux.HandleFunc("/v1/docs/{name}", methodNotAllowed("POST, DELETE"))
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound, "not_found", "no such endpoint")
+	})
+	h.mux = mux
+	return h
 }
 
 // ServeHTTP implements http.Handler.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	switch {
-	case r.URL.Path == "/v1/estimate" && r.Method == http.MethodGet:
-		h.estimate(w, r)
-	case r.URL.Path == "/v1/exact" && r.Method == http.MethodGet:
-		h.exact(w, r)
-	case r.URL.Path == "/v1/explain" && r.Method == http.MethodGet:
-		h.explain(w, r)
-	case r.URL.Path == "/v1/stats" && r.Method == http.MethodGet:
-		h.stats(w, r)
-	case strings.HasPrefix(r.URL.Path, "/v1/docs/"):
-		h.docs(w, r)
-	default:
-		httpError(w, http.StatusNotFound, "no such endpoint")
-	}
+	h.mux.ServeHTTP(w, r)
 }
 
 func (h *Handler) method(r *http.Request) core.Method {
@@ -73,20 +113,27 @@ func (h *Handler) method(r *http.Request) core.Method {
 func (h *Handler) estimate(w http.ResponseWriter, r *http.Request) {
 	qs := r.URL.Query().Get("q")
 	if qs == "" {
-		httpError(w, http.StatusBadRequest, "missing q parameter")
+		writeError(w, http.StatusBadRequest, "bad_query", "missing q parameter")
 		return
 	}
 	method := h.method(r)
 	h.mu.RLock()
 	defer h.mu.RUnlock()
-	q, err := labeltree.ParsePattern(qs, h.c.Dict())
+	sum := h.c.Summary()
+	estimator, err := sum.Estimator(method)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+		writeCoreError(w, err)
 		return
 	}
-	estimator, err := h.c.Summary().Estimator(method)
+	q, err := sum.ParseQuery(qs)
+	if errors.Is(err, core.ErrUnknownLabel) {
+		// A label no document has ever carried cannot match: the true
+		// selectivity is exactly zero.
+		writeJSON(w, map[string]any{"query": qs, "estimate": 0.0})
+		return
+	}
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+		writeCoreError(w, err)
 		return
 	}
 	est := h.cache.GetOrCompute(string(method), q, func() float64 {
@@ -98,14 +145,18 @@ func (h *Handler) estimate(w http.ResponseWriter, r *http.Request) {
 func (h *Handler) exact(w http.ResponseWriter, r *http.Request) {
 	qs := r.URL.Query().Get("q")
 	if qs == "" {
-		httpError(w, http.StatusBadRequest, "missing q parameter")
+		writeError(w, http.StatusBadRequest, "bad_query", "missing q parameter")
 		return
 	}
 	h.mu.RLock()
 	defer h.mu.RUnlock()
-	q, err := labeltree.ParsePattern(qs, h.c.Dict())
+	q, err := h.c.Summary().ParseQuery(qs)
+	if errors.Is(err, core.ErrUnknownLabel) {
+		writeJSON(w, map[string]any{"query": qs, "count": int64(0)})
+		return
+	}
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+		writeCoreError(w, err)
 		return
 	}
 	writeJSON(w, map[string]any{"query": qs, "count": h.c.ExactCount(q)})
@@ -114,22 +165,23 @@ func (h *Handler) exact(w http.ResponseWriter, r *http.Request) {
 func (h *Handler) explain(w http.ResponseWriter, r *http.Request) {
 	qs := r.URL.Query().Get("q")
 	if qs == "" {
-		httpError(w, http.StatusBadRequest, "missing q parameter")
+		writeError(w, http.StatusBadRequest, "bad_query", "missing q parameter")
 		return
 	}
 	h.mu.RLock()
 	defer h.mu.RUnlock()
-	q, err := labeltree.ParsePattern(qs, h.c.Dict())
+	sum := h.c.Summary()
+	q, err := sum.ParseQuery(qs)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+		writeCoreError(w, err)
 		return
 	}
-	est, trace, err := h.c.Summary().EstimateWithTrace(q, core.MethodRecursiveVoting)
+	est, trace, err := sum.EstimateWithTrace(q, core.MethodRecursiveVoting)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+		writeCoreError(w, err)
 		return
 	}
-	iv := h.c.Summary().EstimateInterval(q)
+	iv := sum.EstimateInterval(q)
 	writeJSON(w, explainResponse{
 		Query:    qs,
 		Estimate: est,
@@ -152,7 +204,7 @@ func (h *Handler) stats(w http.ResponseWriter, _ *http.Request) {
 	defer h.mu.RUnlock()
 	s := h.c.Summary()
 	hits, misses, size := h.cache.Stats()
-	writeJSON(w, map[string]any{
+	resp := map[string]any{
 		"k":            s.K(),
 		"patterns":     s.Patterns(),
 		"bytes":        s.SizeBytes(),
@@ -160,39 +212,85 @@ func (h *Handler) stats(w http.ResponseWriter, _ *http.Request) {
 		"cache_hits":   hits,
 		"cache_misses": misses,
 		"cache_size":   size,
-	})
+		"workers":      h.c.Workers(),
+	}
+	if t := h.c.BuildTimings(); t != nil {
+		resp["last_build_ms"] = t.Millis()
+	}
+	writeJSON(w, resp)
 }
 
-func (h *Handler) docs(w http.ResponseWriter, r *http.Request) {
-	name := strings.TrimPrefix(r.URL.Path, "/v1/docs/")
-	switch r.Method {
-	case http.MethodPost:
-		h.mu.Lock()
-		err := h.c.AddXML(name, http.MaxBytesReader(w, r.Body, MaxDocumentBytes))
-		if err == nil {
-			h.cache.Invalidate()
-		}
-		h.mu.Unlock()
-		if err != nil {
-			httpError(w, http.StatusBadRequest, err.Error())
-			return
-		}
-		w.WriteHeader(http.StatusCreated)
-		writeJSON(w, map[string]any{"added": name})
-	case http.MethodDelete:
-		h.mu.Lock()
-		err := h.c.Remove(name)
-		if err == nil {
-			h.cache.Invalidate()
-		}
-		h.mu.Unlock()
-		if err != nil {
-			httpError(w, http.StatusNotFound, err.Error())
-			return
-		}
-		writeJSON(w, map[string]any{"removed": name})
+func (h *Handler) addDoc(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	body := http.MaxBytesReader(w, r.Body, h.maxBytes)
+	h.mu.Lock()
+	err := h.c.AddXMLContext(r.Context(), name, body)
+	if err == nil {
+		h.cache.Invalidate()
+	}
+	h.mu.Unlock()
+	if err != nil {
+		writeCorpusError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusCreated)
+	writeJSON(w, map[string]any{"added": name})
+}
+
+func (h *Handler) removeDoc(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	h.mu.Lock()
+	err := h.c.Remove(name)
+	if err == nil {
+		h.cache.Invalidate()
+	}
+	h.mu.Unlock()
+	if err != nil {
+		writeCorpusError(w, err)
+		return
+	}
+	writeJSON(w, map[string]any{"removed": name})
+}
+
+func methodNotAllowed(allow string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Allow", allow)
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+			fmt.Sprintf("use %s", allow))
+	}
+}
+
+// writeCoreError maps estimation-side errors onto the envelope.
+func writeCoreError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, core.ErrBadQuery):
+		writeError(w, http.StatusBadRequest, "bad_query", err.Error())
+	case errors.Is(err, core.ErrUnknownLabel):
+		writeError(w, http.StatusBadRequest, "unknown_label", err.Error())
+	case errors.Is(err, core.ErrUnknownMethod):
+		writeError(w, http.StatusBadRequest, "unknown_method", err.Error())
 	default:
-		httpError(w, http.StatusMethodNotAllowed, "use POST or DELETE")
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+	}
+}
+
+// writeCorpusError maps document-mutation errors onto the envelope.
+func writeCorpusError(w http.ResponseWriter, err error) {
+	var tooLarge *http.MaxBytesError
+	switch {
+	case errors.As(err, &tooLarge):
+		writeError(w, http.StatusRequestEntityTooLarge, "too_large",
+			fmt.Sprintf("document exceeds %d bytes", tooLarge.Limit))
+	case errors.Is(err, corpus.ErrDocExists):
+		writeError(w, http.StatusConflict, "exists", err.Error())
+	case errors.Is(err, corpus.ErrNoSuchDoc):
+		writeError(w, http.StatusNotFound, "not_found", err.Error())
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// 499 in nginx's vocabulary; stdlib has no constant for it.
+		writeError(w, 499, "canceled", err.Error())
+	default:
+		writeError(w, http.StatusBadRequest, "bad_document", err.Error())
 	}
 }
 
@@ -204,8 +302,8 @@ func writeJSON(w http.ResponseWriter, v any) {
 	}
 }
 
-func httpError(w http.ResponseWriter, code int, msg string) {
+func writeError(w http.ResponseWriter, status int, code, msg string) {
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg, "code": code})
 }

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -110,23 +111,166 @@ func TestErrors(t *testing.T) {
 		method, path, body string
 		wantCode           int
 	}{
-		{"GET", "/v1/estimate", "", 400},                  // missing q
-		{"GET", "/v1/estimate?q=a((", "", 400},            // bad query
-		{"GET", "/v1/estimate?q=a&method=bogus", "", 400}, // bad method
+		{"GET", "/v1/estimate", "", 400},                       // missing q
+		{"GET", "/v1/estimate?q=a((", "", 400},                 // bad query
+		{"GET", "/v1/estimate?q=laptop&method=bogus", "", 400}, // bad method
 		{"GET", "/v1/exact", "", 400},
 		{"GET", "/v1/explain", "", 400},
 		{"GET", "/v1/nope", "", 404},
-		{"POST", "/v1/docs/bad", "<a><b>", 400}, // malformed XML
-		{"DELETE", "/v1/docs/missing", "", 404}, // unknown doc
-		{"PUT", "/v1/docs/x", "<a/>", 405},      // bad method
-		{"POST", "/v1/docs/..", "<a/>", 400},    // bad name
+		{"POST", "/v1/docs/bad", "<a><b>", 400},     // malformed XML
+		{"DELETE", "/v1/docs/missing", "", 404},     // unknown doc
+		{"PUT", "/v1/docs/x", "<a/>", 405},          // bad method
+		{"PUT", "/v1/estimate", "", 405},            // bad method on query route
+		{"POST", "/v1/docs/%2e%2e", "<a/>", 400},    // traversal name
+		{"POST", "/v1/docs/sample", doc + doc, 400}, // two roots
 	} {
 		code, out := do(t, tc.method, srv.URL+tc.path, tc.body)
 		if code != tc.wantCode {
 			t.Errorf("%s %s: code %d (%v), want %d", tc.method, tc.path, code, out, tc.wantCode)
 		}
-		if _, ok := out["error"]; !ok && code >= 400 {
-			t.Errorf("%s %s: error response missing error field: %v", tc.method, tc.path, out)
+		if code >= 400 {
+			if _, ok := out["error"]; !ok {
+				t.Errorf("%s %s: error response missing error field: %v", tc.method, tc.path, out)
+			}
+			if s, ok := out["code"].(string); !ok || s == "" {
+				t.Errorf("%s %s: error response missing code field: %v", tc.method, tc.path, out)
+			}
+		}
+	}
+}
+
+// TestErrorCodes pins the machine-readable code per failure class.
+func TestErrorCodes(t *testing.T) {
+	srv, _ := newServer(t)
+	do(t, "POST", srv.URL+"/v1/docs/sample", doc)
+	for _, tc := range []struct {
+		method, path, body string
+		wantCode           string
+	}{
+		{"GET", "/v1/estimate?q=a((", "", "bad_query"},
+		{"GET", "/v1/estimate?q=laptop&method=bogus", "", "unknown_method"},
+		{"GET", "/v1/nope", "", "not_found"},
+		{"PUT", "/v1/docs/x", "<a/>", "method_not_allowed"},
+		{"POST", "/v1/docs/sample", doc, "exists"},
+		{"POST", "/v1/docs/bad", "<a><b>", "bad_document"},
+		{"DELETE", "/v1/docs/missing", "", "not_found"},
+	} {
+		_, out := do(t, tc.method, srv.URL+tc.path, tc.body)
+		if got, _ := out["code"].(string); got != tc.wantCode {
+			t.Errorf("%s %s: code %q, want %q (%v)", tc.method, tc.path, got, tc.wantCode, out)
+		}
+	}
+}
+
+// TestUnknownLabelEstimatesZero checks that a query naming a label no
+// document ever carried answers 0 rather than erroring: absence is a
+// selectivity fact, not a client mistake.
+func TestUnknownLabelEstimatesZero(t *testing.T) {
+	srv, _ := newServer(t)
+	do(t, "POST", srv.URL+"/v1/docs/sample", doc)
+	code, out := do(t, "GET", srv.URL+"/v1/estimate?q=never_seen(brand)", "")
+	if code != 200 || out["estimate"].(float64) != 0 {
+		t.Fatalf("unknown label estimate: %d %v", code, out)
+	}
+	code, out = do(t, "GET", srv.URL+"/v1/exact?q=never_seen2", "")
+	if code != 200 || out["count"].(float64) != 0 {
+		t.Fatalf("unknown label exact: %d %v", code, out)
+	}
+}
+
+// TestUploadTooLarge checks the MaxBytesReader guard: an oversized body
+// gets 413 with the too_large code, and the corpus stays unchanged.
+func TestUploadTooLarge(t *testing.T) {
+	c, err := corpus.Create(t.TempDir(), corpus.Options{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandlerOptions(c, Options{MaxDocumentBytes: 256}))
+	t.Cleanup(srv.Close)
+
+	big := "<root>" + strings.Repeat("<a/>", 200) + "</root>"
+	code, out := do(t, "POST", srv.URL+"/v1/docs/big", big)
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized upload: code %d (%v), want 413", code, out)
+	}
+	if got, _ := out["code"].(string); got != "too_large" {
+		t.Fatalf("oversized upload code = %q, want too_large (%v)", got, out)
+	}
+	_, stats := do(t, "GET", srv.URL+"/v1/stats", "")
+	if docs := stats["documents"].([]any); len(docs) != 0 {
+		t.Fatalf("oversized upload mutated corpus: %v", docs)
+	}
+
+	// A body under the limit still works.
+	code, _ = do(t, "POST", srv.URL+"/v1/docs/small", "<root><a/></root>")
+	if code != http.StatusCreated {
+		t.Fatalf("small upload: code %d", code)
+	}
+}
+
+// TestConcurrentEstimateAndUpload races reads against incremental merges:
+// run under -race, it checks the lock discipline across the estimate
+// path, the cache, and the upload pipeline.
+func TestConcurrentEstimateAndUpload(t *testing.T) {
+	srv, _ := newServer(t)
+	do(t, "POST", srv.URL+"/v1/docs/seed", doc)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				resp, err := http.Get(srv.URL + "/v1/estimate?q=laptop(brand,price)")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					t.Errorf("estimate status %d", resp.StatusCode)
+				}
+			}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := fmt.Sprintf("doc%d", i)
+			resp, err := http.Post(srv.URL+"/v1/docs/"+name, "application/xml", strings.NewReader(doc))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusCreated {
+				t.Errorf("upload %s status %d", name, resp.StatusCode)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// All five documents merged: the corpus-wide count is exact.
+	_, out := do(t, "GET", srv.URL+"/v1/exact?q=laptop(brand,price)", "")
+	if got := out["count"].(float64); got != 10 {
+		t.Fatalf("after concurrent uploads count = %v, want 10", got)
+	}
+}
+
+// TestStatsReportsBuildTimings checks per-stage timings surface after an
+// upload.
+func TestStatsReportsBuildTimings(t *testing.T) {
+	srv, _ := newServer(t)
+	do(t, "POST", srv.URL+"/v1/docs/sample", doc)
+	_, out := do(t, "GET", srv.URL+"/v1/stats", "")
+	ms, ok := out["last_build_ms"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats missing last_build_ms: %v", out)
+	}
+	for _, stage := range []string{"parse", "mine", "persist"} {
+		if _, ok := ms[stage]; !ok {
+			t.Errorf("last_build_ms missing stage %q: %v", stage, ms)
 		}
 	}
 }

@@ -8,8 +8,15 @@
 //
 //	dict := treelattice.NewDict()
 //	tree, err := treelattice.ParseXML(file, dict)
-//	sum, err := treelattice.Build(tree, treelattice.BuildOptions{K: 4})
-//	est, err := sum.EstimateQuery("laptop(brand,price)", treelattice.MethodRecursiveVoting)
+//	sum, err := treelattice.BuildContext(ctx, tree, treelattice.BuildOptions{K: 4})
+//	est, err := sum.EstimateQueryContext(ctx, "laptop(brand,price)", treelattice.MethodRecursiveVoting)
+//
+// The context-free variants (Build, EstimateQuery, ...) remain as thin
+// wrappers over context.Background(). Builds parallelize across
+// BuildOptions.Workers goroutines (default GOMAXPROCS) and abort promptly
+// when ctx is canceled; BuildForestContext fans a whole document set out
+// across the worker pool. Failures wrap the exported sentinel errors
+// (ErrBadQuery, ErrUnknownLabel, ErrKTooLarge, ...) for errors.Is.
 //
 // The package re-exports the system's public surface; the implementation
 // lives in the internal packages (see DESIGN.md for the map):
@@ -27,6 +34,7 @@
 package treelattice
 
 import (
+	"context"
 	"io"
 
 	"treelattice/internal/core"
@@ -61,6 +69,27 @@ const (
 	MethodFixSized        = core.MethodFixSized
 )
 
+// MaxK caps BuildOptions.K; larger values fail with ErrKTooLarge.
+const MaxK = core.MaxK
+
+// Sentinel errors, re-exported for errors.Is against any failure this
+// package returns.
+var (
+	// ErrBadQuery reports a twig query that does not parse.
+	ErrBadQuery = core.ErrBadQuery
+	// ErrUnknownLabel reports a query naming a label no document or
+	// summary has ever carried; its true selectivity is zero.
+	ErrUnknownLabel = core.ErrUnknownLabel
+	// ErrUnknownMethod reports an estimation method outside Methods().
+	ErrUnknownMethod = core.ErrUnknownMethod
+	// ErrKTooLarge reports a BuildOptions.K beyond MaxK.
+	ErrKTooLarge = core.ErrKTooLarge
+	// ErrPrunedSummary reports incremental maintenance on a pruned summary.
+	ErrPrunedSummary = core.ErrPrunedSummary
+	// ErrDictMismatch reports mixed label dictionaries.
+	ErrDictMismatch = core.ErrDictMismatch
+)
+
 // NewDict returns an empty label dictionary.
 func NewDict() *Dict { return labeltree.NewDict() }
 
@@ -79,6 +108,22 @@ func ParseQuery(query string, dict *Dict) (Pattern, error) {
 
 // Build mines a K-lattice summary from a document.
 func Build(t *Tree, opts BuildOptions) (*Summary, error) { return core.Build(t, opts) }
+
+// BuildContext is Build with cancellation and deadline awareness: the
+// level-wise mining loop checks ctx between levels and while counting
+// candidates. opts.Workers bounds the build's parallelism (0 means
+// GOMAXPROCS).
+func BuildContext(ctx context.Context, t *Tree, opts BuildOptions) (*Summary, error) {
+	return core.BuildContext(ctx, t, opts)
+}
+
+// BuildForestContext mines one shared summary from several documents in
+// parallel: each tree is mined into a private shard by a worker pool and
+// the shards are merged. All trees must share a Dict, and the result is
+// bit-identical to sequential mining regardless of worker count.
+func BuildForestContext(ctx context.Context, trees []*Tree, opts BuildOptions) (*Summary, error) {
+	return core.BuildForestContext(ctx, trees, opts)
+}
 
 // ReadSummary loads a summary serialized with Summary.WriteTo.
 func ReadSummary(r io.Reader, dict *Dict) (*Summary, error) { return core.Read(r, dict) }

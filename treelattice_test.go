@@ -2,6 +2,8 @@ package treelattice_test
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -59,6 +61,67 @@ func TestPublicAPIRoundTrip(t *testing.T) {
 	}
 	if got != 2 {
 		t.Fatalf("reloaded estimate = %v, want 2", got)
+	}
+}
+
+func TestPublicContextAPI(t *testing.T) {
+	dict := treelattice.NewDict()
+	tree, err := treelattice.ParseXML(strings.NewReader(doc), dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	sum, err := treelattice.BuildContext(ctx, tree, treelattice.BuildOptions{K: 3, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sum.EstimateQueryContext(ctx, "laptop(brand,price)", treelattice.MethodRecursive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Fatalf("estimate = %v, want 2", got)
+	}
+
+	forest, err := treelattice.BuildForestContext(ctx, []*treelattice.Tree{tree}, treelattice.BuildOptions{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	sum.WriteTo(&a)
+	forest.WriteTo(&b)
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("single-tree forest build differs from Build")
+	}
+
+	canceled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := treelattice.BuildContext(canceled, tree, treelattice.BuildOptions{K: 3}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled build returned %v", err)
+	}
+}
+
+func TestPublicSentinelErrors(t *testing.T) {
+	dict := treelattice.NewDict()
+	tree, err := treelattice.ParseXML(strings.NewReader(doc), dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := treelattice.Build(tree, treelattice.BuildOptions{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sum.EstimateQuery("a((", treelattice.MethodRecursive); !errors.Is(err, treelattice.ErrBadQuery) {
+		t.Fatalf("want ErrBadQuery, got %v", err)
+	}
+	if _, err := sum.EstimateQuery("no_such_label", treelattice.MethodRecursive); !errors.Is(err, treelattice.ErrUnknownLabel) {
+		t.Fatalf("want ErrUnknownLabel, got %v", err)
+	}
+	if _, err := sum.EstimateQuery("laptop", treelattice.Method("bogus")); !errors.Is(err, treelattice.ErrUnknownMethod) {
+		t.Fatalf("want ErrUnknownMethod, got %v", err)
+	}
+	if _, err := treelattice.Build(tree, treelattice.BuildOptions{K: treelattice.MaxK + 1}); !errors.Is(err, treelattice.ErrKTooLarge) {
+		t.Fatalf("want ErrKTooLarge, got %v", err)
 	}
 }
 
