@@ -1,10 +1,12 @@
 # Stdlib-only Go module; no codegen. `make check` is the full gate the
 # test suite is expected to pass, including the race detector (the
 # concurrent build pipeline and the HTTP server are exercised under -race).
+# `make bench` is the serving-path load benchmark — deliberately outside
+# the check gate: it measures, it does not pass/fail.
 
 GO ?= go
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race bench microbench
 
 check: vet build race
 
@@ -20,5 +22,14 @@ test:
 race:
 	$(GO) test -race ./...
 
+# bench seeds the serving perf trajectory: generate a synthetic corpus,
+# start an in-process server, drive a short closed-loop load run, and
+# write BENCH_serve.json (achieved QPS, p50/p95/p99, server-side
+# metrics). The report schema is regression-tested in
+# cmd/treelattice/loadbench_test.go.
 bench:
+	$(GO) run ./cmd/treelattice loadbench -gen xmark -scale 20000 \
+		-duration 3s -warmup 500ms -seed 1 -out BENCH_serve.json
+
+microbench:
 	$(GO) test -bench . -benchtime 1x ./...

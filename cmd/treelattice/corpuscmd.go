@@ -2,18 +2,24 @@ package main
 
 import (
 	"context"
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"treelattice/internal/core"
 	"treelattice/internal/corpus"
 	"treelattice/internal/labeltree"
+	"treelattice/internal/obs"
 	"treelattice/internal/serve"
 )
 
@@ -171,12 +177,14 @@ func runCorpus(args []string, stdout io.Writer) error {
 	}
 }
 
-// runServe serves a corpus over HTTP until the process is stopped.
+// runServe serves a corpus over HTTP until the process receives SIGINT or
+// SIGTERM, then drains in-flight requests before exiting.
 func runServe(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	dir := fs.String("corpus", "", "corpus directory")
 	addr := fs.String("addr", "127.0.0.1:8357", "listen address")
 	workers := fs.Int("workers", 0, "upload mining parallelism (0 = all CPUs)")
+	debugAddr := fs.String("debug-addr", "", "separate listen address for pprof/expvar/metrics (off when empty)")
 	fs.Parse(args)
 	if *dir == "" {
 		return fmt.Errorf("serve: -corpus is required")
@@ -185,6 +193,75 @@ func runServe(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "serving corpus %s on http://%s\n", *dir, *addr)
-	return http.ListenAndServe(*addr, serve.NewHandlerOptions(c, serve.Options{Workers: *workers}))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return serveCorpus(ctx, c, *addr, *debugAddr, *workers, stdout)
+}
+
+// shutdownTimeout bounds the graceful drain: in-flight estimates are
+// sub-millisecond, but an upload mid-mine can hold the write lock for a
+// while on a big document.
+const shutdownTimeout = 10 * time.Second
+
+// serveCorpus runs the HTTP server (and optional debug listener) until
+// ctx is canceled, then shuts down gracefully. Split from runServe so
+// tests can drive the full lifecycle without sending real signals.
+func serveCorpus(ctx context.Context, c *corpus.Corpus, addr, debugAddr string, workers int, stdout io.Writer) error {
+	handler := serve.NewHandlerOptions(c, serve.Options{Workers: workers})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "serving corpus on http://%s\n", ln.Addr())
+	srv := &http.Server{Handler: handler}
+
+	// Profiling and low-level introspection never share the traffic
+	// port: a held /debug/pprof/profile stream or a heap dump must not
+	// compete with estimate traffic for accept slots, and the debug
+	// surface stays unreachable from wherever the traffic port is
+	// exposed.
+	var debugSrv *http.Server
+	if debugAddr != "" {
+		dln, err := net.Listen("tcp", debugAddr)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		debugSrv = &http.Server{Handler: debugMux(handler.Metrics())}
+		go debugSrv.Serve(dln)
+		fmt.Fprintf(stdout, "debug endpoints (pprof, expvar, metrics) on http://%s\n", dln.Addr())
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(stdout, "shutting down: draining in-flight requests")
+	sctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+	defer cancel()
+	if debugSrv != nil {
+		debugSrv.Shutdown(sctx)
+	}
+	return srv.Shutdown(sctx)
+}
+
+// debugMux mounts net/http/pprof, expvar, and the obs registry on a
+// private mux (the pprof import's side-effect registrations go to
+// http.DefaultServeMux, which the traffic server never uses).
+func debugMux(reg *obs.Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		reg.WriteJSON(w)
+	})
+	return mux
 }

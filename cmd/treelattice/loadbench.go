@@ -1,0 +1,293 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"treelattice/internal/core"
+	"treelattice/internal/corpus"
+	"treelattice/internal/datagen"
+	"treelattice/internal/labeltree"
+	"treelattice/internal/loadgen"
+	"treelattice/internal/obs"
+	"treelattice/internal/serve"
+)
+
+// benchReport is the BENCH_serve.json schema: the run's configuration,
+// the driver-side result (achieved QPS, error count, latency quantiles),
+// and — when the run went over HTTP — the server-side metrics snapshot so
+// driver and server numbers can be cross-checked.
+type benchReport struct {
+	Config        benchConfig     `json:"config"`
+	Workload      workloadSummary `json:"workload"`
+	Result        *loadgen.Result `json:"result"`
+	ServerMetrics *obs.Snapshot   `json:"server_metrics,omitempty"`
+}
+
+type benchConfig struct {
+	Corpus      string  `json:"corpus,omitempty"`
+	Generated   string  `json:"generated,omitempty"`
+	Scale       int     `json:"scale,omitempty"`
+	K           int     `json:"k"`
+	Method      string  `json:"method"`
+	Sizes       []int   `json:"sizes"`
+	PerSize     int     `json:"per_size"`
+	NegFraction float64 `json:"negative_fraction"`
+	Seed        int64   `json:"seed"`
+	Concurrency int     `json:"concurrency"`
+	DurationSec float64 `json:"duration_seconds,omitempty"`
+	Requests    int     `json:"requests,omitempty"`
+	WarmupSec   float64 `json:"warmup_seconds,omitempty"`
+	OpenLoopQPS float64 `json:"open_loop_qps,omitempty"`
+}
+
+type workloadSummary struct {
+	Queries   int `json:"queries"`
+	Positives int `json:"positives"`
+	Negatives int `json:"negatives"`
+}
+
+// runLoadbench generates a workload, drives a target (in-process server by
+// default), and writes the perf-trajectory report.
+func runLoadbench(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("loadbench", flag.ExitOnError)
+	dir := fs.String("corpus", "", "existing corpus directory to serve and query")
+	gen := fs.String("gen", "", "generate a synthetic corpus instead (nasa | imdb | psd | xmark)")
+	scale := fs.Int("scale", 20000, "approximate element count of the generated document")
+	k := fs.Int("k", 4, "lattice level for the generated corpus")
+	liveURL := fs.String("url", "", "drive a live server at this base URL instead of starting one")
+	inproc := fs.Bool("inproc", false, "drive the estimator in-process (no HTTP) to isolate engine cost")
+	method := fs.String("method", string(core.MethodRecursiveVoting), "estimation method")
+	duration := fs.Duration("duration", 5*time.Second, "measured run length (ignored when -requests is set)")
+	requests := fs.Int("requests", 0, "stop after a fixed request count instead of a duration")
+	concurrency := fs.Int("concurrency", 0, "driver workers (0 = all CPUs)")
+	qps := fs.Float64("qps", 0, "open-loop arrival rate; 0 = closed loop")
+	warmup := fs.Duration("warmup", 500*time.Millisecond, "unmeasured warmup before the run")
+	sizes := fs.String("sizes", "3,4,5", "comma-separated query sizes")
+	perSize := fs.Int("persize", 20, "distinct positive queries per size per document")
+	neg := fs.Float64("neg", 0.25, "target fraction of zero-selectivity queries in the mix")
+	seed := fs.Int64("seed", 1, "workload generation seed (same seed = same mix)")
+	out := fs.String("out", "BENCH_serve.json", "report output path")
+	fs.Parse(args)
+
+	if (*dir == "") == (*gen == "") {
+		return fmt.Errorf("loadbench: exactly one of -corpus and -gen is required")
+	}
+	sizeList, err := parseSizes(*sizes)
+	if err != nil {
+		return err
+	}
+
+	// Resolve the corpus: open an existing one or generate a synthetic
+	// document into a throwaway corpus directory.
+	var c *corpus.Corpus
+	cfg := benchConfig{
+		Method: *method, Sizes: sizeList, PerSize: *perSize,
+		NegFraction: *neg, Seed: *seed, Concurrency: *concurrency,
+	}
+	if *dir != "" {
+		c, err = corpus.Open(*dir)
+		if err != nil {
+			return err
+		}
+		cfg.Corpus = *dir
+		cfg.K = c.Options().K
+	} else {
+		tmp, err := os.MkdirTemp("", "loadbench-corpus-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		c, err = generatedCorpus(tmp, datagen.Profile(*gen), *scale, *k, *seed)
+		if err != nil {
+			return err
+		}
+		cfg.Generated, cfg.Scale, cfg.K = *gen, *scale, *k
+	}
+	if len(c.Docs()) == 0 {
+		return fmt.Errorf("loadbench: corpus has no documents to sample queries from")
+	}
+
+	// Workload: sampled from every document in the corpus.
+	trees := make([]*labeltree.Tree, 0, len(c.Docs()))
+	for _, name := range c.Docs() {
+		t, _ := c.Doc(name)
+		trees = append(trees, t)
+	}
+	w, err := loadgen.BuildWorkload(trees, c.Dict(), loadgen.WorkloadOptions{
+		Sizes: sizeList, PerSize: *perSize, NegativeFraction: *neg, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "workload: %d queries (%d positive, %d negative), seed %d\n",
+		len(w.Items), w.Positives, w.Negatives, *seed)
+
+	// Target: a live URL, the bare estimator, or (default) an in-process
+	// HTTP server over a loopback listener — the full serving path
+	// without requiring a separate process.
+	var target loadgen.Target
+	var scrapeMetrics func() (*obs.Snapshot, error)
+	switch {
+	case *liveURL != "":
+		target = loadgen.NewHTTPTarget(strings.TrimSuffix(*liveURL, "/"), core.Method(*method), nil)
+		scrapeMetrics = func() (*obs.Snapshot, error) { return scrapeHTTPMetrics(*liveURL) }
+	case *inproc:
+		t, err := loadgen.NewEstimatorTarget(c.Summary(), core.Method(*method))
+		if err != nil {
+			return err
+		}
+		target = t
+	default:
+		handler := serve.NewHandler(c)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		srv := &http.Server{Handler: handler}
+		go srv.Serve(ln)
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+		}()
+		base := "http://" + ln.Addr().String()
+		fmt.Fprintf(stdout, "in-process server on %s\n", base)
+		target = loadgen.NewHTTPTarget(base, core.Method(*method), nil)
+		scrapeMetrics = func() (*obs.Snapshot, error) {
+			s := handler.Metrics().Snapshot()
+			return &s, nil
+		}
+	}
+
+	opts := loadgen.Options{
+		Concurrency: *concurrency,
+		Warmup:      *warmup,
+		OpenLoopQPS: *qps,
+	}
+	if *requests > 0 {
+		opts.Requests = *requests
+		cfg.Requests = *requests
+	} else {
+		opts.Duration = *duration
+		cfg.DurationSec = duration.Seconds()
+	}
+	cfg.WarmupSec = warmup.Seconds()
+	cfg.OpenLoopQPS = *qps
+
+	res, err := loadgen.Run(context.Background(), target, w, opts)
+	if err != nil {
+		return err
+	}
+
+	report := benchReport{
+		Config: cfg,
+		Workload: workloadSummary{
+			Queries: len(w.Items), Positives: w.Positives, Negatives: w.Negatives,
+		},
+		Result: res,
+	}
+	if scrapeMetrics != nil {
+		snap, err := scrapeMetrics()
+		if err != nil {
+			return fmt.Errorf("loadbench: scraping server metrics: %w", err)
+		}
+		report.ServerMetrics = snap
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(stdout, "%s %s: %.0f req/s over %.2fs (%d issued, %d errors)\n",
+		res.Mode, res.Target, res.AchievedQPS, res.ElapsedSeconds, res.Issued, res.Errors)
+	fmt.Fprintf(stdout, "latency p50=%.3fms p95=%.3fms p99=%.3fms\n",
+		res.Latency.P50*1e3, res.Latency.P95*1e3, res.Latency.P99*1e3)
+	fmt.Fprintf(stdout, "report written to %s\n", *out)
+	return nil
+}
+
+// parseSizes parses "3,4,5".
+func parseSizes(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("loadbench: invalid -sizes entry %q", p)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// generatedCorpus creates a corpus in dir holding one synthetic document.
+func generatedCorpus(dir string, profile datagen.Profile, scale, k int, seed int64) (*corpus.Corpus, error) {
+	c, err := corpus.Create(dir, corpus.Options{K: k})
+	if err != nil {
+		return nil, err
+	}
+	dict := labeltree.NewDict()
+	tree, err := datagen.Generate(datagen.Config{Profile: profile, Scale: scale, Seed: seed}, dict)
+	if err != nil {
+		return nil, err
+	}
+	var b strings.Builder
+	writeTreeXML(&b, tree, 0)
+	if err := c.AddXML(string(profile), strings.NewReader(b.String())); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// writeTreeXML renders a label tree as XML (labels are element names;
+// datagen label alphabets are valid XML names).
+func writeTreeXML(b *strings.Builder, t *labeltree.Tree, node int32) {
+	name := t.LabelName(node)
+	kids := t.Children(node)
+	if len(kids) == 0 {
+		fmt.Fprintf(b, "<%s/>", name)
+		return
+	}
+	fmt.Fprintf(b, "<%s>", name)
+	for _, c := range kids {
+		writeTreeXML(b, t, c)
+	}
+	fmt.Fprintf(b, "</%s>", name)
+}
+
+// scrapeHTTPMetrics fetches a live server's /v1/metrics.
+func scrapeHTTPMetrics(base string) (*obs.Snapshot, error) {
+	resp, err := http.Get(strings.TrimSuffix(base, "/") + "/v1/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("metrics endpoint returned %d", resp.StatusCode)
+	}
+	var s obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}

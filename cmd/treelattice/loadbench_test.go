@@ -1,0 +1,241 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"treelattice/internal/corpus"
+)
+
+// readReport parses a BENCH_serve.json.
+func readReport(t *testing.T, path string) benchReport {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r benchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		t.Fatalf("BENCH_serve.json is not well-formed: %v\n%s", err, data)
+	}
+	return r
+}
+
+// TestLoadbenchGeneratedCorpus is the end-to-end acceptance path: a
+// generated corpus, an in-process server, a fixed-request closed-loop run,
+// and a well-formed report whose server-side request total matches the
+// driver's issued count.
+func TestLoadbenchGeneratedCorpus(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	var buf bytes.Buffer
+	err := runLoadbench([]string{
+		"-gen", "nasa", "-scale", "2000", "-k", "3",
+		"-requests", "150", "-warmup", "0s", "-concurrency", "4",
+		"-sizes", "3,4", "-persize", "10", "-neg", "0.2", "-seed", "11",
+		"-out", out,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := readReport(t, out)
+	if r.Result == nil {
+		t.Fatal("report missing result")
+	}
+	if r.Result.Issued != 150 {
+		t.Errorf("issued = %d, want 150", r.Result.Issued)
+	}
+	if r.Result.AchievedQPS <= 0 {
+		t.Errorf("achieved_qps = %v", r.Result.AchievedQPS)
+	}
+	lat := r.Result.Latency
+	if lat.Count != r.Result.Issued {
+		t.Errorf("latency count %d != issued %d", lat.Count, r.Result.Issued)
+	}
+	if lat.P50 < 0 || lat.P95 < lat.P50 || lat.P99 < lat.P95 {
+		t.Errorf("quantiles not ordered: p50=%v p95=%v p99=%v", lat.P50, lat.P95, lat.P99)
+	}
+	if r.ServerMetrics == nil {
+		t.Fatal("report missing server metrics")
+	}
+	// No warmup: the server-side per-endpoint total must equal the
+	// driver's issued count exactly.
+	if got := r.ServerMetrics.Counters["http.estimate.requests"]; got != r.Result.Issued {
+		t.Errorf("server estimate requests = %d, driver issued %d", got, r.Result.Issued)
+	}
+	if hist, ok := r.ServerMetrics.Histograms["http.estimate.latency_seconds"]; !ok || hist.Count != r.Result.Issued {
+		t.Errorf("server latency histogram count = %d, want %d", hist.Count, r.Result.Issued)
+	}
+	if r.Config.Seed != 11 || r.Config.K != 3 {
+		t.Errorf("config not recorded: %+v", r.Config)
+	}
+	if r.Workload.Queries == 0 || r.Workload.Negatives == 0 {
+		t.Errorf("workload summary empty: %+v", r.Workload)
+	}
+}
+
+// TestLoadbenchInprocAndSeed checks the -inproc target and that rerunning
+// with the same seed issues the identical workload.
+func TestLoadbenchInprocAndSeed(t *testing.T) {
+	dir := t.TempDir()
+	run := func(seed string) benchReport {
+		out := filepath.Join(dir, "bench-"+seed+".json")
+		var buf bytes.Buffer
+		err := runLoadbench([]string{
+			"-gen", "psd", "-scale", "1500", "-k", "3", "-inproc",
+			"-requests", "80", "-warmup", "0s", "-concurrency", "2",
+			"-sizes", "3", "-persize", "8", "-seed", seed, "-out", out,
+		}, &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return readReport(t, out)
+	}
+	a, b := run("3"), run("3")
+	if a.ServerMetrics != nil {
+		t.Error("inproc run should have no server metrics")
+	}
+	if !strings.HasPrefix(a.Result.Target, "inprocess:") {
+		t.Errorf("target = %q", a.Result.Target)
+	}
+	if a.Workload != b.Workload {
+		t.Errorf("same seed produced different workload summaries: %+v vs %+v", a.Workload, b.Workload)
+	}
+}
+
+func TestLoadbenchFlagValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runLoadbench([]string{"-requests", "5"}, &buf); err == nil {
+		t.Error("missing corpus/gen accepted")
+	}
+	if err := runLoadbench([]string{"-gen", "nasa", "-corpus", "x", "-requests", "5"}, &buf); err == nil {
+		t.Error("both corpus and gen accepted")
+	}
+	if err := runLoadbench([]string{"-gen", "nasa", "-sizes", "0,x"}, &buf); err == nil {
+		t.Error("bad sizes accepted")
+	}
+}
+
+// TestServeGracefulShutdown drives the serve lifecycle: start, answer
+// traffic, cancel (as a signal would), and drain cleanly.
+func TestServeGracefulShutdown(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := runCorpus([]string{"init", "-dir", dir, "-k", "3"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	c, err := corpus.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var out safeBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- serveCorpus(ctx, c, "127.0.0.1:0", "127.0.0.1:0", 0, &out)
+	}()
+
+	base := waitForAddr(t, &out, "serving corpus on ")
+	debug := waitForAddr(t, &out, "debug endpoints (pprof, expvar, metrics) on ")
+
+	resp, err := http.Post(base+"/v1/docs/sample", "application/xml", strings.NewReader(testDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload status %d", resp.StatusCode)
+	}
+	resp, err = http.Get(base + "/v1/estimate?q=laptop(brand,price)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("estimate status %d", resp.StatusCode)
+	}
+
+	// The debug listener answers on its own port: metrics JSON and pprof.
+	for _, path := range []string{"/debug/metrics", "/debug/vars", "/debug/pprof/cmdline"} {
+		resp, err = http.Get(debug + path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s status %d", path, resp.StatusCode)
+		}
+	}
+	// The traffic port does NOT expose pprof.
+	resp, err = http.Get(base + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof on traffic port: status %d, want 404", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+	if !strings.Contains(out.String(), "draining in-flight requests") {
+		t.Errorf("missing drain log: %q", out.String())
+	}
+	// The listener is really gone.
+	if _, err := http.Get(base + "/v1/stats"); err == nil {
+		t.Error("server still answering after shutdown")
+	}
+}
+
+// waitForAddr polls the server log for a line with the given prefix and
+// returns the http base URL it names.
+func waitForAddr(t *testing.T, out *safeBuffer, prefix string) string {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, line := range strings.Split(out.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, prefix); ok {
+				return strings.TrimSpace(rest)
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("server never logged %q: %q", prefix, out.String())
+	return ""
+}
+
+// safeBuffer is a bytes.Buffer safe for the cross-goroutine read the
+// shutdown test performs.
+type safeBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *safeBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *safeBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}

@@ -41,6 +41,8 @@ func main() {
 		err = runCorpus(os.Args[2:], os.Stdout)
 	case "serve":
 		err = runServe(os.Args[2:], os.Stdout)
+	case "loadbench":
+		err = runLoadbench(os.Args[2:], os.Stdout)
 	default:
 		usage()
 	}
@@ -51,7 +53,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: treelattice <build|estimate|exact|stats|explain|corpus|serve> [flags]
+	fmt.Fprintln(os.Stderr, `usage: treelattice <build|estimate|exact|stats|explain|corpus|serve|loadbench> [flags]
 
   build     mine a K-lattice summary from an XML document
   estimate  estimate a twig query's selectivity from a summary
@@ -59,7 +61,8 @@ func usage() {
   stats     describe a summary file
   explain   estimate with trace and decomposition-spread interval
   corpus    manage a document corpus (init | add | addall | rm | stats)
-  serve     expose a corpus over HTTP`)
+  serve     expose a corpus over HTTP (graceful shutdown on SIGINT/SIGTERM)
+  loadbench drive estimation load against a corpus and report QPS/latency`)
 	os.Exit(2)
 }
 

@@ -11,6 +11,7 @@ import (
 	"io"
 	"runtime"
 	"sync"
+	"time"
 
 	"treelattice/internal/estimate"
 	"treelattice/internal/labeltree"
@@ -63,11 +64,40 @@ type BuildOptions struct {
 	Timings *metrics.BuildTimings
 }
 
+// EstimateObserver receives the wall-clock latency of each estimate, keyed
+// by method. Implementations must be safe for concurrent use; the serving
+// layer feeds these into per-method obs histograms.
+type EstimateObserver func(method Method, d time.Duration)
+
 // Summary is a TreeLattice summary of one or more documents.
 type Summary struct {
 	lat  *lattice.Summary
 	dict *labeltree.Dict
+	// observe, when non-nil, is called with the latency of every estimate
+	// issued through Estimator or EstimateWithTrace. Set once via
+	// Instrument before the summary sees concurrent traffic.
+	observe EstimateObserver
 }
+
+// Instrument installs an estimate-latency observer on the summary. Call
+// before serving; a nil observer disables instrumentation.
+func (s *Summary) Instrument(obs EstimateObserver) { s.observe = obs }
+
+// timedEstimator wraps an estimator with latency observation.
+type timedEstimator struct {
+	inner   estimate.Estimator
+	method  Method
+	observe EstimateObserver
+}
+
+func (t timedEstimator) Estimate(q labeltree.Pattern) float64 {
+	start := time.Now()
+	v := t.inner.Estimate(q)
+	t.observe(t.method, time.Since(start))
+	return v
+}
+
+func (t timedEstimator) Name() string { return t.inner.Name() }
 
 // Build mines a K-lattice summary from t.
 func Build(t *labeltree.Tree, opts BuildOptions) (*Summary, error) {
@@ -193,17 +223,24 @@ func (s *Summary) SizeBytes() int { return s.lat.SizeBytes() }
 func (s *Summary) Patterns() int { return s.lat.Len() }
 
 // Estimator returns the estimator implementing method over this summary.
+// When the summary is instrumented, the estimator reports every Estimate's
+// latency to the observer.
 func (s *Summary) Estimator(method Method) (estimate.Estimator, error) {
+	var est estimate.Estimator
 	switch method {
 	case MethodRecursive:
-		return estimate.NewRecursive(s.lat, false), nil
+		est = estimate.NewRecursive(s.lat, false)
 	case MethodRecursiveVoting:
-		return estimate.NewRecursive(s.lat, true), nil
+		est = estimate.NewRecursive(s.lat, true)
 	case MethodFixSized:
-		return estimate.NewFixSized(s.lat), nil
+		est = estimate.NewFixSized(s.lat)
 	default:
 		return nil, fmt.Errorf("%w: %q", ErrUnknownMethod, method)
 	}
+	if s.observe != nil {
+		est = timedEstimator{inner: est, method: method, observe: s.observe}
+	}
+	return est, nil
 }
 
 // Estimate returns the estimated selectivity of q under method.
@@ -271,7 +308,11 @@ func (s *Summary) EstimateWithTrace(q labeltree.Pattern, method Method) (float64
 	switch method {
 	case MethodRecursive, MethodRecursiveVoting:
 		r := estimate.NewRecursive(s.lat, method == MethodRecursiveVoting)
+		start := time.Now()
 		est, tr := r.EstimateWithTrace(q)
+		if s.observe != nil {
+			s.observe(method, time.Since(start))
+		}
 		return est, tr, nil
 	default:
 		return 0, estimate.Trace{}, fmt.Errorf("core: method %q does not support traces", method)

@@ -1,0 +1,272 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"treelattice/internal/core"
+	"treelattice/internal/corpus"
+	"treelattice/internal/datagen"
+	"treelattice/internal/labeltree"
+	"treelattice/internal/serve"
+	"treelattice/internal/xmlparse"
+)
+
+const doc = `<computer><laptops><laptop><brand/><price/></laptop><laptop><brand/><price/></laptop></laptops><desktops><desktop><brand/></desktop></desktops></computer>`
+
+func sampleTree(t *testing.T) (*labeltree.Tree, *labeltree.Dict) {
+	t.Helper()
+	dict := labeltree.NewDict()
+	tr, err := xmlparse.Parse(strings.NewReader(doc), dict, xmlparse.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, dict
+}
+
+func genTree(t *testing.T, seed int64) (*labeltree.Tree, *labeltree.Dict) {
+	t.Helper()
+	dict := labeltree.NewDict()
+	tr, err := datagen.Generate(datagen.Config{Profile: datagen.NASA, Scale: 2000, Seed: seed}, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, dict
+}
+
+func TestBuildWorkloadMix(t *testing.T) {
+	tr, dict := genTree(t, 1)
+	w, err := BuildWorkload([]*labeltree.Tree{tr}, dict, WorkloadOptions{
+		Sizes: []int{3, 4}, PerSize: 10, NegativeFraction: 0.25, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Positives == 0 {
+		t.Fatal("no positive queries")
+	}
+	var negs int
+	for _, it := range w.Items {
+		if it.Text == "" || it.Pattern.IsZero() {
+			t.Fatalf("unrendered item: %+v", it)
+		}
+		if it.Negative {
+			negs++
+		}
+	}
+	if negs != w.Negatives {
+		t.Fatalf("negative count mismatch: %d items vs %d recorded", negs, w.Negatives)
+	}
+	if negs == 0 {
+		t.Fatal("mix has no negative queries despite NegativeFraction=0.25")
+	}
+	if frac := float64(negs) / float64(len(w.Items)); frac > 0.35 {
+		t.Fatalf("negative fraction = %v, want ≈0.25", frac)
+	}
+}
+
+// TestBuildWorkloadSeedReproducible is the -seed satellite: the same seed
+// reproduces the same mix, a different seed changes it.
+func TestBuildWorkloadSeedReproducible(t *testing.T) {
+	render := func(seed int64) []string {
+		tr, dict := genTree(t, 5)
+		w, err := BuildWorkload([]*labeltree.Tree{tr}, dict, WorkloadOptions{
+			Sizes: []int{3, 4}, PerSize: 15, NegativeFraction: 0.2, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]string, len(w.Items))
+		for i, it := range w.Items {
+			out[i] = it.Text
+		}
+		return out
+	}
+	a, b, c := render(7), render(7), render(8)
+	if len(a) == 0 {
+		t.Fatal("empty workload")
+	}
+	if strings.Join(a, "|") != strings.Join(b, "|") {
+		t.Fatal("same seed produced different workloads")
+	}
+	if strings.Join(a, "|") == strings.Join(c, "|") {
+		t.Fatal("different seeds produced identical workloads")
+	}
+}
+
+type countingTarget struct {
+	n    atomic.Uint64
+	fail uint64 // every fail-th issue errors
+}
+
+func (c *countingTarget) Issue(Item) error {
+	n := c.n.Add(1)
+	if c.fail > 0 && n%c.fail == 0 {
+		return errors.New("synthetic failure")
+	}
+	return nil
+}
+func (c *countingTarget) Name() string { return "counting" }
+
+func smallWorkload(t *testing.T) *Workload {
+	t.Helper()
+	tr, dict := sampleTree(t)
+	w, err := BuildWorkload([]*labeltree.Tree{tr}, dict, WorkloadOptions{
+		Sizes: []int{2, 3}, PerSize: 5, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestRunClosedFixedRequests(t *testing.T) {
+	w := smallWorkload(t)
+	target := &countingTarget{fail: 10}
+	res, err := Run(context.Background(), target, w, Options{
+		Concurrency: 4, Requests: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != "closed" {
+		t.Errorf("mode = %q", res.Mode)
+	}
+	if res.Issued != 200 {
+		t.Errorf("issued = %d, want 200", res.Issued)
+	}
+	if res.Errors != 20 {
+		t.Errorf("errors = %d, want 20", res.Errors)
+	}
+	if res.Latency.Count != res.Issued {
+		t.Errorf("latency count %d != issued %d", res.Latency.Count, res.Issued)
+	}
+	if res.AchievedQPS <= 0 {
+		t.Errorf("achieved QPS = %v", res.AchievedQPS)
+	}
+	if target.n.Load() != 200 {
+		t.Errorf("target saw %d issues, want 200", target.n.Load())
+	}
+}
+
+func TestRunClosedFixedDuration(t *testing.T) {
+	w := smallWorkload(t)
+	res, err := Run(context.Background(), &countingTarget{}, w, Options{
+		Concurrency: 2, Duration: 60 * time.Millisecond, Warmup: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Issued == 0 {
+		t.Fatal("nothing issued in duration mode")
+	}
+	if res.ElapsedSeconds <= 0 || res.ElapsedSeconds > 5 {
+		t.Errorf("elapsed = %v", res.ElapsedSeconds)
+	}
+}
+
+func TestRunOpenLoop(t *testing.T) {
+	w := smallWorkload(t)
+	res, err := Run(context.Background(), &countingTarget{}, w, Options{
+		Concurrency: 4, Duration: 200 * time.Millisecond, OpenLoopQPS: 500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != "open" || res.TargetQPS != 500 {
+		t.Errorf("mode/target = %q/%v", res.Mode, res.TargetQPS)
+	}
+	if res.Issued == 0 {
+		t.Fatal("open loop issued nothing")
+	}
+	// The schedule admits at most duration×qps arrivals (plus one tick of
+	// slack); achieving far more would mean the loop is closed.
+	if max := uint64(200*time.Millisecond/time.Second*500) + 0; res.Issued > 150 {
+		t.Errorf("open loop issued %d, want ≤ ~100 (max %d)", res.Issued, max)
+	}
+}
+
+func TestRunOptionValidation(t *testing.T) {
+	w := smallWorkload(t)
+	tgt := &countingTarget{}
+	if _, err := Run(context.Background(), tgt, w, Options{}); err == nil {
+		t.Error("no stopping rule accepted")
+	}
+	if _, err := Run(context.Background(), tgt, w, Options{Duration: time.Second, Requests: 5}); err == nil {
+		t.Error("both stopping rules accepted")
+	}
+	if _, err := Run(context.Background(), tgt, w, Options{Requests: 5, OpenLoopQPS: 10}); err == nil {
+		t.Error("open loop without duration accepted")
+	}
+	if _, err := Run(context.Background(), tgt, nil, Options{Requests: 5}); err == nil {
+		t.Error("nil workload accepted")
+	}
+}
+
+// TestEstimatorTarget drives the real in-process estimator.
+func TestEstimatorTarget(t *testing.T) {
+	tr, _ := sampleTree(t)
+	sum, err := core.Build(tr, core.BuildOptions{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := NewEstimatorTarget(sum, core.MethodRecursiveVoting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := smallWorkload(t)
+	res, err := Run(context.Background(), target, w, Options{Concurrency: 2, Requests: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Errorf("in-process estimates errored %d times", res.Errors)
+	}
+	if !strings.HasPrefix(res.Target, "inprocess:") {
+		t.Errorf("target name = %q", res.Target)
+	}
+}
+
+// TestHTTPTarget drives a real serve.Handler end to end and cross-checks
+// the driver's issued count against the server's own metrics.
+func TestHTTPTarget(t *testing.T) {
+	dir := t.TempDir()
+	c, err := corpus.Create(dir, corpus.Options{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddXML("sample", strings.NewReader(doc)); err != nil {
+		t.Fatal(err)
+	}
+	handler := serve.NewHandler(c)
+	srv := httptest.NewServer(handler)
+	defer srv.Close()
+
+	tr, dict := c.Doc("sample")
+	if !dict {
+		t.Fatal("sample doc missing")
+	}
+	w, err := BuildWorkload([]*labeltree.Tree{tr}, c.Dict(), WorkloadOptions{
+		Sizes: []int{2, 3}, PerSize: 5, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := NewHTTPTarget(srv.URL, core.MethodRecursiveVoting, nil)
+	res, err := Run(context.Background(), target, w, Options{Concurrency: 4, Requests: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("HTTP run errored %d/%d times", res.Errors, res.Issued)
+	}
+	snap := handler.Metrics().Snapshot()
+	if got := snap.Counters["http.estimate.requests"]; got != res.Issued {
+		t.Fatalf("server saw %d estimate requests, driver issued %d", got, res.Issued)
+	}
+}

@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if r.Counter("reqs") != c {
+		t.Fatal("re-registering a counter returned a different instance")
+	}
+	g := r.Gauge("inflight")
+	g.Add(3)
+	g.Add(-1)
+	if g.Value() != 2 {
+		t.Fatalf("gauge = %d, want 2", g.Value())
+	}
+	g.Set(7)
+	if g.Value() != 7 {
+		t.Fatalf("gauge after Set = %d, want 7", g.Value())
+	}
+}
+
+// TestHistogramBuckets pins the bucket assignment rule: value v lands in
+// the first bucket with v <= bound; values past the last bound land in the
+// overflow bucket.
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 9.0} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	want := []uint64{2, 2, 2, 1} // (≤1): 0.5,1.0  (≤2): 1.5,2.0  (≤4): 3,4  (>4): 9
+	for i, w := range want {
+		if s.Buckets[i].Count != w {
+			t.Errorf("bucket %d count = %d, want %d", i, s.Buckets[i].Count, w)
+		}
+	}
+	if s.Count != 7 {
+		t.Errorf("count = %d, want 7", s.Count)
+	}
+	if !math.IsInf(s.Buckets[3].UpperBound, 1) {
+		t.Errorf("overflow bucket bound = %v, want +Inf", s.Buckets[3].UpperBound)
+	}
+	if got, want := s.SumSeconds, 21.0; math.Abs(got-want) > 1e-6 {
+		t.Errorf("sum = %v, want %v", got, want)
+	}
+}
+
+// TestQuantileBoundaries exercises the interpolation math exactly at
+// bucket edges.
+func TestQuantileBoundaries(t *testing.T) {
+	// 10 observations all in the first bucket (0, 1].
+	h := NewHistogram([]float64{1, 2, 4})
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5)
+	}
+	s := h.Snapshot()
+	// Rank q*10 interpolated across (0, 1]: p50 → 0.5, p99 → 0.99, p100 → 1.
+	if got := s.Quantile(0.5); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("p50 = %v, want 0.5", got)
+	}
+	if got := s.Quantile(1.0); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("p100 = %v, want 1.0", got)
+	}
+
+	// Two equal buckets: the median falls exactly on the shared edge.
+	h2 := NewHistogram([]float64{1, 2})
+	for i := 0; i < 5; i++ {
+		h2.Observe(0.5) // bucket (0,1]
+		h2.Observe(1.5) // bucket (1,2]
+	}
+	s2 := h2.Snapshot()
+	if got := s2.Quantile(0.5); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("median at bucket edge = %v, want 1.0", got)
+	}
+	// p75: rank 7.5, bucket 2 holds ranks (5,10], interpolate (1,2]:
+	// 1 + (7.5-5)/5 = 1.5.
+	if got := s2.Quantile(0.75); math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("p75 = %v, want 1.5", got)
+	}
+
+	// Overflow-bucket quantile clamps to the last finite bound.
+	h3 := NewHistogram([]float64{1})
+	h3.Observe(100)
+	if got := h3.Snapshot().Quantile(0.99); got != 1 {
+		t.Errorf("overflow quantile = %v, want 1 (last finite bound)", got)
+	}
+
+	// Empty histogram.
+	if got := NewHistogram(nil).Snapshot().Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %v, want 0", got)
+	}
+}
+
+func TestSnapshotPrecomputedQuantiles(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	for i := 0; i < 100; i++ {
+		h.Observe(0.5)
+	}
+	s := h.Snapshot()
+	if s.P50 != s.Quantile(0.50) || s.P95 != s.Quantile(0.95) || s.P99 != s.Quantile(0.99) {
+		t.Errorf("precomputed quantiles disagree with Quantile(): %+v", s)
+	}
+}
+
+// TestHotPathAllocFree is the acceptance gate: recording into registered
+// metrics must not allocate.
+func TestHotPathAllocFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", nil)
+	start := time.Now()
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(2)
+		g.Add(1)
+		g.Add(-1)
+		h.Observe(0.0007)
+		h.ObserveDuration(300 * time.Microsecond)
+		h.ObserveSince(start)
+	}); n != 0 {
+		t.Fatalf("hot path allocates %v times per run, want 0", n)
+	}
+}
+
+// TestConcurrentObserveSnapshot checks snapshot self-consistency under
+// concurrent writers: Count always equals the sum of bucket counts, and
+// successive snapshots are monotone. Run under -race this also gates the
+// atomics discipline.
+func TestConcurrentObserveSnapshot(t *testing.T) {
+	h := NewHistogram([]float64{1e-3, 1e-2})
+	c := &Counter{}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+					h.Observe(5e-4)
+					c.Inc()
+				}
+			}
+		}()
+	}
+	var prevCount, prevCounter uint64
+	for i := 0; i < 200; i++ {
+		s := h.Snapshot()
+		var sum uint64
+		for _, b := range s.Buckets {
+			sum += b.Count
+		}
+		if sum != s.Count {
+			t.Fatalf("torn snapshot: bucket sum %d != count %d", sum, s.Count)
+		}
+		if s.Count < prevCount {
+			t.Fatalf("histogram count went backwards: %d -> %d", prevCount, s.Count)
+		}
+		prevCount = s.Count
+		if v := c.Value(); v < prevCounter {
+			t.Fatalf("counter went backwards: %d -> %d", prevCounter, v)
+		} else {
+			prevCounter = v
+		}
+	}
+	close(done)
+	wg.Wait()
+}
+
+func TestRegistrySnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b").Add(2)
+	r.Counter("a").Add(1)
+	r.Gauge("g").Set(-3)
+	r.Histogram("lat", []float64{1}).Observe(0.5)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v\n%s", err, buf.String())
+	}
+	if s.Counters["a"] != 1 || s.Counters["b"] != 2 {
+		t.Errorf("counters = %v", s.Counters)
+	}
+	if s.Gauges["g"] != -3 {
+		t.Errorf("gauges = %v", s.Gauges)
+	}
+	if hs, ok := s.Histograms["lat"]; !ok || hs.Count != 1 {
+		t.Errorf("histograms = %v", s.Histograms)
+	}
+
+	// Stable export: two marshals of the same state are byte-identical.
+	var buf2 bytes.Buffer
+	if err := r.WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Error("snapshot JSON is not stable across encodes")
+	}
+}

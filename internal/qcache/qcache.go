@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"treelattice/internal/labeltree"
+	"treelattice/internal/obs"
 )
 
 // Cache is a bounded LRU of estimates. Safe for concurrent use.
@@ -21,7 +22,12 @@ type Cache struct {
 	order    *list.List // front = most recent; values are *entry
 	items    map[string]*list.Element
 
-	hits, misses uint64
+	hits, misses, evictions uint64
+
+	// Optional obs mirrors, bumped alongside the internal counters so a
+	// served cache exports hit/miss/eviction rates without the handler
+	// polling Stats. Nil until Instrument is called.
+	hitC, missC, evictC *obs.Counter
 }
 
 type entry struct {
@@ -41,6 +47,15 @@ func New(capacity int) *Cache {
 	}
 }
 
+// Instrument mirrors hit/miss/eviction events into obs counters (any may
+// be nil to skip that event). Call before the cache sees traffic; the
+// counters are written under the cache mutex.
+func (c *Cache) Instrument(hits, misses, evictions *obs.Counter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hitC, c.missC, c.evictC = hits, misses, evictions
+}
+
 // key combines method name and canonical query key.
 func cacheKey(method string, q labeltree.Pattern) string {
 	return method + "\x00" + string(q.Key())
@@ -54,9 +69,15 @@ func (c *Cache) Get(method string, q labeltree.Pattern) (float64, bool) {
 	el, ok := c.items[k]
 	if !ok {
 		c.misses++
+		if c.missC != nil {
+			c.missC.Inc()
+		}
 		return 0, false
 	}
 	c.hits++
+	if c.hitC != nil {
+		c.hitC.Inc()
+	}
 	c.order.MoveToFront(el)
 	return el.Value.(*entry).value, true
 }
@@ -77,6 +98,10 @@ func (c *Cache) Put(method string, q labeltree.Pattern, value float64) {
 		last := c.order.Back()
 		c.order.Remove(last)
 		delete(c.items, last.Value.(*entry).key)
+		c.evictions++
+		if c.evictC != nil {
+			c.evictC.Inc()
+		}
 	}
 }
 
@@ -100,9 +125,20 @@ func (c *Cache) Invalidate() {
 	c.items = make(map[string]*list.Element, c.capacity)
 }
 
-// Stats reports hits, misses, and current size.
-func (c *Cache) Stats() (hits, misses uint64, size int) {
+// Stats reports hits, misses, evictions, and current size.
+func (c *Cache) Stats() (hits, misses, evictions uint64, size int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses, c.order.Len()
+	return c.hits, c.misses, c.evictions, c.order.Len()
+}
+
+// HitRatio is hits / (hits + misses), or 0 before any lookup.
+func (c *Cache) HitRatio() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"treelattice/internal/labeltree"
+	"treelattice/internal/obs"
 )
 
 func patterns(n int) ([]labeltree.Pattern, *labeltree.Dict) {
@@ -56,9 +57,12 @@ func TestLRUEviction(t *testing.T) {
 	if _, ok := c.Get("m", ps[0]); !ok {
 		t.Fatal("refreshed entry evicted")
 	}
-	_, _, size := c.Stats()
+	_, _, evictions, size := c.Stats()
 	if size != 2 {
 		t.Fatalf("size = %d", size)
+	}
+	if evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", evictions)
 	}
 }
 
@@ -86,9 +90,38 @@ func TestInvalidate(t *testing.T) {
 	if _, ok := c.Get("m", ps[0]); ok {
 		t.Fatal("entry survived invalidation")
 	}
-	hits, misses, size := c.Stats()
+	hits, misses, _, size := c.Stats()
 	if size != 0 || hits != 0 || misses != 1 {
 		t.Fatalf("stats = %d %d %d", hits, misses, size)
+	}
+}
+
+func TestHitRatioAndInstrument(t *testing.T) {
+	ps, _ := patterns(3)
+	c := New(2)
+	reg := obs.NewRegistry()
+	hits, misses, evict := reg.Counter("hits"), reg.Counter("misses"), reg.Counter("evictions")
+	c.Instrument(hits, misses, evict)
+
+	if got := c.HitRatio(); got != 0 {
+		t.Fatalf("hit ratio before any lookup = %v, want 0", got)
+	}
+	c.Get("m", ps[0]) // miss
+	c.Put("m", ps[0], 1)
+	c.Get("m", ps[0]) // hit
+	c.Get("m", ps[0]) // hit
+	if got, want := c.HitRatio(), 2.0/3.0; got != want {
+		t.Fatalf("hit ratio = %v, want %v", got, want)
+	}
+	c.Put("m", ps[1], 2)
+	c.Put("m", ps[2], 3) // evicts ps[0]
+	if hits.Value() != 2 || misses.Value() != 1 || evict.Value() != 1 {
+		t.Fatalf("obs mirrors = %d/%d/%d, want 2/1/1",
+			hits.Value(), misses.Value(), evict.Value())
+	}
+	h, m, e, _ := c.Stats()
+	if h != hits.Value() || m != misses.Value() || e != evict.Value() {
+		t.Fatalf("internal counters diverge from obs mirrors: %d/%d/%d", h, m, e)
 	}
 }
 

@@ -37,6 +37,7 @@ import (
 	"treelattice/internal/core"
 	"treelattice/internal/corpus"
 	"treelattice/internal/estimate"
+	"treelattice/internal/obs"
 	"treelattice/internal/qcache"
 )
 
@@ -50,6 +51,10 @@ type Options struct {
 	// MaxDocumentBytes overrides the upload size limit (0 = the
 	// MaxDocumentBytes constant).
 	MaxDocumentBytes int64
+	// Registry receives the handler's metrics; nil creates a private one.
+	// Sharing a registry lets an embedding process (the loadbench driver,
+	// a debug listener) read the same counters the handler writes.
+	Registry *obs.Registry
 }
 
 // Handler serves a corpus. Reads take the read lock; document mutations
@@ -60,6 +65,10 @@ type Handler struct {
 	cache    *qcache.Cache
 	mux      *http.ServeMux
 	maxBytes int64
+
+	reg      *obs.Registry
+	inFlight *obs.Gauge
+	routes   map[string]*routeMetrics
 }
 
 // NewHandler wraps a corpus with default options.
@@ -72,30 +81,51 @@ func NewHandlerOptions(c *corpus.Corpus, opts Options) *Handler {
 	if opts.Workers > 0 {
 		c.SetWorkers(opts.Workers)
 	}
-	h := &Handler{c: c, cache: qcache.New(4096), maxBytes: opts.MaxDocumentBytes}
+	reg := opts.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	h := &Handler{
+		c:        c,
+		cache:    qcache.New(4096),
+		maxBytes: opts.MaxDocumentBytes,
+		reg:      reg,
+		inFlight: reg.Gauge("http.in_flight"),
+		routes:   make(map[string]*routeMetrics),
+	}
 	if h.maxBytes <= 0 {
 		h.maxBytes = MaxDocumentBytes
 	}
+	h.instrumentCorpus()
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/estimate", h.estimate)
-	mux.HandleFunc("GET /v1/exact", h.exact)
-	mux.HandleFunc("GET /v1/explain", h.explain)
-	mux.HandleFunc("GET /v1/stats", h.stats)
-	mux.HandleFunc("POST /v1/docs/{name}", h.addDoc)
-	mux.HandleFunc("DELETE /v1/docs/{name}", h.removeDoc)
+	mux.HandleFunc("GET /v1/estimate", h.instrument("estimate", h.estimate))
+	mux.HandleFunc("GET /v1/exact", h.instrument("exact", h.exact))
+	mux.HandleFunc("GET /v1/explain", h.instrument("explain", h.explain))
+	mux.HandleFunc("GET /v1/stats", h.instrument("stats", h.stats))
+	mux.HandleFunc("GET /v1/metrics", h.instrument("metrics", h.metricsEndpoint))
+	mux.HandleFunc("POST /v1/docs/{name}", h.instrument("doc_add", h.addDoc))
+	mux.HandleFunc("DELETE /v1/docs/{name}", h.instrument("doc_remove", h.removeDoc))
 	// Method-less fallbacks: a matching path with the wrong verb gets the
-	// JSON envelope instead of the mux's plain-text 405.
-	mux.HandleFunc("/v1/estimate", methodNotAllowed("GET"))
-	mux.HandleFunc("/v1/exact", methodNotAllowed("GET"))
-	mux.HandleFunc("/v1/explain", methodNotAllowed("GET"))
-	mux.HandleFunc("/v1/stats", methodNotAllowed("GET"))
-	mux.HandleFunc("/v1/docs/{name}", methodNotAllowed("POST, DELETE"))
-	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+	// JSON envelope instead of the mux's plain-text 405. They share one
+	// "other" metric with the 404 fallback: per-endpoint histograms are
+	// for traffic that reached an endpoint.
+	other := func(fn http.HandlerFunc) http.HandlerFunc { return h.instrument("other", fn) }
+	mux.HandleFunc("/v1/estimate", other(methodNotAllowed("GET")))
+	mux.HandleFunc("/v1/exact", other(methodNotAllowed("GET")))
+	mux.HandleFunc("/v1/explain", other(methodNotAllowed("GET")))
+	mux.HandleFunc("/v1/stats", other(methodNotAllowed("GET")))
+	mux.HandleFunc("/v1/metrics", other(methodNotAllowed("GET")))
+	mux.HandleFunc("/v1/docs/{name}", other(methodNotAllowed("POST, DELETE")))
+	mux.HandleFunc("/", other(func(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "not_found", "no such endpoint")
-	})
+	}))
 	h.mux = mux
 	return h
 }
+
+// Metrics exposes the handler's registry (shared with Options.Registry
+// when one was supplied).
+func (h *Handler) Metrics() *obs.Registry { return h.reg }
 
 // ServeHTTP implements http.Handler.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -203,16 +233,22 @@ func (h *Handler) stats(w http.ResponseWriter, _ *http.Request) {
 	h.mu.RLock()
 	defer h.mu.RUnlock()
 	s := h.c.Summary()
-	hits, misses, size := h.cache.Stats()
+	hits, misses, evictions, size := h.cache.Stats()
 	resp := map[string]any{
-		"k":            s.K(),
-		"patterns":     s.Patterns(),
-		"bytes":        s.SizeBytes(),
-		"documents":    h.c.Docs(),
-		"cache_hits":   hits,
-		"cache_misses": misses,
-		"cache_size":   size,
-		"workers":      h.c.Workers(),
+		"k":               s.K(),
+		"patterns":        s.Patterns(),
+		"bytes":           s.SizeBytes(),
+		"documents":       h.c.Docs(),
+		"cache_hits":      hits,
+		"cache_misses":    misses,
+		"cache_evictions": evictions,
+		"cache_size":      size,
+		"cache_hit_ratio": h.cache.HitRatio(),
+		"workers":         h.c.Workers(),
+		// One-stop obs summary: per-endpoint totals and latency quantiles,
+		// plus current concurrency, without scraping /v1/metrics.
+		"endpoints": h.endpointSummaries(),
+		"in_flight": h.inFlight.Value(),
 	}
 	if t := h.c.BuildTimings(); t != nil {
 		resp["last_build_ms"] = t.Millis()

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"treelattice/internal/corpus"
+	"treelattice/internal/obs"
 )
 
 const doc = `<computer><laptops><laptop><brand/><price/></laptop><laptop><brand/><price/></laptop></laptops></computer>`
@@ -311,5 +312,196 @@ func TestEstimateCaching(t *testing.T) {
 	_, est := do(t, "GET", srv.URL+"/v1/estimate?q=laptop(brand)", "")
 	if est["estimate"].(float64) != 4 {
 		t.Fatalf("post-invalidation estimate = %v, want 4", est["estimate"])
+	}
+}
+
+// decodeMetrics scrapes /v1/metrics into an obs.Snapshot.
+func decodeMetrics(t *testing.T, url string) obs.Snapshot {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	var s obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestMetricsEndpoint drives a known request mix and checks the exported
+// counters and histograms agree with it.
+func TestMetricsEndpoint(t *testing.T) {
+	srv, _ := newServer(t)
+	do(t, "POST", srv.URL+"/v1/docs/sample", doc)
+	const n = 7
+	for i := 0; i < n; i++ {
+		do(t, "GET", srv.URL+"/v1/estimate?q=laptop(brand,price)", "")
+	}
+	do(t, "GET", srv.URL+"/v1/estimate?q=a((", "") // one 400
+
+	s := decodeMetrics(t, srv.URL)
+	if got := s.Counters["http.estimate.requests"]; got != n+1 {
+		t.Errorf("estimate requests = %d, want %d", got, n+1)
+	}
+	if got := s.Counters["http.estimate.status.2xx"]; got != n {
+		t.Errorf("estimate 2xx = %d, want %d", got, n)
+	}
+	if got := s.Counters["http.estimate.status.4xx"]; got != 1 {
+		t.Errorf("estimate 4xx = %d, want 1", got)
+	}
+	if got := s.Counters["http.doc_add.requests"]; got != 1 {
+		t.Errorf("doc_add requests = %d, want 1", got)
+	}
+	hist, ok := s.Histograms["http.estimate.latency_seconds"]
+	if !ok || hist.Count != n+1 {
+		t.Errorf("estimate latency histogram count = %d, want %d", hist.Count, n+1)
+	}
+	// The estimate path records per-method latencies in core: the cache
+	// absorbed repeats, so the voting estimator ran for the two distinct
+	// computations (good query once, plus zero for the bad one which never
+	// reaches the estimator).
+	if got := s.Histograms["estimate.recursive+voting.latency_seconds"].Count; got != 1 {
+		t.Errorf("estimator latency count = %d, want 1 (cache absorbed repeats)", got)
+	}
+	if got := s.Counters["qcache.hits"]; got != n-1 {
+		t.Errorf("qcache.hits = %d, want %d", got, n-1)
+	}
+	if got := s.Counters["qcache.misses"]; got != 1 {
+		t.Errorf("qcache.misses = %d, want 1", got)
+	}
+	// The scrape observes itself: the snapshot is taken while the metrics
+	// request is still in flight.
+	if got, ok := s.Gauges["http.in_flight"]; !ok || got != 1 {
+		t.Errorf("in_flight = %d (present %v), want 1 (the scrape itself)", got, ok)
+	}
+}
+
+// TestStatsObsSummary checks the satellite: /v1/stats carries the cache
+// hit ratio and the per-endpoint obs summary.
+func TestStatsObsSummary(t *testing.T) {
+	srv, _ := newServer(t)
+	do(t, "POST", srv.URL+"/v1/docs/sample", doc)
+	do(t, "GET", srv.URL+"/v1/estimate?q=laptop(brand)", "")
+	do(t, "GET", srv.URL+"/v1/estimate?q=laptop(brand)", "")
+	_, out := do(t, "GET", srv.URL+"/v1/stats", "")
+	if ratio, ok := out["cache_hit_ratio"].(float64); !ok || ratio != 0.5 {
+		t.Errorf("cache_hit_ratio = %v, want 0.5", out["cache_hit_ratio"])
+	}
+	if _, ok := out["cache_evictions"].(float64); !ok {
+		t.Errorf("stats missing cache_evictions: %v", out)
+	}
+	eps, ok := out["endpoints"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats missing endpoints summary: %v", out)
+	}
+	est, ok := eps["estimate"].(map[string]any)
+	if !ok {
+		t.Fatalf("endpoints missing estimate: %v", eps)
+	}
+	if est["requests"].(float64) != 2 {
+		t.Errorf("endpoint requests = %v, want 2", est["requests"])
+	}
+	for _, q := range []string{"p50_ms", "p95_ms", "p99_ms"} {
+		if _, ok := est[q]; !ok {
+			t.Errorf("endpoint summary missing %s: %v", q, est)
+		}
+	}
+}
+
+// TestMetricsUnderConcurrentLoad hammers estimates, uploads, and metrics
+// scrapes together (run under -race): every scrape must be self-consistent
+// (histogram count == bucket sum) and counters must be monotone across
+// scrapes.
+func TestMetricsUnderConcurrentLoad(t *testing.T) {
+	srv, _ := newServer(t)
+	do(t, "POST", srv.URL+"/v1/docs/seed", doc)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 25; j++ {
+				resp, err := http.Get(srv.URL + "/v1/estimate?q=laptop(brand,price)")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(srv.URL+fmt.Sprintf("/v1/docs/d%d", i),
+				"application/xml", strings.NewReader(doc))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp.Body.Close()
+		}(i)
+	}
+	scrapeErr := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var prev map[string]uint64
+		for k := 0; k < 30; k++ {
+			s := decodeMetrics(t, srv.URL)
+			for name, hist := range s.Histograms {
+				var sum uint64
+				for _, b := range hist.Buckets {
+					sum += b.Count
+				}
+				if sum != hist.Count {
+					select {
+					case scrapeErr <- fmt.Errorf("torn histogram %s: %d != %d", name, sum, hist.Count):
+					default:
+					}
+					return
+				}
+			}
+			for name, v := range prev {
+				if s.Counters[name] < v {
+					select {
+					case scrapeErr <- fmt.Errorf("counter %s went backwards: %d -> %d", name, v, s.Counters[name]):
+					default:
+					}
+					return
+				}
+			}
+			prev = s.Counters
+		}
+	}()
+	wg.Wait()
+	select {
+	case err := <-scrapeErr:
+		t.Fatal(err)
+	default:
+	}
+
+	s := decodeMetrics(t, srv.URL)
+	if got := s.Counters["http.estimate.requests"]; got != 150 {
+		t.Errorf("estimate requests = %d, want 150", got)
+	}
+	if got := s.Counters["http.doc_add.requests"]; got != 4 {
+		t.Errorf("doc_add requests = %d, want 4", got)
+	}
+}
+
+// TestMetricsMethodNotAllowed pins the envelope on the metrics route too.
+func TestMetricsMethodNotAllowed(t *testing.T) {
+	srv, _ := newServer(t)
+	code, out := do(t, "POST", srv.URL+"/v1/metrics", "x")
+	if code != 405 || out["code"] != "method_not_allowed" {
+		t.Fatalf("POST /v1/metrics: %d %v", code, out)
 	}
 }

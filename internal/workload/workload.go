@@ -210,7 +210,16 @@ func Negative(t *labeltree.Tree, positive map[int][]Query, opts Options) (map[in
 		maxAttempts = 200 * opts.PerSize
 	}
 	out := make(map[int][]Query, len(positive))
-	for size, qs := range positive {
+	// Iterate sizes in ascending order: ranging over the map would
+	// consume rng draws in a runtime-randomized order, making the
+	// "deterministic" seed produce a different workload every run.
+	sizes := make([]int, 0, len(positive))
+	for size := range positive {
+		sizes = append(sizes, size)
+	}
+	sort.Ints(sizes)
+	for _, size := range sizes {
+		qs := positive[size]
 		if len(qs) == 0 {
 			continue
 		}
