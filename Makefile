@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench microbench
+.PHONY: check vet build test race bench benchcore microbench
 
 check: vet build race
 
@@ -30,6 +30,14 @@ race:
 bench:
 	$(GO) run ./cmd/treelattice loadbench -gen xmark -scale 20000 \
 		-duration 3s -warmup 500ms -seed 1 -out BENCH_serve.json
+
+# benchcore is the build/estimate-path counterpart of `make bench`: it
+# runs the canonical-keying microbenchmarks (BenchmarkKey and the
+# pre-optimization string-encoder reference) plus the paper macro
+# benchmarks (Table 3 lattice construction, Figure 9 response time) and
+# writes BENCH_core.json with ns/op, B/op, and allocs/op per result.
+benchcore:
+	TWIG_BENCH_SCALE=2000 $(GO) run ./cmd/benchcore -benchtime 1s -out BENCH_core.json
 
 microbench:
 	$(GO) test -bench . -benchtime 1x ./...

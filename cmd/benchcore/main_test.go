@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	res, ok := parseBenchLine("BenchmarkKey/size8-8   7423137   162.3 ns/op   24 B/op   1 allocs/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if res.Name != "BenchmarkKey/size8" || res.Iterations != 7423137 || res.NsPerOp != 162.3 {
+		t.Fatalf("parsed %+v", res)
+	}
+	if res.BytesPerOp == nil || *res.BytesPerOp != 24 || res.AllocsPerOp == nil || *res.AllocsPerOp != 1 {
+		t.Fatalf("memory fields: %+v", res)
+	}
+
+	res, ok = parseBenchLine("BenchmarkTable3LatticeConstruction/xmark-8  96  12173255 ns/op  3524 summaryKB  4481237 B/op  40958 allocs/op")
+	if !ok {
+		t.Fatal("line with custom metric not parsed")
+	}
+	if res.Metrics["summaryKB"] != 3524 {
+		t.Fatalf("custom metric lost: %+v", res.Metrics)
+	}
+
+	for _, line := range []string{
+		"PASS",
+		"ok  \ttreelattice\t4.2s",
+		"goos: linux",
+		"BenchmarkBroken-8 notanumber 1 ns/op",
+		"BenchmarkNoTime-8 100 24 B/op", // no ns/op measurement
+	} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Errorf("parsed non-benchmark line %q", line)
+		}
+	}
+}

@@ -43,6 +43,11 @@ type Estimator interface {
 type Store interface {
 	// Count returns the stored count for p and whether p is present.
 	Count(p labeltree.Pattern) (int64, bool)
+	// CountKey is Count for a precomputed canonical key. The
+	// decomposition engine keys every pattern exactly once (the key is
+	// also its memo identity), so stores must answer by key without
+	// re-encoding.
+	CountKey(key labeltree.Key) (int64, bool)
 	// K is the size up to which the store is authoritative: a missing
 	// pattern of size ≤ K either does not occur (complete store) or is
 	// derivable (pruned store).
@@ -167,14 +172,20 @@ type engine struct {
 }
 
 func (e *engine) estimate(q labeltree.Pattern, depth int) float64 {
+	return e.estimateKeyed(q, q.Key(), depth)
+}
+
+// estimateKeyed is estimate for callers that already hold q's canonical
+// key (the decomposition enumerator computes every subtree's key for its
+// signature, so recursion never re-encodes a pattern).
+func (e *engine) estimateKeyed(q labeltree.Pattern, key labeltree.Key, depth int) float64 {
 	if e.tr != nil && depth > e.tr.MaxDepth {
 		e.tr.MaxDepth = depth
 	}
-	key := q.Key()
 	if v, ok := e.memo[key]; ok {
 		return v
 	}
-	if c, ok := e.sum.Count(q); ok {
+	if c, ok := e.sum.CountKey(key); ok {
 		if e.tr != nil {
 			e.tr.LatticeHits++
 		}
@@ -214,9 +225,9 @@ func (e *engine) estimate(q labeltree.Pattern, depth int) float64 {
 	votes := make([]float64, len(ds))
 	for i, d := range ds {
 		votes[i] = Augment(
-			e.estimate(d.t1, depth+1),
-			e.estimate(d.t2, depth+1),
-			e.estimate(d.common, depth+1),
+			e.estimateKeyed(d.t1, d.t1Key, depth+1),
+			e.estimateKeyed(d.t2, d.t2Key, depth+1),
+			e.estimateKeyed(d.common, d.commonKey, depth+1),
 		)
 		if e.tr != nil {
 			e.tr.Augmentations++
@@ -264,10 +275,30 @@ func aggregate(votes []float64, scheme VotingScheme) float64 {
 }
 
 // decomposition is one leaf-pair removal: T1 and T2 are the query minus
-// one leaf each, common is the query minus both.
+// one leaf each, common is the query minus both. The canonical keys of
+// all three subtrees ride along so recursion and memoization never
+// re-encode them.
 type decomposition struct {
-	t1, t2, common labeltree.Pattern
-	sig            string
+	t1, t2, common          labeltree.Pattern
+	t1Key, t2Key, commonKey labeltree.Key
+	sig                     decompSig
+}
+
+// decompSig orders decompositions canonically: the unordered {T1, T2} key
+// pair (lo ≤ hi) then the common part's key, compared field-wise. A
+// comparable struct of keys — no per-pair string building.
+type decompSig struct {
+	lo, hi, common labeltree.Key
+}
+
+func (a decompSig) less(b decompSig) bool {
+	if a.lo != b.lo {
+		return a.lo < b.lo
+	}
+	if a.hi != b.hi {
+		return a.hi < b.hi
+	}
+	return a.common < b.common
 }
 
 // decompositions enumerates every admissible leaf-pair decomposition of q,
@@ -285,15 +316,19 @@ func decompositions(q labeltree.Pattern) []decomposition {
 			t1 := q.RemoveLeaf(leaves[i])
 			t2 := q.RemoveLeaf(leaves[j])
 			common := removeTwo(q, leaves[i], leaves[j])
-			k1, k2 := string(t1.Key()), string(t2.Key())
-			if k2 < k1 {
-				k1, k2 = k2, k1
+			d := decomposition{
+				t1: t1, t2: t2, common: common,
+				t1Key: t1.Key(), t2Key: t2.Key(), commonKey: common.Key(),
 			}
-			out = append(out, decomposition{t1: t1, t2: t2, common: common,
-				sig: k1 + "|" + k2 + "|" + string(common.Key())})
+			lo, hi := d.t1Key, d.t2Key
+			if hi < lo {
+				lo, hi = hi, lo
+			}
+			d.sig = decompSig{lo: lo, hi: hi, common: d.commonKey}
+			out = append(out, d)
 		}
 	}
-	sort.Slice(out, func(a, b int) bool { return out[a].sig < out[b].sig })
+	sort.Slice(out, func(a, b int) bool { return out[a].sig.less(out[b].sig) })
 	return out
 }
 

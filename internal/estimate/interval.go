@@ -34,13 +34,12 @@ func (iv Interval) Contains(v float64) bool {
 func EstimateInterval(sum Store, q labeltree.Pattern) Interval {
 	memo := make(map[labeltree.Key]Interval)
 	scalar := make(map[labeltree.Key]float64)
-	var rec func(p labeltree.Pattern) Interval
-	rec = func(p labeltree.Pattern) Interval {
-		key := p.Key()
+	var rec func(p labeltree.Pattern, key labeltree.Key) Interval
+	rec = func(p labeltree.Pattern, key labeltree.Key) Interval {
 		if iv, ok := memo[key]; ok {
 			return iv
 		}
-		if c, ok := sum.Count(p); ok {
+		if c, ok := sum.CountKey(key); ok {
 			iv := Interval{float64(c), float64(c)}
 			memo[key] = iv
 			return iv
@@ -55,7 +54,7 @@ func EstimateInterval(sum Store, q labeltree.Pattern) Interval {
 		}
 		lo, hi := math.Inf(1), math.Inf(-1)
 		for _, d := range decompositions(p) {
-			iv1, iv2, ivc := rec(d.t1), rec(d.t2), rec(d.common)
+			iv1, iv2, ivc := rec(d.t1, d.t1Key), rec(d.t2, d.t2Key), rec(d.common, d.commonKey)
 			plo := 0.0
 			if ivc.Hi > 0 {
 				plo = iv1.Lo * iv2.Lo / ivc.Hi
@@ -82,5 +81,5 @@ func EstimateInterval(sum Store, q labeltree.Pattern) Interval {
 		memo[key] = iv
 		return iv
 	}
-	return rec(q)
+	return rec(q, q.Key())
 }

@@ -1,0 +1,290 @@
+package labeltree
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randomPattern builds a random pattern over the alphabet (local copy of
+// treetest.RandomPattern; treetest imports labeltree).
+func randomPattern(rng *rand.Rand, size int, alphabet []LabelID) Pattern {
+	labels := make([]LabelID, size)
+	parent := make([]int32, size)
+	parent[0] = -1
+	for i := 0; i < size; i++ {
+		labels[i] = alphabet[rng.Intn(len(alphabet))]
+		if i > 0 {
+			parent[i] = int32(rng.Intn(i))
+		}
+	}
+	return MustPattern(labels, parent)
+}
+
+// permutePattern renumbers p by a random parent-before-child permutation:
+// the result is isomorphic to p with sibling order (and numbering)
+// shuffled.
+func permutePattern(rng *rand.Rand, p Pattern) Pattern {
+	n := p.Size()
+	// Random topological order: repeatedly pick any node whose parent is
+	// already placed.
+	placed := make([]bool, n)
+	order := make([]int32, 0, n)
+	for len(order) < n {
+		candidates := make([]int32, 0, n)
+		for i := int32(0); int(i) < n; i++ {
+			if placed[i] {
+				continue
+			}
+			if p.Parent(i) < 0 || placed[p.Parent(i)] {
+				candidates = append(candidates, i)
+			}
+		}
+		pick := candidates[rng.Intn(len(candidates))]
+		placed[pick] = true
+		order = append(order, pick)
+	}
+	newIdx := make([]int32, n)
+	for ni, old := range order {
+		newIdx[old] = int32(ni)
+	}
+	labels := make([]LabelID, n)
+	parent := make([]int32, n)
+	for ni, old := range order {
+		labels[ni] = p.Label(old)
+		if pp := p.Parent(old); pp < 0 {
+			parent[ni] = -1
+		} else {
+			parent[ni] = newIdx[pp]
+		}
+	}
+	return MustPattern(labels, parent)
+}
+
+func bigAlphabet(n int) []LabelID {
+	d := NewDict()
+	out := make([]LabelID, n)
+	for i := range out {
+		out[i] = d.Intern(fmt.Sprintf("l%d", i))
+	}
+	return out
+}
+
+// TestKeyMatchesSlowReference is the differential property test: the byte
+// encoder must induce exactly the same equivalence classes as the original
+// string encoder — equal keys for isomorphic patterns (random sibling
+// permutations), distinct keys for non-isomorphic ones. The alphabet is
+// larger than 10 labels so multi-byte varints and multi-digit reference
+// labels are both exercised.
+func TestKeyMatchesSlowReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	alphabet := bigAlphabet(140) // forces two-byte varints for high labels
+	type seen struct {
+		slow string
+		pat  Pattern
+	}
+	var pats []seen
+	for trial := 0; trial < 400; trial++ {
+		p := randomPattern(rng, 1+rng.Intn(10), alphabet)
+		kp := p.Key()
+		sp := slowKey(p)
+		// Isomorphic permutations agree under both encoders.
+		for i := 0; i < 3; i++ {
+			q := permutePattern(rng, p)
+			if q.Key() != kp {
+				t.Fatalf("trial %d: permutation changed byte key", trial)
+			}
+			if slowKey(q) != sp {
+				t.Fatalf("trial %d: permutation changed reference key", trial)
+			}
+		}
+		// Cross-pattern: byte keys collide exactly when reference keys do.
+		for _, prev := range pats {
+			if (prev.pat.Key() == kp) != (prev.slow == sp) {
+				t.Fatalf("encoders disagree:\n%v\n%v", prev.pat, p)
+			}
+		}
+		pats = append(pats, seen{sp, p})
+	}
+}
+
+func TestAppendKeyMatchesKey(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	alphabet := bigAlphabet(20)
+	var buf []byte
+	for trial := 0; trial < 200; trial++ {
+		p := randomPattern(rng, 1+rng.Intn(9), alphabet)
+		buf = p.AppendKey(buf[:0])
+		if Key(buf) != p.Key() {
+			t.Fatalf("AppendKey differs from Key for %v", p)
+		}
+	}
+}
+
+func TestKeyBuilderChildKey(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	alphabet := bigAlphabet(150)
+	kb := NewKeyBuilder()
+	for trial := 0; trial < 300; trial++ {
+		p := randomPattern(rng, 1+rng.Intn(8), alphabet)
+		kb.Reset(p)
+		// Every (attachment point, label) extension must match the full
+		// re-encode of the extended pattern.
+		for i := int32(0); int(i) < p.Size(); i++ {
+			l := alphabet[rng.Intn(len(alphabet))]
+			want := p.AddChild(i, l).Key()
+			if got := kb.ChildKey(i, l); got != want {
+				t.Fatalf("trial %d: ChildKey(%d, %d) = %x, want %x", trial, i, l, got, want)
+			}
+		}
+	}
+}
+
+func TestKeyBuilderReuseAcrossPatterns(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	alphabet := bigAlphabet(12)
+	kb := NewKeyBuilder()
+	for trial := 0; trial < 50; trial++ {
+		p := randomPattern(rng, 2+rng.Intn(6), alphabet)
+		kb.Reset(p)
+		at := int32(rng.Intn(p.Size()))
+		l := alphabet[rng.Intn(len(alphabet))]
+		if got, want := kb.ChildKey(at, l), p.AddChild(at, l).Key(); got != want {
+			t.Fatalf("reused builder diverged on trial %d", trial)
+		}
+	}
+}
+
+func TestKeyBuilderPanicsBeforeReset(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ChildKey before Reset did not panic")
+		}
+	}()
+	NewKeyBuilder().ChildKey(0, 0)
+}
+
+// TestAppendKeyZeroAlloc gates the allocation contract: keying through a
+// caller-owned buffer must be amortized zero-alloc (pooled scratch).
+func TestAppendKeyZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool bypasses its cache under -race; allocation counts unreliable")
+	}
+	p := benchPattern(8)
+	buf := make([]byte, 0, 256)
+	buf = p.AppendKey(buf[:0]) // warm the pool and size the buffer
+	if avg := testing.AllocsPerRun(200, func() {
+		buf = p.AppendKey(buf[:0])
+	}); avg != 0 {
+		t.Fatalf("AppendKey allocates %v times per run, want 0", avg)
+	}
+}
+
+func TestAppendChildKeyZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool bypasses its cache under -race; allocation counts unreliable")
+	}
+	p := benchPattern(7)
+	kb := NewKeyBuilder()
+	kb.Reset(p)
+	buf := make([]byte, 0, 256)
+	buf = kb.AppendChildKey(buf[:0], 3, 5)
+	if avg := testing.AllocsPerRun(200, func() {
+		buf = kb.AppendChildKey(buf[:0], 3, 5)
+	}); avg != 0 {
+		t.Fatalf("AppendChildKey allocates %v times per run, want 0", avg)
+	}
+}
+
+func TestEqualZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool bypasses its cache under -race; allocation counts unreliable")
+	}
+	p := benchPattern(8)
+	q := p.Canonicalize()
+	if !p.Equal(q) {
+		t.Fatal("canonical copy not Equal")
+	}
+	p.Equal(q) // warm the pool
+	if avg := testing.AllocsPerRun(200, func() {
+		p.Equal(q)
+	}); avg != 0 {
+		t.Fatalf("Equal allocates %v times per run, want 0", avg)
+	}
+}
+
+// benchPattern builds a branchy size-n pattern (node i under node i/2)
+// over a 12-label alphabet.
+func benchPattern(size int) Pattern {
+	alphabet := bigAlphabet(12)
+	labels := make([]LabelID, size)
+	parent := make([]int32, size)
+	parent[0] = -1
+	for i := 0; i < size; i++ {
+		labels[i] = alphabet[i%len(alphabet)]
+		if i > 0 {
+			parent[i] = int32(i / 2)
+		}
+	}
+	return MustPattern(labels, parent)
+}
+
+func BenchmarkKey(b *testing.B) {
+	for _, size := range []int{4, 8, 16} {
+		p := benchPattern(size)
+		b.Run(fmt.Sprintf("size%d", size), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = p.Key()
+			}
+		})
+	}
+}
+
+// BenchmarkKeyReference is the pre-optimization string encoder kept as the
+// before/after baseline for BENCH_core.json.
+func BenchmarkKeyReference(b *testing.B) {
+	for _, size := range []int{4, 8, 16} {
+		p := benchPattern(size)
+		b.Run(fmt.Sprintf("size%d", size), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = slowKey(p)
+			}
+		})
+	}
+}
+
+func BenchmarkAppendKey(b *testing.B) {
+	for _, size := range []int{4, 8} {
+		p := benchPattern(size)
+		b.Run(fmt.Sprintf("size%d", size), func(b *testing.B) {
+			b.ReportAllocs()
+			buf := make([]byte, 0, 256)
+			for i := 0; i < b.N; i++ {
+				buf = p.AppendKey(buf[:0])
+			}
+		})
+	}
+}
+
+func BenchmarkKeyBuilderChildKey(b *testing.B) {
+	p := benchPattern(7)
+	kb := NewKeyBuilder()
+	kb.Reset(p)
+	b.Run("size8", func(b *testing.B) {
+		b.ReportAllocs()
+		buf := make([]byte, 0, 256)
+		for i := 0; i < b.N; i++ {
+			buf = kb.AppendChildKey(buf[:0], int32(i%7), LabelID(i%12))
+		}
+	})
+}
+
+func BenchmarkCanonicalize(b *testing.B) {
+	p := benchPattern(8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = p.Canonicalize()
+	}
+}

@@ -1,6 +1,7 @@
 package labeltree
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 	"strings"
@@ -21,7 +22,9 @@ type Pattern struct {
 
 // Key is the canonical encoding of a pattern, usable as a map key. Two
 // patterns have equal keys iff they are isomorphic as unordered rooted
-// labeled trees.
+// labeled trees. The contents are a compact byte encoding (see
+// keyenc.go), not printable text, and are process-internal: keys are
+// derived on demand and never serialized.
 type Key string
 
 // NewPattern builds a pattern from parallel label and parent slices.
@@ -261,30 +264,18 @@ func (p Pattern) Preorder() []int32 {
 }
 
 // Key returns the canonical encoding of p as an unordered rooted labeled
-// tree. The encoding of a node is "label(" + sorted child encodings + ")";
-// sorting child encodings makes sibling order irrelevant.
+// tree: a compact byte string (see keyenc.go for the format) in which
+// every node's child encodings appear sorted, making sibling order
+// irrelevant. Two patterns have equal keys iff they are isomorphic.
 func (p Pattern) Key() Key {
-	children := make([][]int32, len(p.labels))
-	for i := 1; i < len(p.parent); i++ {
-		children[p.parent[i]] = append(children[p.parent[i]], int32(i))
-	}
-	var enc func(i int32) string
-	enc = func(i int32) string {
-		cs := children[i]
-		if len(cs) == 0 {
-			return encodeLabel(p.labels[i])
-		}
-		parts := make([]string, len(cs))
-		for j, c := range cs {
-			parts[j] = enc(c)
-		}
-		sort.Strings(parts)
-		return encodeLabel(p.labels[i]) + "(" + strings.Join(parts, "") + ")"
-	}
-	return Key(enc(0))
+	ks := keyScratchPool.Get().(*keyScratch)
+	k := Key(ks.encode(p))
+	keyScratchPool.Put(ks)
+	return k
 }
 
-// encodeLabel renders a label ID unambiguously inside canonical keys.
+// encodeLabel renders a label ID unambiguously inside String's child
+// ordering keys (display only; canonical Keys use the byte encoder).
 func encodeLabel(l LabelID) string { return fmt.Sprintf("%d.", l) }
 
 // Canonicalize returns an isomorphic copy of p renumbered into canonical
@@ -293,46 +284,26 @@ func encodeLabel(l LabelID) string { return fmt.Sprintf("%d.", l) }
 // identical values. Order-sensitive algorithms (like the fix-sized
 // preorder cover) canonicalize first to become isomorphism-invariant.
 func (p Pattern) Canonicalize() Pattern {
-	children := make([][]int32, len(p.labels))
-	for i := 1; i < len(p.parent); i++ {
-		children[p.parent[i]] = append(children[p.parent[i]], int32(i))
-	}
-	encs := make([]string, len(p.labels))
-	var enc func(i int32) string
-	enc = func(i int32) string {
-		cs := children[i]
-		if len(cs) == 0 {
-			encs[i] = encodeLabel(p.labels[i])
-			return encs[i]
-		}
-		parts := make([]string, len(cs))
-		for j, c := range cs {
-			parts[j] = enc(c)
-		}
-		sort.Strings(parts)
-		encs[i] = encodeLabel(p.labels[i]) + "(" + strings.Join(parts, "") + ")"
-		return encs[i]
-	}
-	enc(0)
-	labels := make([]LabelID, 0, len(p.labels))
-	parent := make([]int32, 0, len(p.labels))
-	var walk func(old, newParent int32)
-	walk = func(old, newParent int32) {
+	n := len(p.labels)
+	ks := keyScratchPool.Get().(*keyScratch)
+	ks.encode(p) // leaves every node's child list in canonical order
+	labels := make([]LabelID, 0, n)
+	parent := make([]int32, 0, n)
+	type frame struct{ old, newParent int32 }
+	stack := make([]frame, 1, n)
+	stack[0] = frame{0, -1}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
 		idx := int32(len(labels))
-		labels = append(labels, p.labels[old])
-		parent = append(parent, newParent)
-		cs := append([]int32(nil), children[old]...)
-		sort.Slice(cs, func(a, b int) bool {
-			if encs[cs[a]] != encs[cs[b]] {
-				return encs[cs[a]] < encs[cs[b]]
-			}
-			return cs[a] < cs[b]
-		})
-		for _, c := range cs {
-			walk(c, idx)
+		labels = append(labels, p.labels[f.old])
+		parent = append(parent, f.newParent)
+		kids := ks.childIdx[ks.childPos[f.old]:ks.childPos[f.old+1]]
+		for j := len(kids) - 1; j >= 0; j-- {
+			stack = append(stack, frame{kids[j], idx})
 		}
 	}
-	walk(0, -1)
+	keyScratchPool.Put(ks)
 	return Pattern{labels: labels, parent: parent}
 }
 
@@ -341,7 +312,12 @@ func (p Pattern) Equal(q Pattern) bool {
 	if len(p.labels) != len(q.labels) {
 		return false
 	}
-	return p.Key() == q.Key()
+	ks1 := keyScratchPool.Get().(*keyScratch)
+	ks2 := keyScratchPool.Get().(*keyScratch)
+	eq := bytes.Equal(ks1.encode(p), ks2.encode(q))
+	keyScratchPool.Put(ks1)
+	keyScratchPool.Put(ks2)
+	return eq
 }
 
 // Clone returns a deep copy of p.

@@ -1,9 +1,38 @@
 package labeltree
 
 import (
+	"fmt"
 	"math/rand"
+	"sort"
+	"strings"
 	"testing"
 )
+
+// slowKey is the original recursive string encoder, kept as the slow
+// reference implementation the byte encoder (keyenc.go) is differentially
+// tested against: a node encodes as "label." + "(" + sorted child
+// encodings + ")", so sibling order is irrelevant. It defines the same
+// isomorphism classes as Pattern.Key but not the same ordering.
+func slowKey(p Pattern) string {
+	children := make([][]int32, p.Size())
+	for i := int32(1); int(i) < p.Size(); i++ {
+		children[p.Parent(i)] = append(children[p.Parent(i)], i)
+	}
+	var enc func(i int32) string
+	enc = func(i int32) string {
+		cs := children[i]
+		if len(cs) == 0 {
+			return fmt.Sprintf("%d.", p.Label(i))
+		}
+		parts := make([]string, len(cs))
+		for j, c := range cs {
+			parts[j] = enc(c)
+		}
+		sort.Strings(parts)
+		return fmt.Sprintf("%d.", p.Label(i)) + "(" + strings.Join(parts, "") + ")"
+	}
+	return enc(0)
+}
 
 func dictABC() (*Dict, LabelID, LabelID, LabelID, LabelID) {
 	d := NewDict()

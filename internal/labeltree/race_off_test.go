@@ -1,0 +1,7 @@
+//go:build !race
+
+package labeltree
+
+// raceEnabled reports whether the race detector is compiled in. See
+// race_on_test.go.
+const raceEnabled = false

@@ -56,23 +56,37 @@ func (s *Summary) MarkPruned() { s.pruned = true }
 // Add records pattern p with the given count, replacing any previous
 // entry. Patterns larger than K are rejected.
 func (s *Summary) Add(p labeltree.Pattern, count int64) error {
+	return s.AddKeyed(p.Key(), p, count)
+}
+
+// AddKeyed is Add with the canonical key precomputed by the caller, for
+// hot paths (the level-wise miner) that already derived the key for
+// deduplication: key must equal p.Key(), which the summary trusts rather
+// than re-encoding p.
+func (s *Summary) AddKeyed(key labeltree.Key, p labeltree.Pattern, count int64) error {
 	if p.Size() > s.k {
 		return fmt.Errorf("lattice: pattern size %d exceeds K=%d", p.Size(), s.k)
 	}
 	if count < 0 {
 		return fmt.Errorf("lattice: negative count %d", count)
 	}
-	s.entries[p.Key()] = Entry{Pattern: p, Count: count}
+	s.entries[key] = Entry{Pattern: p, Count: count}
 	return nil
 }
 
 // AddCount adds delta to the stored count for p, creating the entry if
 // needed. This is the primitive behind incremental maintenance.
 func (s *Summary) AddCount(p labeltree.Pattern, delta int64) error {
+	return s.AddCountKeyed(p.Key(), p, delta)
+}
+
+// AddCountKeyed is AddCount with the canonical key precomputed by the
+// caller (key must equal p.Key()). Merge uses it with the stored map
+// keys, so shard reduction never re-encodes patterns.
+func (s *Summary) AddCountKeyed(key labeltree.Key, p labeltree.Pattern, delta int64) error {
 	if p.Size() > s.k {
 		return fmt.Errorf("lattice: pattern size %d exceeds K=%d", p.Size(), s.k)
 	}
-	key := p.Key()
 	e, ok := s.entries[key]
 	if !ok {
 		e = Entry{Pattern: p}
@@ -165,8 +179,8 @@ func (s *Summary) Merge(other *Summary) error {
 	if other.dict != s.dict {
 		return fmt.Errorf("lattice: merging summaries with different dictionaries")
 	}
-	for _, e := range other.entries {
-		if err := s.AddCount(e.Pattern, e.Count); err != nil {
+	for k, e := range other.entries {
+		if err := s.AddCountKeyed(k, e.Pattern, e.Count); err != nil {
 			return err
 		}
 	}

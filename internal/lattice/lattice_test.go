@@ -81,6 +81,45 @@ func TestAddCountIncrementalAndDelete(t *testing.T) {
 	}
 }
 
+// TestKeyedAddsMatchUnkeyed pins the keyed-add contract: AddKeyed and
+// AddCountKeyed with key == p.Key() behave exactly like Add and AddCount.
+func TestKeyedAddsMatchUnkeyed(t *testing.T) {
+	d, a, b := twoLabels()
+	p := labeltree.PathPattern(a, b)
+	plain, keyed := New(4, d), New(4, d)
+	if err := plain.Add(p, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := keyed.AddKeyed(p.Key(), p, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.AddCount(p, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := keyed.AddCountKeyed(p.Key(), p, 3); err != nil {
+		t.Fatal(err)
+	}
+	cp, okP := plain.Count(p)
+	ck, okK := keyed.Count(p)
+	if !okP || !okK || cp != ck || cp != 8 {
+		t.Fatalf("keyed adds diverge: plain %d/%v keyed %d/%v", cp, okP, ck, okK)
+	}
+	// Keyed variants enforce the same bounds as the unkeyed ones.
+	big := labeltree.PathPattern(a, b, a, b, a)
+	if err := keyed.AddKeyed(big.Key(), big, 1); err == nil {
+		t.Fatal("oversize AddKeyed accepted")
+	}
+	if err := keyed.AddCountKeyed(big.Key(), big, 1); err == nil {
+		t.Fatal("oversize AddCountKeyed accepted")
+	}
+	if err := keyed.AddKeyed(p.Key(), p, -1); err == nil {
+		t.Fatal("negative AddKeyed accepted")
+	}
+	if err := keyed.AddCountKeyed(p.Key(), p, -9); err == nil {
+		t.Fatal("negative total AddCountKeyed accepted")
+	}
+}
+
 func TestLevelSizesAndEntries(t *testing.T) {
 	d, a, b := twoLabels()
 	s := New(3, d)

@@ -1,6 +1,7 @@
 package mine
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"math/rand"
@@ -190,6 +191,54 @@ func TestMineWorkerCountEquivalence(t *testing.T) {
 			if e1[i].Pattern.Key() != e2[i].Pattern.Key() || e1[i].Count != e2[i].Count {
 				t.Fatalf("workers=%d: entry %d differs", workers, i)
 			}
+		}
+	}
+}
+
+// TestMineSerializedWorkerEquivalence asserts byte-identical summaries —
+// including which isomorphism representative each entry stores, which is
+// fixed by the candidate enumeration order — across worker counts. This
+// pins the determinism contract of the incremental-key dedup: the byte
+// encoder's lexicographic order decides candidate order, and that order
+// must not depend on counting parallelism.
+func TestMineSerializedWorkerEquivalence(t *testing.T) {
+	dict, alphabet := treetest.Alphabet(4)
+	rng := rand.New(rand.NewSource(37))
+	tr := treetest.RandomTree(rng, 120, alphabet, dict)
+	var want []byte
+	for _, workers := range []int{1, 4, 8} {
+		sum, err := Mine(tr, 4, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := sum.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = buf.Bytes()
+			continue
+		}
+		if !bytes.Equal(want, buf.Bytes()) {
+			t.Fatalf("workers=%d: serialized summary differs from workers=1", workers)
+		}
+	}
+}
+
+// TestMineKeysMatchPatterns verifies the incremental KeyBuilder keys the
+// miner hands to AddKeyed: every stored entry must be retrievable by its
+// pattern's independently recomputed canonical key.
+func TestMineKeysMatchPatterns(t *testing.T) {
+	dict, alphabet := treetest.Alphabet(3)
+	rng := rand.New(rand.NewSource(41))
+	tr := treetest.RandomTree(rng, 90, alphabet, dict)
+	sum, err := Mine(tr, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range sum.Entries(0) {
+		if c, ok := sum.CountKey(e.Pattern.Key()); !ok || c != e.Count {
+			t.Fatalf("entry %s not reachable under its recomputed key", e.Pattern.String(dict))
 		}
 	}
 }

@@ -59,13 +59,19 @@ func NewTuner(base *lattice.Summary, budgetBytes int) *Tuner {
 
 // Count implements estimate.Store.
 func (t *Tuner) Count(p labeltree.Pattern) (int64, bool) {
-	if c, ok := t.corrections[p.Key()]; ok {
+	return t.CountKey(p.Key())
+}
+
+// CountKey implements estimate.Store: corrections first, then the base
+// summary, without re-encoding the pattern.
+func (t *Tuner) CountKey(key labeltree.Key) (int64, bool) {
+	if c, ok := t.corrections[key]; ok {
 		t.clock++
 		c.hits++
 		c.lastUsed = t.clock
 		return c.count, true
 	}
-	return t.base.Count(p)
+	return t.base.CountKey(key)
 }
 
 // K implements estimate.Store.

@@ -20,7 +20,7 @@ type Cache struct {
 	capacity int
 	gen      uint64
 	order    *list.List // front = most recent; values are *entry
-	items    map[string]*list.Element
+	items    map[cacheKey]*list.Element
 
 	hits, misses, evictions uint64
 
@@ -30,8 +30,15 @@ type Cache struct {
 	hitC, missC, evictC *obs.Counter
 }
 
+// cacheKey combines method name and canonical query key. A comparable
+// struct, so lookups build no concatenated string.
+type cacheKey struct {
+	method string
+	query  labeltree.Key
+}
+
 type entry struct {
-	key   string
+	key   cacheKey
 	value float64
 }
 
@@ -43,7 +50,7 @@ func New(capacity int) *Cache {
 	return &Cache{
 		capacity: capacity,
 		order:    list.New(),
-		items:    make(map[string]*list.Element, capacity),
+		items:    make(map[cacheKey]*list.Element, capacity),
 	}
 }
 
@@ -56,14 +63,9 @@ func (c *Cache) Instrument(hits, misses, evictions *obs.Counter) {
 	c.hitC, c.missC, c.evictC = hits, misses, evictions
 }
 
-// key combines method name and canonical query key.
-func cacheKey(method string, q labeltree.Pattern) string {
-	return method + "\x00" + string(q.Key())
-}
-
 // Get returns the cached estimate for (method, q).
 func (c *Cache) Get(method string, q labeltree.Pattern) (float64, bool) {
-	k := cacheKey(method, q)
+	k := cacheKey{method, q.Key()}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[k]
@@ -85,7 +87,7 @@ func (c *Cache) Get(method string, q labeltree.Pattern) (float64, bool) {
 // Put stores an estimate, evicting the least recently used entry when
 // full.
 func (c *Cache) Put(method string, q labeltree.Pattern, value float64) {
-	k := cacheKey(method, q)
+	k := cacheKey{method, q.Key()}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[k]; ok {
@@ -122,7 +124,7 @@ func (c *Cache) Invalidate() {
 	defer c.mu.Unlock()
 	c.gen++
 	c.order.Init()
-	c.items = make(map[string]*list.Element, c.capacity)
+	c.items = make(map[cacheKey]*list.Element, c.capacity)
 }
 
 // Stats reports hits, misses, evictions, and current size.
