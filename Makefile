@@ -1,14 +1,37 @@
 # Stdlib-only Go module; no codegen. `make check` is the full gate the
 # test suite is expected to pass, including the race detector (the
-# concurrent build pipeline and the HTTP server are exercised under -race).
-# `make bench` is the serving-path load benchmark — deliberately outside
-# the check gate: it measures, it does not pass/fail.
+# concurrent build pipeline and the HTTP server are exercised under -race)
+# and a short pass over each fuzz target's seed corpus. `make bench` is
+# the serving-path load benchmark — deliberately outside the check gate:
+# it measures, it does not pass/fail. `make fuzz` runs the coverage-guided
+# fuzzers for FUZZTIME each (longer runs: make fuzz FUZZTIME=5m).
 
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: check vet build test race bench benchcore microbench
+# Fuzz targets live next to the parsers they attack; each entry is
+# "package:Target" (go test allows one -fuzz pattern per package run).
+FUZZ_TARGETS = \
+	./internal/xmlparse:FuzzParse \
+	./internal/labeltree:FuzzQuerySyntax \
+	./internal/labeltree:FuzzKeyDecode
 
-check: vet build race
+.PHONY: check vet build test race fuzz fuzz-short bench benchcore microbench
+
+check: vet build race fuzz-short
+
+fuzz:
+	@for t in $(FUZZ_TARGETS); do \
+		pkg=$${t%%:*}; name=$${t##*:}; \
+		echo "fuzz $$name ($$pkg, $(FUZZTIME))"; \
+		$(GO) test -run=NONE -fuzz="^$$name$$" -fuzztime=$(FUZZTIME) $$pkg || exit 1; \
+	done
+
+# fuzz-short replays each target's seed corpus only (no new input
+# generation): fast enough for the check gate, still catches regressions
+# on every previously interesting input checked into testdata.
+fuzz-short:
+	$(GO) test -run='^Fuzz' ./internal/xmlparse ./internal/labeltree
 
 vet:
 	$(GO) vet ./...

@@ -91,6 +91,9 @@ func runCorpus(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
+		// CLI loads are operator-supplied local files, not untrusted
+		// uploads; the parser's depth/node caps are lifted.
+		c.SetUnboundedParse(true)
 		f, err := os.Open(*in)
 		if err != nil {
 			return err
@@ -114,6 +117,7 @@ func runCorpus(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
+		c.SetUnboundedParse(true)
 		c.SetWorkers(*workers)
 		docs := make([]corpus.BatchDoc, 0, len(files))
 		for _, path := range files {
@@ -177,6 +181,69 @@ func runCorpus(args []string, stdout io.Writer) error {
 	}
 }
 
+// httpTuning is the http.Server protection envelope: slowloris defense
+// (header timeout), bounds on slow readers and stuck writers, idle
+// connection reaping, and a header size cap. The zero value of each field
+// in Go's http.Server means "no limit", which is the wrong default for a
+// network-facing daemon, so every listener goes through this struct.
+type httpTuning struct {
+	readHeaderTimeout time.Duration
+	readTimeout       time.Duration
+	writeTimeout      time.Duration
+	idleTimeout       time.Duration
+	maxHeaderBytes    int
+}
+
+// defaultTuning returns production-safe server limits. Read and write
+// timeouts are generous because document uploads can be large and exact
+// counts on big corpora are slow; they exist to reap dead peers, not to
+// bound work (per-endpoint deadline budgets do that).
+func defaultTuning() httpTuning {
+	return httpTuning{
+		readHeaderTimeout: 5 * time.Second,
+		readTimeout:       5 * time.Minute,
+		writeTimeout:      5 * time.Minute,
+		idleTimeout:       2 * time.Minute,
+		maxHeaderBytes:    1 << 20,
+	}
+}
+
+// register exposes the tuning knobs as flags, defaulting to the receiver's
+// current values.
+func (t *httpTuning) register(fs *flag.FlagSet) {
+	fs.DurationVar(&t.readHeaderTimeout, "read-header-timeout", t.readHeaderTimeout, "max time to read request headers (slowloris guard)")
+	fs.DurationVar(&t.readTimeout, "read-timeout", t.readTimeout, "max time to read a full request, including the body")
+	fs.DurationVar(&t.writeTimeout, "write-timeout", t.writeTimeout, "max time to write a response")
+	fs.DurationVar(&t.idleTimeout, "idle-timeout", t.idleTimeout, "max keep-alive idle time before the connection is closed")
+	fs.IntVar(&t.maxHeaderBytes, "max-header-bytes", t.maxHeaderBytes, "max request header size in bytes")
+}
+
+// server builds an http.Server carrying the tuning limits.
+func (t httpTuning) server(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: t.readHeaderTimeout,
+		ReadTimeout:       t.readTimeout,
+		WriteTimeout:      t.writeTimeout,
+		IdleTimeout:       t.idleTimeout,
+		MaxHeaderBytes:    t.maxHeaderBytes,
+	}
+}
+
+// registerResilienceFlags exposes the admission/deadline knobs of
+// serve.ResilienceOptions as flags. All default to off (zero), matching
+// the library default; operators opt in per deployment.
+func registerResilienceFlags(fs *flag.FlagSet, r *serve.ResilienceOptions) {
+	fs.IntVar(&r.AdmissionLimit, "admission-limit", 0, "max concurrent query/mutation requests; excess queues then sheds with 429 (0 = unlimited)")
+	fs.IntVar(&r.AdmissionQueue, "admission-queue", 0, "bounded wait queue beyond the admission limit (0 = 2x limit)")
+	fs.DurationVar(&r.QueueWait, "queue-wait", 0, "max time a request waits in the admission queue before shedding (0 = default)")
+	fs.DurationVar(&r.RetryAfter, "retry-after", 0, "Retry-After hint attached to shed responses (0 = default)")
+	fs.DurationVar(&r.EstimateBudget, "estimate-budget", 0, "deadline for /v1/estimate and /v1/explain (0 = none)")
+	fs.DurationVar(&r.ExactBudget, "exact-budget", 0, "deadline for /v1/exact (0 = none)")
+	fs.DurationVar(&r.BuildBudget, "build-budget", 0, "deadline for document uploads (0 = none)")
+	fs.BoolVar(&r.DisableFallback, "no-degrade", false, "return 504 instead of degrading estimates to a cheaper method on blown budgets")
+}
+
 // runServe serves a corpus over HTTP until the process receives SIGINT or
 // SIGTERM, then drains in-flight requests before exiting.
 func runServe(args []string, stdout io.Writer) error {
@@ -185,6 +252,10 @@ func runServe(args []string, stdout io.Writer) error {
 	addr := fs.String("addr", "127.0.0.1:8357", "listen address")
 	workers := fs.Int("workers", 0, "upload mining parallelism (0 = all CPUs)")
 	debugAddr := fs.String("debug-addr", "", "separate listen address for pprof/expvar/metrics (off when empty)")
+	tune := defaultTuning()
+	tune.register(fs)
+	var res serve.ResilienceOptions
+	registerResilienceFlags(fs, &res)
 	fs.Parse(args)
 	if *dir == "" {
 		return fmt.Errorf("serve: -corpus is required")
@@ -195,7 +266,7 @@ func runServe(args []string, stdout io.Writer) error {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	return serveCorpus(ctx, c, *addr, *debugAddr, *workers, stdout)
+	return serveCorpus(ctx, c, *addr, *debugAddr, serve.Options{Workers: *workers, Resilience: res}, tune, stdout)
 }
 
 // shutdownTimeout bounds the graceful drain: in-flight estimates are
@@ -206,14 +277,19 @@ const shutdownTimeout = 10 * time.Second
 // serveCorpus runs the HTTP server (and optional debug listener) until
 // ctx is canceled, then shuts down gracefully. Split from runServe so
 // tests can drive the full lifecycle without sending real signals.
-func serveCorpus(ctx context.Context, c *corpus.Corpus, addr, debugAddr string, workers int, stdout io.Writer) error {
-	handler := serve.NewHandlerOptions(c, serve.Options{Workers: workers})
+func serveCorpus(ctx context.Context, c *corpus.Corpus, addr, debugAddr string, sopts serve.Options, tune httpTuning, stdout io.Writer) error {
+	if sopts.Logf == nil {
+		sopts.Logf = func(format string, args ...any) {
+			fmt.Fprintf(stdout, format+"\n", args...)
+		}
+	}
+	handler := serve.NewHandlerOptions(c, sopts)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(stdout, "serving corpus on http://%s\n", ln.Addr())
-	srv := &http.Server{Handler: handler}
+	srv := tune.server(handler)
 
 	// Profiling and low-level introspection never share the traffic
 	// port: a held /debug/pprof/profile stream or a heap dump must not
@@ -227,7 +303,10 @@ func serveCorpus(ctx context.Context, c *corpus.Corpus, addr, debugAddr string, 
 			ln.Close()
 			return err
 		}
-		debugSrv = &http.Server{Handler: debugMux(handler.Metrics())}
+		debugSrv = tune.server(debugMux(handler.Metrics()))
+		// Profile streams run for their full -seconds argument; the
+		// traffic write timeout would cut them off.
+		debugSrv.WriteTimeout = 0
 		go debugSrv.Serve(dln)
 		fmt.Fprintf(stdout, "debug endpoints (pprof, expvar, metrics) on http://%s\n", dln.Addr())
 	}

@@ -153,7 +153,7 @@ func runLoadbench(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		srv := &http.Server{Handler: handler}
+		srv := defaultTuning().server(handler)
 		go srv.Serve(ln)
 		defer func() {
 			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"treelattice/internal/corpus"
+	"treelattice/internal/serve"
 )
 
 // readReport parses a BENCH_serve.json.
@@ -141,7 +142,7 @@ func TestServeGracefulShutdown(t *testing.T) {
 	var out safeBuffer
 	done := make(chan error, 1)
 	go func() {
-		done <- serveCorpus(ctx, c, "127.0.0.1:0", "127.0.0.1:0", 0, &out)
+		done <- serveCorpus(ctx, c, "127.0.0.1:0", "127.0.0.1:0", serve.Options{}, defaultTuning(), &out)
 	}()
 
 	base := waitForAddr(t, &out, "serving corpus on ")

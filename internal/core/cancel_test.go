@@ -1,0 +1,94 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"treelattice/internal/labeltree"
+	"treelattice/internal/xmlparse"
+)
+
+func cancelTestTree(t *testing.T) (*labeltree.Tree, *labeltree.Dict) {
+	t.Helper()
+	dict := labeltree.NewDict()
+	var b strings.Builder
+	b.WriteString("<computer><laptops>")
+	for i := 0; i < 512; i++ {
+		b.WriteString("<laptop><brand/><price/></laptop>")
+	}
+	b.WriteString("</laptops></computer>")
+	tr, err := xmlparse.Parse(strings.NewReader(b.String()), dict, xmlparse.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, dict
+}
+
+// TestEstimateDegradable is the degradation-ladder table: DeadlineExceeded
+// with a fallback degrades, DeadlineExceeded without one propagates, and
+// Canceled never degrades (the client is gone; nobody reads the answer).
+func TestEstimateDegradable(t *testing.T) {
+	tr, dict := cancelTestTree(t)
+	sum, err := Build(tr, BuildOptions{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := labeltree.MustParsePattern("laptop(brand,price)", dict)
+
+	expired, cancelExp := context.WithTimeout(context.Background(), -1)
+	defer cancelExp()
+	canceled, cancelC := context.WithCancel(context.Background())
+	cancelC()
+
+	t.Run("live", func(t *testing.T) {
+		res, err := sum.EstimateDegradable(context.Background(), q, MethodRecursive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Degraded || res.Method != MethodRecursive {
+			t.Fatalf("live estimate reported %+v, want undegraded recursive", res)
+		}
+	})
+	t.Run("expired-degrades", func(t *testing.T) {
+		res, err := sum.EstimateDegradable(expired, q, MethodRecursive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Degraded || res.Method != MethodFixSized {
+			t.Fatalf("expired estimate reported %+v, want degraded fix-sized", res)
+		}
+		want, _ := sum.Estimate(q, MethodFixSized)
+		if res.Estimate != want {
+			t.Fatalf("degraded estimate %v != fix-sized estimate %v", res.Estimate, want)
+		}
+	})
+	t.Run("expired-no-fallback", func(t *testing.T) {
+		if _, err := sum.EstimateDegradable(expired, q, MethodFixSized); !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("fix-sized under expired budget: err = %v, want DeadlineExceeded", err)
+		}
+	})
+	t.Run("canceled-never-degrades", func(t *testing.T) {
+		if _, err := sum.EstimateDegradable(canceled, q, MethodRecursive); !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled estimate: err = %v, want Canceled (not a degraded answer)", err)
+		}
+	})
+}
+
+// TestFallbackLadder pins the ladder itself.
+func TestFallbackLadder(t *testing.T) {
+	for _, tc := range []struct {
+		in   Method
+		want Method
+		ok   bool
+	}{
+		{MethodRecursive, MethodFixSized, true},
+		{MethodRecursiveVoting, MethodFixSized, true},
+		{MethodFixSized, "", false},
+	} {
+		if got, ok := Fallback(tc.in); got != tc.want || ok != tc.ok {
+			t.Errorf("Fallback(%s) = %q,%v, want %q,%v", tc.in, got, ok, tc.want, tc.ok)
+		}
+	}
+}

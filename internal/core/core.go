@@ -7,6 +7,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -95,6 +96,22 @@ func (t timedEstimator) Estimate(q labeltree.Pattern) float64 {
 	v := t.inner.Estimate(q)
 	t.observe(t.method, time.Since(start))
 	return v
+}
+
+// EstimateContext keeps the wrapped estimator's cooperative cancellation
+// visible through the instrumentation layer. Failed (canceled) estimates
+// are still observed: their latency is exactly the budget burned.
+func (t timedEstimator) EstimateContext(ctx context.Context, q labeltree.Pattern) (float64, error) {
+	start := time.Now()
+	var v float64
+	var err error
+	if ce, ok := t.inner.(estimate.ContextEstimator); ok {
+		v, err = ce.EstimateContext(ctx, q)
+	} else {
+		v = t.inner.Estimate(q)
+	}
+	t.observe(t.method, time.Since(start))
+	return v, err
 }
 
 func (t timedEstimator) Name() string { return t.inner.Name() }
@@ -248,10 +265,10 @@ func (s *Summary) Estimate(q labeltree.Pattern, method Method) (float64, error) 
 	return s.EstimateContext(context.Background(), q, method)
 }
 
-// EstimateContext is Estimate with cancellation: a done ctx returns
-// ctx.Err() instead of computing. Individual estimates are fast
-// (sub-millisecond), so the check runs once up front — the context's role
-// is letting batch callers stop a workload mid-stream.
+// EstimateContext is Estimate with cooperative cancellation: both built-in
+// estimators poll ctx at bounded intervals during the decomposition
+// recursion, so a deadline interrupts an expensive voting estimate
+// mid-flight rather than merely gating entry.
 func (s *Summary) EstimateContext(ctx context.Context, q labeltree.Pattern, method Method) (float64, error) {
 	if err := ctx.Err(); err != nil {
 		return 0, err
@@ -260,7 +277,58 @@ func (s *Summary) EstimateContext(ctx context.Context, q labeltree.Pattern, meth
 	if err != nil {
 		return 0, err
 	}
+	if ce, ok := est.(estimate.ContextEstimator); ok {
+		return ce.EstimateContext(ctx, q)
+	}
 	return est.Estimate(q), nil
+}
+
+// Fallback names the cheaper method EstimateDegradable retries with when
+// method blows its budget. The ladder follows the paper's cost ordering:
+// both recursive variants degrade to fix-sized decomposition (Section 3.3,
+// the fastest estimator); fix-sized has nothing cheaper to fall to.
+func Fallback(method Method) (Method, bool) {
+	switch method {
+	case MethodRecursive, MethodRecursiveVoting:
+		return MethodFixSized, true
+	default:
+		return "", false
+	}
+}
+
+// DegradedEstimate is the result of EstimateDegradable: the estimate, the
+// method that actually produced it, and whether that method was a
+// budget-forced downgrade from the one requested.
+type DegradedEstimate struct {
+	Estimate float64
+	Method   Method
+	Degraded bool
+}
+
+// EstimateDegradable estimates q under method within ctx's budget; if the
+// budget expires mid-estimate and the method has a cheaper Fallback, it
+// re-runs under the fallback instead of failing. The fallback runs outside
+// the expired deadline (the request already paid for an answer; a degraded
+// one beats a 504) but still honors the caller's cancellation — a client
+// that hung up gets context.Canceled, never a degraded answer it will not
+// read.
+func (s *Summary) EstimateDegradable(ctx context.Context, q labeltree.Pattern, method Method) (DegradedEstimate, error) {
+	est, err := s.EstimateContext(ctx, q, method)
+	if err == nil {
+		return DegradedEstimate{Estimate: est, Method: method}, nil
+	}
+	fb, ok := Fallback(method)
+	if !ok || !errors.Is(err, context.DeadlineExceeded) {
+		return DegradedEstimate{}, err
+	}
+	// Drop the expired deadline but keep cancellation semantics: parent
+	// cancellation no longer propagates through WithoutCancel, so the
+	// fix-sized run (microseconds) completes unconditionally.
+	est, err = s.EstimateContext(context.WithoutCancel(ctx), q, fb)
+	if err != nil {
+		return DegradedEstimate{}, err
+	}
+	return DegradedEstimate{Estimate: est, Method: fb, Degraded: true}, nil
 }
 
 // EstimateQuery parses a twig query in the "a(b,c(d))" syntax and

@@ -47,10 +47,7 @@ func (c *Corpus) AddXMLBatch(ctx context.Context, docs []BatchDoc) error {
 	stop := timings.Start("parse")
 	trees := make([]*labeltree.Tree, len(docs))
 	for i, d := range docs {
-		tree, err := xmlparse.Parse(d.R, c.dict, xmlparse.Options{
-			ValueBuckets: c.opts.ValueBuckets,
-			Attributes:   c.opts.Attributes,
-		})
+		tree, err := xmlparse.Parse(d.R, c.dict, c.parseOptions())
 		if err != nil {
 			stop()
 			return fmt.Errorf("corpus: parsing %q: %w", d.Name, err)

@@ -46,11 +46,6 @@ func buildEmptySummary(k int, dict *labeltree.Dict) (*core.Summary, error) {
 	return core.FromLattice(lattice.New(k, dict)), nil
 }
 
-// exactCount counts q's matches in one document.
-func exactCount(t *labeltree.Tree, q labeltree.Pattern) int64 {
-	return match.NewCounter(t).Count(q)
-}
-
 // Options configures corpus creation.
 type Options struct {
 	// K is the lattice level (default 4).
@@ -71,9 +66,32 @@ type Corpus struct {
 	summary *core.Summary
 	docs    map[string]*labeltree.Tree
 	workers int
+	// unboundedParse lifts the default XML parse limits (depth, node
+	// count). Set for CLI bulk loads of trusted files; leave unset when
+	// parsing untrusted uploads.
+	unboundedParse bool
 	// lastBuild holds the per-stage timings of the most recent mutation
 	// (add, batch add, remove).
 	lastBuild *metrics.BuildTimings
+}
+
+// SetUnboundedParse lifts (true) or restores (false) the default XML
+// parse limits for subsequent AddXML/AddXMLBatch calls. The limits exist
+// for untrusted /v1/docs uploads; bulk CLI ingestion of trusted local
+// files opts out.
+func (c *Corpus) SetUnboundedParse(on bool) { c.unboundedParse = on }
+
+// parseOptions assembles the xmlparse options for this corpus.
+func (c *Corpus) parseOptions() xmlparse.Options {
+	opts := xmlparse.Options{
+		ValueBuckets: c.opts.ValueBuckets,
+		Attributes:   c.opts.Attributes,
+	}
+	if c.unboundedParse {
+		opts.MaxNodes = xmlparse.Unlimited
+		opts.MaxDepth = xmlparse.Unlimited
+	}
+	return opts
 }
 
 // SetWorkers bounds the parallelism of subsequent summary-building
@@ -210,10 +228,7 @@ func (c *Corpus) AddXMLContext(ctx context.Context, name string, r io.Reader) er
 	}
 	timings := &metrics.BuildTimings{}
 	stop := timings.Start("parse")
-	tree, err := xmlparse.Parse(r, c.dict, xmlparse.Options{
-		ValueBuckets: c.opts.ValueBuckets,
-		Attributes:   c.opts.Attributes,
-	})
+	tree, err := xmlparse.Parse(r, c.dict, c.parseOptions())
 	stop()
 	if err != nil {
 		return err
@@ -258,11 +273,24 @@ func (c *Corpus) EstimateQuery(query string, method core.Method) (float64, error
 
 // ExactCount counts a query's matches exactly by scanning every document.
 func (c *Corpus) ExactCount(q labeltree.Pattern) int64 {
+	total, _ := c.ExactCountContext(context.Background(), q)
+	return total
+}
+
+// ExactCountContext is ExactCount with cooperative cancellation: the
+// per-document counting DP polls ctx at bounded intervals, so a deadline
+// interrupts a Definition-1 ground-truth scan mid-document instead of
+// after it.
+func (c *Corpus) ExactCountContext(ctx context.Context, q labeltree.Pattern) (int64, error) {
 	var total int64
 	for _, name := range c.Docs() {
-		total += exactCount(c.docs[name], q)
+		n, err := match.NewCounter(c.docs[name]).CountContext(ctx, q)
+		if err != nil {
+			return 0, err
+		}
+		total += n
 	}
-	return total
+	return total, nil
 }
 
 // ---- persistence helpers ----

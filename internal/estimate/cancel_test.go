@@ -1,0 +1,57 @@
+package estimate
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"treelattice/internal/labeltree"
+)
+
+// TestEstimateContextCancellation is the estimator-layer cancellation
+// table: every ContextEstimator returns promptly with the context's
+// sentinel when the context is already done, and matches the plain
+// Estimate value when it is live. The first recursion entry polls the
+// context (the poll counter starts at 1), so even queries answered by a
+// direct lattice hit fail fast under an expired budget.
+func TestEstimateContextCancellation(t *testing.T) {
+	tr, dict := parseDoc(t, `<computer><laptops><laptop><brand/><price/></laptop><laptop><brand/><price/></laptop></laptops><desktops/></computer>`)
+	sum := mineK(t, tr, 2)
+	// Size 4 > K=2 forces the decomposition recursion for both methods.
+	q := labeltree.MustParsePattern("laptop(brand,price)", dict)
+	small := labeltree.MustParsePattern("laptop", dict)
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	expired, cancel2 := context.WithTimeout(context.Background(), -1)
+	defer cancel2()
+
+	for _, est := range []ContextEstimator{NewRecursive(sum, false), NewRecursive(sum, true), NewFixSized(sum)} {
+		for _, tc := range []struct {
+			name    string
+			ctx     context.Context
+			q       labeltree.Pattern
+			wantErr error
+		}{
+			{"live", context.Background(), q, nil},
+			{"live-direct-hit", context.Background(), small, nil},
+			{"canceled", canceled, q, context.Canceled},
+			{"expired", expired, q, context.DeadlineExceeded},
+			{"expired-direct-hit", expired, small, context.DeadlineExceeded},
+		} {
+			t.Run(est.Name()+"/"+tc.name, func(t *testing.T) {
+				got, err := est.EstimateContext(tc.ctx, tc.q)
+				if !errors.Is(err, tc.wantErr) {
+					t.Fatalf("EstimateContext err = %v, want %v", err, tc.wantErr)
+				}
+				if tc.wantErr == nil {
+					if want := est.Estimate(tc.q); got != want {
+						t.Fatalf("EstimateContext = %v, Estimate = %v; live context changed the estimate", got, want)
+					}
+				} else if got != 0 {
+					t.Fatalf("EstimateContext returned %v alongside error %v, want 0", got, err)
+				}
+			})
+		}
+	}
+}

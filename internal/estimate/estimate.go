@@ -22,6 +22,7 @@
 package estimate
 
 import (
+	"context"
 	"sort"
 
 	"treelattice/internal/labeltree"
@@ -35,6 +36,18 @@ type Estimator interface {
 	Estimate(q labeltree.Pattern) float64
 	// Name identifies the estimator in experiment output.
 	Name() string
+}
+
+// ContextEstimator is implemented by estimators whose evaluation polls the
+// context at bounded intervals, so per-request deadlines interrupt an
+// expensive decomposition instead of letting it run to completion. Both
+// built-in estimators implement it.
+type ContextEstimator interface {
+	Estimator
+	// EstimateContext is Estimate with cooperative cancellation: it
+	// returns ctx.Err() once ctx is done, checked at bounded intervals
+	// during the decomposition recursion.
+	EstimateContext(ctx context.Context, q labeltree.Pattern) (float64, error)
 }
 
 // Store is the pattern-count source estimators read from. *lattice.Summary
@@ -152,12 +165,30 @@ func (r *Recursive) Estimate(q labeltree.Pattern) float64 {
 	return e.estimate(q, 0)
 }
 
+// EstimateContext implements ContextEstimator: the decomposition recursion
+// polls ctx every ctxOpsInterval memo operations and unwinds with ctx.Err()
+// once the context is done.
+func (r *Recursive) EstimateContext(ctx context.Context, q labeltree.Pattern) (float64, error) {
+	e := engine{sum: r.Sum, voting: r.Voting, scheme: r.Scheme, maxPairs: r.MaxVotingPairs, memo: make(map[labeltree.Key]float64), ctx: ctx}
+	est := e.estimate(q, 0)
+	if e.ctxErr != nil {
+		return 0, e.ctxErr
+	}
+	return est, nil
+}
+
 // EstimateWithTrace is Estimate plus a record of the work performed.
 func (r *Recursive) EstimateWithTrace(q labeltree.Pattern) (float64, Trace) {
 	e := engine{sum: r.Sum, voting: r.Voting, scheme: r.Scheme, maxPairs: r.MaxVotingPairs, memo: make(map[labeltree.Key]float64), tr: &Trace{}}
 	est := e.estimate(q, 0)
 	return est, *e.tr
 }
+
+// ctxOpsInterval is how many estimateKeyed entries pass between context
+// polls. Each entry does map work and possibly a decomposition enumeration,
+// so 64 entries bound the post-cancellation overrun to well under a
+// millisecond on realistic queries.
+const ctxOpsInterval = 64
 
 // engine is the shared decomposition evaluator: the recursive estimator
 // itself, the fallback used for derivable patterns missing from pruned
@@ -169,6 +200,13 @@ type engine struct {
 	maxPairs int
 	memo     map[labeltree.Key]float64
 	tr       *Trace
+
+	// ctx, when non-nil, is polled every ctxOpsInterval estimateKeyed
+	// entries; on cancellation ctxErr latches and the recursion unwinds
+	// immediately, returning 0 at every level.
+	ctx    context.Context
+	ops    int
+	ctxErr error
 }
 
 func (e *engine) estimate(q labeltree.Pattern, depth int) float64 {
@@ -179,6 +217,20 @@ func (e *engine) estimate(q labeltree.Pattern, depth int) float64 {
 // key (the decomposition enumerator computes every subtree's key for its
 // signature, so recursion never re-encodes a pattern).
 func (e *engine) estimateKeyed(q labeltree.Pattern, key labeltree.Key, depth int) float64 {
+	if e.ctx != nil {
+		if e.ctxErr != nil {
+			return 0
+		}
+		e.ops++
+		// ops%interval == 1 so the very first entry polls: an
+		// already-expired budget fails fast before any work.
+		if e.ops%ctxOpsInterval == 1 {
+			if err := e.ctx.Err(); err != nil {
+				e.ctxErr = err
+				return 0
+			}
+		}
+	}
 	if e.tr != nil && depth > e.tr.MaxDepth {
 		e.tr.MaxDepth = depth
 	}

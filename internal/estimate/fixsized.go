@@ -1,6 +1,7 @@
 package estimate
 
 import (
+	"context"
 	"sort"
 
 	"treelattice/internal/labeltree"
@@ -21,9 +22,30 @@ func (f *FixSized) Name() string { return "fix-sized" }
 
 // Estimate implements Estimator.
 func (f *FixSized) Estimate(q labeltree.Pattern) float64 {
-	memo := make(map[labeltree.Key]float64)
+	est, _ := f.estimate(nil, q)
+	return est
+}
+
+// EstimateContext implements ContextEstimator; the pruned-lattice
+// reconstruction recursion behind each cover term polls ctx at bounded
+// intervals.
+func (f *FixSized) EstimateContext(ctx context.Context, q labeltree.Pattern) (float64, error) {
+	return f.estimate(ctx, q)
+}
+
+func (f *FixSized) estimate(ctx context.Context, q labeltree.Pattern) (float64, error) {
+	// One engine across all cover terms: the memo is shared exactly as the
+	// per-call memo map was, and the context poll counter spans the whole
+	// telescoping product.
+	e := engine{sum: f.Sum, memo: make(map[labeltree.Key]float64), ctx: ctx}
+	if ctx != nil {
+		// Fail fast: the direct-hit path below never polls.
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+	}
 	if c, ok := f.Sum.Count(q); ok {
-		return float64(c)
+		return float64(c), nil
 	}
 	// The preorder cover depends on node numbering; canonicalizing first
 	// makes the estimate a function of the query's isomorphism class.
@@ -31,26 +53,42 @@ func (f *FixSized) Estimate(q labeltree.Pattern) float64 {
 	if q.Size() <= f.Sum.K() {
 		// In range but missing: absent (count 0) for a complete lattice,
 		// derivable for a pruned one.
-		return lookup(f.Sum, q, memo)
+		est := e.estimate(q, 0)
+		if e.ctxErr != nil {
+			return 0, e.ctxErr
+		}
+		return est, nil
 	}
 	cover := Cover(q, f.Sum.K())
-	est := lookup(f.Sum, q.Subpattern(cover[0]), memo)
+	est := e.estimate(q.Subpattern(cover[0]), 0)
+	if e.ctxErr != nil {
+		return 0, e.ctxErr
+	}
 	if est == 0 {
-		return 0
+		return 0, nil
 	}
 	for _, step := range cover[1:] {
 		overlap := step[:len(step)-1] // all but the newly covered node
-		num := lookup(f.Sum, q.Subpattern(step), memo)
+		num := e.estimate(q.Subpattern(step), 0)
 		if num == 0 {
-			return 0
+			if e.ctxErr != nil {
+				return 0, e.ctxErr
+			}
+			return 0, nil
 		}
-		den := lookup(f.Sum, q.Subpattern(overlap), memo)
+		den := e.estimate(q.Subpattern(overlap), 0)
 		if den == 0 {
-			return 0
+			if e.ctxErr != nil {
+				return 0, e.ctxErr
+			}
+			return 0, nil
 		}
 		est *= num / den
 	}
-	return est
+	if e.ctxErr != nil {
+		return 0, e.ctxErr
+	}
+	return est, nil
 }
 
 // Cover computes the fix-sized covering of Lemma 2: a sequence of

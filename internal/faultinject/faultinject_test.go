@@ -1,0 +1,94 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestErrorSchedule: errors fire on exactly the scheduled operation
+// indices, deterministically.
+func TestErrorSchedule(t *testing.T) {
+	inj := New(Options{ErrorEvery: 3})
+	var got []int
+	for i := 1; i <= 9; i++ {
+		if err := inj.Op(context.Background()); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("op %d: %v", i, err)
+			}
+			got = append(got, i)
+		}
+	}
+	if len(got) != 3 || got[0] != 3 || got[1] != 6 || got[2] != 9 {
+		t.Fatalf("errors fired at %v, want [3 6 9]", got)
+	}
+	ops, errs, panics := inj.Stats()
+	if ops != 9 || errs != 3 || panics != 0 {
+		t.Fatalf("stats = %d/%d/%d, want 9/3/0", ops, errs, panics)
+	}
+}
+
+// TestPanicSchedule: the scheduled panic fires with PanicValue and takes
+// precedence over a same-index error.
+func TestPanicSchedule(t *testing.T) {
+	inj := New(Options{PanicEvery: 2, ErrorEvery: 2})
+	if err := inj.Op(context.Background()); err != nil {
+		t.Fatalf("op 1: %v", err)
+	}
+	func() {
+		defer func() {
+			if r := recover(); r != PanicValue {
+				t.Fatalf("recovered %v, want %q", r, PanicValue)
+			}
+		}()
+		_ = inj.Op(context.Background())
+		t.Fatal("op 2 did not panic")
+	}()
+	if _, errs, panics := inj.Stats(); errs != 0 || panics != 1 {
+		t.Fatalf("errs/panics = %d/%d, want 0/1", errs, panics)
+	}
+}
+
+// TestLatencyCancellable: a context deadline cuts an injected sleep short
+// and returns the context error.
+func TestLatencyCancellable(t *testing.T) {
+	inj := New(Options{Latency: 10 * time.Second})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := inj.Op(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("cancellation took %v", d)
+	}
+}
+
+// TestExpiredContextFailsFast: an already-done context short-circuits
+// before any injected latency.
+func TestExpiredContextFailsFast(t *testing.T) {
+	inj := New(Options{Latency: 10 * time.Second})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if err := inj.Op(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("fail-fast took %v", d)
+	}
+}
+
+// TestJitterDeterministic: two injectors with the same seed draw the same
+// jitter sequence.
+func TestJitterDeterministic(t *testing.T) {
+	a := New(Options{LatencyJitter: time.Hour, Seed: 42})
+	b := New(Options{LatencyJitter: time.Hour, Seed: 42})
+	for i := 0; i < 16; i++ {
+		if da, db := a.delay(), b.delay(); da != db {
+			t.Fatalf("draw %d: %v != %v", i, da, db)
+		}
+	}
+}

@@ -3,6 +3,8 @@ package labeltree
 import (
 	"bytes"
 	"encoding/binary"
+	"fmt"
+	"math"
 	"sync"
 )
 
@@ -140,6 +142,89 @@ func (p Pattern) AppendKey(buf []byte) []byte {
 	buf = append(buf, ks.encode(p)...)
 	keyScratchPool.Put(ks)
 	return buf
+}
+
+// DecodeKey parses a canonical key back into a Pattern. It is strict: it
+// accepts exactly the byte strings the encoder produces, so
+//
+//	DecodeKey(k) == p, nil  ⇒  p.Key() == k
+//
+// Anything else — truncated input, trailing bytes, non-minimal label
+// varints, labels outside the LabelID range, children out of canonical
+// order, unbounded nesting — is an error, never a panic. The strictness is
+// what makes the round-trip property testable (and fuzzable): every
+// accepted key is a fixed point of decode∘encode.
+func DecodeKey(k Key) (Pattern, error) {
+	d := keyDecoder{b: []byte(k)}
+	if err := d.node(-1, 1); err != nil {
+		return Pattern{}, err
+	}
+	if d.pos != len(d.b) {
+		return Pattern{}, fmt.Errorf("labeltree: %d trailing bytes after key", len(d.b)-d.pos)
+	}
+	return Pattern{labels: d.labels, parent: d.parents}, nil
+}
+
+type keyDecoder struct {
+	b       []byte
+	pos     int
+	labels  []LabelID
+	parents []int32
+}
+
+// node decodes one enc(node) production at d.pos, recording it under
+// parent. Nodes are appended parent-before-child, preserving the Pattern
+// numbering invariant.
+func (d *keyDecoder) node(parent int32, depth int) error {
+	if depth > maxQueryDepth {
+		return fmt.Errorf("labeltree: key exceeds depth %d", maxQueryDepth)
+	}
+	if len(d.labels) >= maxQueryNodes {
+		return fmt.Errorf("labeltree: key exceeds %d nodes", maxQueryNodes)
+	}
+	label, n := binary.Uvarint(d.b[d.pos:])
+	if n <= 0 {
+		return fmt.Errorf("labeltree: bad label varint at key offset %d", d.pos)
+	}
+	// Reject non-minimal varints (a zero final group, e.g. 0x80 0x00 for
+	// 0): the encoder never emits them, and accepting them would break the
+	// decode∘encode fixed point.
+	if n > 1 && d.b[d.pos+n-1] == 0 {
+		return fmt.Errorf("labeltree: non-minimal label varint at key offset %d", d.pos)
+	}
+	if label > math.MaxInt32 {
+		return fmt.Errorf("labeltree: label %d out of range at key offset %d", label, d.pos)
+	}
+	d.pos += n
+	idx := int32(len(d.labels))
+	d.labels = append(d.labels, LabelID(label))
+	d.parents = append(d.parents, parent)
+	var prev []byte
+	for {
+		if d.pos >= len(d.b) {
+			return fmt.Errorf("labeltree: truncated key (no end marker for node %d)", idx)
+		}
+		switch d.b[d.pos] {
+		case keyEndMark:
+			d.pos++
+			return nil
+		case keyChildMark:
+			d.pos++
+			cstart := d.pos
+			if err := d.node(idx, depth+1); err != nil {
+				return err
+			}
+			span := d.b[cstart:d.pos]
+			// Canonical order is non-decreasing child encodings (equal
+			// spans are legal: isomorphic duplicate children).
+			if prev != nil && bytes.Compare(prev, span) > 0 {
+				return fmt.Errorf("labeltree: key children out of canonical order at offset %d", cstart)
+			}
+			prev = span
+		default:
+			return fmt.Errorf("labeltree: invalid key marker 0x%02x at offset %d", d.b[d.pos], d.pos)
+		}
+	}
 }
 
 // KeyBuilder derives the canonical keys of a pattern's one-node

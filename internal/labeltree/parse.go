@@ -6,6 +6,17 @@ import (
 	"unicode"
 )
 
+// Query-shape guards: the twig parser accepts untrusted input (it sits
+// behind /v1/estimate's q parameter), so both the node count and the
+// nesting depth are bounded. The limits are far above any meaningful twig
+// query — the paper's workloads top out at tens of nodes — and exist only
+// to keep adversarial inputs from exhausting memory or the goroutine
+// stack.
+const (
+	maxQueryNodes = 1 << 16
+	maxQueryDepth = 1024
+)
+
 // ParsePattern parses the twig syntax "a(b,c(d))" into a Pattern,
 // interning labels into dict. Whitespace around labels and punctuation is
 // ignored. A leading "//" (as in the paper's "//laptop" example) is
@@ -15,7 +26,7 @@ func ParsePattern(s string, dict *Dict) (Pattern, error) {
 	p := &patternParser{src: s, dict: dict}
 	p.skipSpace()
 	p.acceptPrefix("//")
-	root, err := p.parseNode(-1)
+	root, err := p.parseNode(-1, 1)
 	if err != nil {
 		return Pattern{}, err
 	}
@@ -42,6 +53,9 @@ func MustParsePattern(s string, dict *Dict) Pattern {
 func ParsePath(s string, dict *Dict) (Pattern, error) {
 	s = strings.TrimPrefix(strings.TrimSpace(s), "//")
 	parts := strings.Split(s, "/")
+	if len(parts) > maxQueryNodes {
+		return Pattern{}, fmt.Errorf("labeltree: path exceeds %d steps", maxQueryNodes)
+	}
 	labels := make([]LabelID, 0, len(parts))
 	for _, part := range parts {
 		part = strings.TrimSpace(part)
@@ -83,7 +97,13 @@ func isLabelByte(c byte) bool {
 
 // parseNode parses "label" or "label(child,child,...)" and records the node
 // under parent. It returns the new node's index.
-func (p *patternParser) parseNode(parent int32) (int32, error) {
+func (p *patternParser) parseNode(parent int32, depth int) (int32, error) {
+	if depth > maxQueryDepth {
+		return -1, fmt.Errorf("labeltree: query exceeds depth %d", maxQueryDepth)
+	}
+	if len(p.labels) >= maxQueryNodes {
+		return -1, fmt.Errorf("labeltree: query exceeds %d nodes", maxQueryNodes)
+	}
 	p.skipSpace()
 	start := p.pos
 	for p.pos < len(p.src) && isLabelByte(p.src[p.pos]) {
@@ -99,7 +119,7 @@ func (p *patternParser) parseNode(parent int32) (int32, error) {
 	if p.pos < len(p.src) && p.src[p.pos] == '(' {
 		p.pos++
 		for {
-			if _, err := p.parseNode(idx); err != nil {
+			if _, err := p.parseNode(idx, depth+1); err != nil {
 				return -1, err
 			}
 			p.skipSpace()

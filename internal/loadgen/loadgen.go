@@ -177,11 +177,13 @@ func (t *EstimatorTarget) Issue(it Item) error {
 // Name identifies the target in reports.
 func (t *EstimatorTarget) Name() string { return "inprocess:" + t.est.Name() }
 
-// HTTPTarget drives a live /v1/estimate endpoint.
+// HTTPTarget drives a live query endpoint (default /v1/estimate).
 type HTTPTarget struct {
 	base   string
+	path   string
 	method string
 	client *http.Client
+	accept map[int]bool
 }
 
 // NewHTTPTarget points at a server's base URL (e.g. "http://127.0.0.1:8357").
@@ -195,12 +197,33 @@ func NewHTTPTarget(base string, method core.Method, client *http.Client) *HTTPTa
 		transport.MaxIdleConnsPerHost = 256
 		client = &http.Client{Transport: transport, Timeout: 30 * time.Second}
 	}
-	return &HTTPTarget{base: base, method: string(method), client: client}
+	return &HTTPTarget{base: base, path: "/v1/estimate", method: string(method), client: client}
 }
 
-// Issue GETs /v1/estimate for the item and drains the response.
+// WithPath retargets Issue at a different query endpoint taking the same
+// q/method parameters (e.g. "/v1/exact" for overload-testing the expensive
+// ground-truth scan). Returns the target for chaining.
+func (t *HTTPTarget) WithPath(path string) *HTTPTarget {
+	t.path = path
+	return t
+}
+
+// WithAcceptStatus marks extra HTTP statuses as non-errors (e.g. 429 when
+// deliberately driving a server past its admission limit: shedding is the
+// behavior under test, not a failure). 200 is always accepted.
+func (t *HTTPTarget) WithAcceptStatus(codes ...int) *HTTPTarget {
+	if t.accept == nil {
+		t.accept = make(map[int]bool, len(codes))
+	}
+	for _, c := range codes {
+		t.accept[c] = true
+	}
+	return t
+}
+
+// Issue GETs the configured endpoint for the item and drains the response.
 func (t *HTTPTarget) Issue(it Item) error {
-	u := t.base + "/v1/estimate?q=" + url.QueryEscape(it.Text)
+	u := t.base + t.path + "?q=" + url.QueryEscape(it.Text)
 	if t.method != "" {
 		u += "&method=" + url.QueryEscape(t.method)
 	}
@@ -210,7 +233,7 @@ func (t *HTTPTarget) Issue(it Item) error {
 	}
 	_, _ = io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
+	if resp.StatusCode != http.StatusOK && !t.accept[resp.StatusCode] {
 		return fmt.Errorf("loadgen: %s returned %d", u, resp.StatusCode)
 	}
 	return nil

@@ -1,0 +1,82 @@
+package match
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"treelattice/internal/labeltree"
+	"treelattice/internal/xmlparse"
+)
+
+// wideTree builds a document with n laptop subtrees, enough that the
+// counter's periodic context poll (every ctxCheckInterval data-node
+// visits) fires at least once mid-scan.
+func wideTree(t *testing.T, n int) (*labeltree.Tree, *labeltree.Dict) {
+	t.Helper()
+	dict := labeltree.NewDict()
+	var b strings.Builder
+	b.WriteString("<computer><laptops>")
+	for i := 0; i < n; i++ {
+		b.WriteString("<laptop><brand/><price/></laptop>")
+	}
+	b.WriteString("</laptops></computer>")
+	tr, err := xmlparse.Parse(strings.NewReader(b.String()), dict, xmlparse.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, dict
+}
+
+// TestCountContextCancellation is the match-layer cancellation table: a
+// canceled or expired context stops the scan with the right sentinel,
+// while a live context counts as usual.
+func TestCountContextCancellation(t *testing.T) {
+	// 2*ctxCheckInterval laptops guarantee the poll fires during the
+	// per-data-node loop regardless of which anchor label is chosen.
+	tr, dict := wideTree(t, 2*ctxCheckInterval)
+	q := labeltree.MustParsePattern("laptop(brand,price)", dict)
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	expired, cancel2 := context.WithTimeout(context.Background(), -1)
+	defer cancel2()
+
+	for _, tc := range []struct {
+		name    string
+		ctx     context.Context
+		wantErr error
+	}{
+		{"live", context.Background(), nil},
+		{"canceled", canceled, context.Canceled},
+		{"expired", expired, context.DeadlineExceeded},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := NewCounter(tr).CountContext(tc.ctx, q)
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("CountContext err = %v, want %v", err, tc.wantErr)
+			}
+			if tc.wantErr == nil && got != int64(2*ctxCheckInterval) {
+				t.Fatalf("CountContext = %d, want %d", got, 2*ctxCheckInterval)
+			}
+		})
+	}
+}
+
+// TestCountAllContextCancellation: the parallel batch surfaces the
+// context error after its workers drain.
+func TestCountAllContextCancellation(t *testing.T) {
+	tr, dict := wideTree(t, 2*ctxCheckInterval)
+	qs := []labeltree.Pattern{
+		labeltree.MustParsePattern("laptop(brand,price)", dict),
+		labeltree.MustParsePattern("laptops(laptop)", dict),
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 2} {
+		if _, err := NewCounter(tr).CountAllContext(ctx, qs, workers); !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want Canceled", workers, err)
+		}
+	}
+}

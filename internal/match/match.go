@@ -43,9 +43,41 @@ func NewCounter(t *labeltree.Tree) *Counter {
 // Tree returns the data tree the counter was built over.
 func (c *Counter) Tree() *labeltree.Tree { return c.t }
 
+// ctxCheckInterval is how many data-node visits pass between cooperative
+// context checks in CountContext. Small enough that a deadline interrupts
+// an exact count within microseconds of work, large enough that the check
+// (a mutex-protected Err on timer contexts) stays off the profile.
+const ctxCheckInterval = 256
+
+// ctxCheck amortizes context polling across the counting DP's inner loop.
+type ctxCheck struct {
+	ctx context.Context
+	ops int
+}
+
+// tick reports the context error once every ctxCheckInterval calls.
+func (cc *ctxCheck) tick() error {
+	cc.ops++
+	if cc.ops%ctxCheckInterval != 0 {
+		return nil
+	}
+	return cc.ctx.Err()
+}
+
 // Count returns the number of matches of p in the data tree. Counts
 // saturate at math.MaxInt64 instead of overflowing.
 func (c *Counter) Count(p labeltree.Pattern) int64 {
+	// Background contexts never report an error, so the cooperative
+	// checks in the DP are free no-ops here.
+	n, _ := c.CountContext(context.Background(), p)
+	return n
+}
+
+// CountContext is Count with cooperative cancellation: the dynamic program
+// polls ctx at bounded intervals (every ctxCheckInterval data-node visits)
+// and aborts with ctx.Err() once ctx is done, so a per-request deadline
+// actually interrupts an expensive Definition-1 exact count mid-scan.
+func (c *Counter) CountContext(ctx context.Context, p labeltree.Pattern) (int64, error) {
 	n := p.Size()
 	children := make([][]int32, n)
 	for i := int32(1); int(i) < n; i++ {
@@ -54,29 +86,34 @@ func (c *Counter) Count(p labeltree.Pattern) int64 {
 	// maps[i] holds cnt(i, ·) for internal pattern nodes; leaves are
 	// handled implicitly (cnt = 1 on label match).
 	maps := make([]map[int32]int64, n)
+	cc := &ctxCheck{ctx: ctx}
 	// Children have larger indices than parents, so descending index
 	// order is a children-first traversal.
 	for i := int32(n - 1); i >= 0; i-- {
 		if len(children[i]) == 0 {
 			continue
 		}
-		maps[i] = c.countInternal(p, i, children[i], maps)
+		var err error
+		maps[i], err = c.countInternal(p, i, children[i], maps, cc)
+		if err != nil {
+			return 0, err
+		}
 		if len(maps[i]) == 0 && i > 0 {
-			return 0 // early out: some pattern subtree never occurs
+			return 0, nil // early out: some pattern subtree never occurs
 		}
 	}
 	var total int64
 	if len(children[0]) == 0 {
-		return int64(len(c.t.NodesByLabel(p.Label(0))))
+		return int64(len(c.t.NodesByLabel(p.Label(0)))), nil
 	}
 	for _, v := range maps[0] {
 		total = satAdd(total, v)
 	}
-	return total
+	return total, nil
 }
 
 // countInternal computes cnt(pi, ·) for internal pattern node pi.
-func (c *Counter) countInternal(p labeltree.Pattern, pi int32, pcs []int32, maps []map[int32]int64) map[int32]int64 {
+func (c *Counter) countInternal(p labeltree.Pattern, pi int32, pcs []int32, maps []map[int32]int64, cc *ctxCheck) (map[int32]int64, error) {
 	out := make(map[int32]int64)
 	dup := hasDuplicateLabels(p, pcs)
 	if dup && len(pcs) > MaxDuplicateChildren {
@@ -84,6 +121,9 @@ func (c *Counter) countInternal(p labeltree.Pattern, pi int32, pcs []int32, maps
 	}
 	var rows [][]int64 // reused permanent matrix rows
 	for _, v := range c.t.NodesByLabel(p.Label(pi)) {
+		if err := cc.tick(); err != nil {
+			return nil, err
+		}
 		dcs := c.t.Children(v)
 		if len(dcs) < len(pcs) {
 			continue
@@ -132,7 +172,7 @@ func (c *Counter) countInternal(p labeltree.Pattern, pi int32, pcs []int32, maps
 			out[v] = perm
 		}
 	}
-	return out
+	return out, nil
 }
 
 // childCount returns cnt(pc, w): 1 for a leaf pattern node with matching
@@ -216,12 +256,11 @@ func (c *Counter) CountAllContext(ctx context.Context, patterns []labeltree.Patt
 	}
 	if workers <= 1 {
 		for i, p := range patterns {
-			if i%64 == 0 {
-				if err := ctx.Err(); err != nil {
-					return nil, err
-				}
+			n, err := c.CountContext(ctx, p)
+			if err != nil {
+				return nil, err
 			}
-			out[i] = c.Count(p)
+			out[i] = n
 		}
 		return out, nil
 	}
@@ -232,7 +271,9 @@ func (c *Counter) CountAllContext(ctx context.Context, patterns []labeltree.Patt
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				out[i] = c.Count(patterns[i])
+				// A ctx error surfaces via the post-wait ctx.Err() check;
+				// per-pattern counts just stop early.
+				out[i], _ = c.CountContext(ctx, patterns[i])
 			}
 		}()
 	}

@@ -1,0 +1,322 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"treelattice/internal/obs"
+)
+
+// TestLimiterAdmitsUpToLimit checks the basic semaphore behaviour without
+// contention.
+func TestLimiterAdmitsUpToLimit(t *testing.T) {
+	l := NewLimiter(LimiterOptions{Limit: 2, Queue: 1, QueueWait: 10 * time.Millisecond})
+	ctx := context.Background()
+	if err := l.Acquire(ctx); err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	if err := l.Acquire(ctx); err != nil {
+		t.Fatalf("second acquire: %v", err)
+	}
+	admitted, _, _, inFlight := l.Stats()
+	if admitted != 2 || inFlight != 2 {
+		t.Fatalf("admitted=%d inFlight=%d, want 2/2", admitted, inFlight)
+	}
+	l.Release()
+	l.Release()
+	if _, _, _, inFlight := l.Stats(); inFlight != 0 {
+		t.Fatalf("inFlight after release = %d, want 0", inFlight)
+	}
+}
+
+// TestLimiterShedsBeyondQueue fills the limit and the queue; the next
+// arrival must be shed immediately (no QueueWait delay).
+func TestLimiterShedsBeyondQueue(t *testing.T) {
+	l := NewLimiter(LimiterOptions{Limit: 1, Queue: 1, QueueWait: time.Minute})
+	ctx := context.Background()
+	if err := l.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	queued := make(chan error, 1)
+	go func() { queued <- l.Acquire(ctx) }()
+	// Wait until the goroutine holds the queue slot.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, q, _, _ := l.Stats(); q == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("queued acquire never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	start := time.Now()
+	err := l.Acquire(ctx)
+	if !errors.Is(err, ErrShed) {
+		t.Fatalf("over-queue acquire: %v, want ErrShed", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("immediate shed took %v", d)
+	}
+	l.Release() // admits the queued goroutine
+	if err := <-queued; err != nil {
+		t.Fatalf("queued acquire: %v", err)
+	}
+	l.Release()
+	if _, _, shed, _ := l.Stats(); shed != 1 {
+		t.Fatalf("shed = %d, want 1", shed)
+	}
+}
+
+// TestLimiterQueueWaitExpires: a queued request is shed once the queue
+// wait elapses without a slot freeing.
+func TestLimiterQueueWaitExpires(t *testing.T) {
+	l := NewLimiter(LimiterOptions{Limit: 1, Queue: 1, QueueWait: 20 * time.Millisecond})
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer l.Release()
+	start := time.Now()
+	err := l.Acquire(context.Background())
+	if !errors.Is(err, ErrShed) {
+		t.Fatalf("expired queue wait: %v, want ErrShed", err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond || d > 5*time.Second {
+		t.Fatalf("queue wait shed after %v, want ~20ms", d)
+	}
+}
+
+// TestLimiterCtxCanceledWhileQueued: a caller that gives up while queued
+// gets its context error, not ErrShed.
+func TestLimiterCtxCanceledWhileQueued(t *testing.T) {
+	l := NewLimiter(LimiterOptions{Limit: 1, Queue: 1, QueueWait: time.Minute})
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer l.Release()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- l.Acquire(ctx) }()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, q, _, _ := l.Stats(); q == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("queued acquire never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled queued acquire: %v, want context.Canceled", err)
+	}
+}
+
+// TestLimiterConcurrentNeverExceedsLimit hammers the limiter (run under
+// -race) and asserts the in-flight count never exceeds the limit.
+func TestLimiterConcurrentNeverExceedsLimit(t *testing.T) {
+	const limit = 4
+	l := NewLimiter(LimiterOptions{Limit: limit, Queue: 8, QueueWait: 50 * time.Millisecond})
+	var mu sync.Mutex
+	var cur, peak int
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := l.Acquire(context.Background()); err != nil {
+				return
+			}
+			mu.Lock()
+			cur++
+			if cur > peak {
+				peak = cur
+			}
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+			mu.Lock()
+			cur--
+			mu.Unlock()
+			l.Release()
+		}()
+	}
+	wg.Wait()
+	if peak > limit {
+		t.Fatalf("peak concurrency %d exceeds limit %d", peak, limit)
+	}
+	admitted, _, shed, _ := l.Stats()
+	if admitted+shed != 64 {
+		t.Fatalf("admitted %d + shed %d != 64 arrivals", admitted, shed)
+	}
+}
+
+// TestAdmissionMiddleware checks the 429 + Retry-After surface.
+func TestAdmissionMiddleware(t *testing.T) {
+	l := NewLimiter(LimiterOptions{Limit: 1, Queue: 1, QueueWait: 10 * time.Millisecond})
+	release := make(chan struct{})
+	started := make(chan struct{}, 2)
+	h := Admission(l, 3*time.Second, nil)(func(w http.ResponseWriter, r *http.Request) {
+		started <- struct{}{}
+		<-release
+		w.WriteHeader(http.StatusOK)
+	})
+
+	var wg sync.WaitGroup
+	codes := make(chan int, 3)
+	headers := make(chan string, 3)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rec := httptest.NewRecorder()
+			h(rec, httptest.NewRequest("GET", "/v1/estimate", nil))
+			codes <- rec.Code
+			headers <- rec.Header().Get("Retry-After")
+		}()
+		if i == 0 {
+			<-started // the first request holds the only slot
+		}
+	}
+	// Give the remaining two time to queue/shed, then release the first.
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	close(codes)
+	close(headers)
+	var ok200, shed int
+	for c := range codes {
+		switch c {
+		case http.StatusOK:
+			ok200++
+		case http.StatusTooManyRequests:
+			shed++
+		default:
+			t.Fatalf("unexpected status %d", c)
+		}
+	}
+	if ok200 < 1 || shed < 1 {
+		t.Fatalf("ok=%d shed=%d, want at least one of each", ok200, shed)
+	}
+	sawRetry := false
+	for hdr := range headers {
+		if hdr == "3" {
+			sawRetry = true
+		}
+	}
+	if !sawRetry {
+		t.Fatal("no shed response carried Retry-After: 3")
+	}
+}
+
+// TestDeadlineMiddleware: the budget lands on the request context.
+func TestDeadlineMiddleware(t *testing.T) {
+	var sawDeadline bool
+	h := Deadline(time.Second)(func(w http.ResponseWriter, r *http.Request) {
+		_, sawDeadline = r.Context().Deadline()
+	})
+	h(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+	if !sawDeadline {
+		t.Fatal("budget did not reach the request context")
+	}
+
+	sawDeadline = false
+	h = Deadline(0)(func(w http.ResponseWriter, r *http.Request) {
+		_, sawDeadline = r.Context().Deadline()
+	})
+	h(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+	if sawDeadline {
+		t.Fatal("zero budget attached a deadline")
+	}
+}
+
+// TestRecoverMiddleware: a panic becomes a 500 envelope plus a counter,
+// and a panic after headers were sent does not double-write.
+func TestRecoverMiddleware(t *testing.T) {
+	panics := &obs.Counter{}
+	logged := 0
+	logf := func(string, ...any) { logged++ }
+
+	h := Recover(panics, logf, nil)(func(w http.ResponseWriter, r *http.Request) {
+		panic("boom")
+	})
+	rec := httptest.NewRecorder()
+	h(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", rec.Code)
+	}
+	if panics.Value() != 1 || logged != 1 {
+		t.Fatalf("panics=%d logged=%d, want 1/1", panics.Value(), logged)
+	}
+
+	// Headers already written: the recovery must not overwrite the status.
+	h = Recover(panics, nil, nil)(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+		panic("late boom")
+	})
+	rec = httptest.NewRecorder()
+	h(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("late panic rewrote status to %d", rec.Code)
+	}
+	if panics.Value() != 2 {
+		t.Fatalf("panics = %d, want 2", panics.Value())
+	}
+
+	// ErrAbortHandler passes through untouched.
+	h = Recover(panics, nil, nil)(func(w http.ResponseWriter, r *http.Request) {
+		panic(http.ErrAbortHandler)
+	})
+	func() {
+		defer func() {
+			if recover() != http.ErrAbortHandler {
+				t.Fatal("ErrAbortHandler was swallowed")
+			}
+		}()
+		h(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+	}()
+	if panics.Value() != 2 {
+		t.Fatalf("ErrAbortHandler counted as a panic: %d", panics.Value())
+	}
+}
+
+// TestLimiterInstrument: registry counters observe the same events.
+func TestLimiterInstrument(t *testing.T) {
+	reg := obs.NewRegistry()
+	l := NewLimiter(LimiterOptions{Limit: 1, Queue: 1, QueueWait: time.Millisecond})
+	l.Instrument(reg, "resilience")
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Acquire(context.Background()); !errors.Is(err, ErrShed) {
+		t.Fatalf("want shed, got %v", err)
+	}
+	l.Release()
+	s := reg.Snapshot()
+	if s.Counters["resilience.admitted"] != 1 {
+		t.Fatalf("admitted counter = %d", s.Counters["resilience.admitted"])
+	}
+	if s.Counters["resilience.shed"] != 1 {
+		t.Fatalf("shed counter = %d", s.Counters["resilience.shed"])
+	}
+}
+
+// TestDefaultErrorWriterShape pins the fallback envelope to the serve
+// package's JSON shape.
+func TestDefaultErrorWriterShape(t *testing.T) {
+	rec := httptest.NewRecorder()
+	defaultErrorWriter(rec, 429, "shed", "busy")
+	want := fmt.Sprintf("{\"error\":%q,\"code\":%q}\n", "busy", "shed")
+	if rec.Body.String() != want {
+		t.Fatalf("envelope = %q, want %q", rec.Body.String(), want)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q", ct)
+	}
+}

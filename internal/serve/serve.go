@@ -18,12 +18,20 @@
 //	{"error": <message>, "code": <machine-readable code>}
 //
 // with codes: bad_query, unknown_method, bad_document, too_large,
-// exists, not_found, method_not_allowed, canceled, internal.
+// exists, not_found, method_not_allowed, canceled, shed,
+// deadline_exceeded, internal.
 //
 // Document uploads are mined into a private shard lattice and merged
 // into the live summary incrementally — a POST never triggers a full
 // rebuild — and the mine is bounded by the request context, so a client
 // disconnect abandons the work without mutating the corpus.
+//
+// Resilience (see Options.Resilience and internal/resilience): the
+// work-bearing endpoints sit behind admission control (shed requests get
+// 429 + Retry-After), per-endpoint deadline budgets (blown budgets get 504,
+// or a cheaper degraded estimate when a fallback method exists), and panic
+// recovery (500 instead of a process death). /v1/stats and /v1/metrics stay
+// ungated so operators can observe an overloaded server.
 package serve
 
 import (
@@ -31,18 +39,71 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sync"
+	"time"
 
 	"treelattice/internal/core"
 	"treelattice/internal/corpus"
 	"treelattice/internal/estimate"
+	"treelattice/internal/labeltree"
+	"treelattice/internal/metrics"
 	"treelattice/internal/obs"
 	"treelattice/internal/qcache"
+	"treelattice/internal/resilience"
 )
 
 // MaxDocumentBytes bounds uploaded document size; larger bodies get 413.
 const MaxDocumentBytes = 64 << 20
+
+// Backend is the corpus surface the handler serves. *corpus.Corpus is the
+// production implementation; internal/faultinject wraps one with injectable
+// latency, errors, and panics for resilience testing.
+type Backend interface {
+	Summary() *core.Summary
+	Docs() []string
+	Workers() int
+	SetWorkers(n int)
+	BuildTimings() *metrics.BuildTimings
+	ExactCountContext(ctx context.Context, q labeltree.Pattern) (int64, error)
+	AddXMLContext(ctx context.Context, name string, r io.Reader) error
+	Remove(name string) error
+}
+
+var _ Backend = (*corpus.Corpus)(nil)
+
+// ResilienceOptions configures admission control, deadline budgets, and
+// graceful degradation. The zero value disables all of it, preserving the
+// pre-resilience behavior for embedded and test use.
+type ResilienceOptions struct {
+	// AdmissionLimit bounds how many work-bearing requests (estimate,
+	// exact, explain, document mutations) run concurrently; excess load
+	// queues briefly and is then shed with 429 + Retry-After. Zero
+	// disables admission control.
+	AdmissionLimit int
+	// AdmissionQueue bounds the burst-absorbing wait queue
+	// (default 2×AdmissionLimit).
+	AdmissionQueue int
+	// QueueWait bounds how long a queued request waits before being shed
+	// (default 100ms).
+	QueueWait time.Duration
+	// RetryAfter is the Retry-After hint on shed responses (default 1s).
+	RetryAfter time.Duration
+	// EstimateBudget is the deadline for /v1/estimate and /v1/explain.
+	// Zero means no deadline.
+	EstimateBudget time.Duration
+	// ExactBudget is the deadline for /v1/exact (the expensive
+	// Definition-1 full-document scan). Zero means no deadline.
+	ExactBudget time.Duration
+	// BuildBudget is the deadline for POST /v1/docs (parse + mine +
+	// merge). Zero means no deadline.
+	BuildBudget time.Duration
+	// DisableFallback turns off graceful degradation: an estimate that
+	// blows its budget returns 504 instead of falling back to a cheaper
+	// method.
+	DisableFallback bool
+}
 
 // Options configures the handler.
 type Options struct {
@@ -55,29 +116,39 @@ type Options struct {
 	// Sharing a registry lets an embedding process (the loadbench driver,
 	// a debug listener) read the same counters the handler writes.
 	Registry *obs.Registry
+	// Resilience configures admission control, deadlines, and
+	// degradation. Zero value: all off.
+	Resilience ResilienceOptions
+	// Logf receives panic-recovery log lines; nil means no logging.
+	Logf func(format string, args ...any)
 }
 
 // Handler serves a corpus. Reads take the read lock; document mutations
 // serialize on the write lock and invalidate the estimate cache.
 type Handler struct {
 	mu       sync.RWMutex
-	c        *corpus.Corpus
+	c        Backend
 	cache    *qcache.Cache
 	mux      *http.ServeMux
 	maxBytes int64
+	res      ResilienceOptions
 
 	reg      *obs.Registry
 	inFlight *obs.Gauge
 	routes   map[string]*routeMetrics
+	limiter  *resilience.Limiter
+	panics   *obs.Counter
+	degraded *obs.Counter
+	timeouts *obs.Counter
 }
 
 // NewHandler wraps a corpus with default options.
-func NewHandler(c *corpus.Corpus) *Handler {
+func NewHandler(c Backend) *Handler {
 	return NewHandlerOptions(c, Options{})
 }
 
 // NewHandlerOptions wraps a corpus.
-func NewHandlerOptions(c *corpus.Corpus, opts Options) *Handler {
+func NewHandlerOptions(c Backend, opts Options) *Handler {
 	if opts.Workers > 0 {
 		c.SetWorkers(opts.Workers)
 	}
@@ -89,22 +160,45 @@ func NewHandlerOptions(c *corpus.Corpus, opts Options) *Handler {
 		c:        c,
 		cache:    qcache.New(4096),
 		maxBytes: opts.MaxDocumentBytes,
+		res:      opts.Resilience,
 		reg:      reg,
 		inFlight: reg.Gauge("http.in_flight"),
 		routes:   make(map[string]*routeMetrics),
+		panics:   reg.Counter("http.panics"),
+		degraded: reg.Counter("estimate.degraded"),
+		timeouts: reg.Counter("http.deadline_exceeded"),
 	}
 	if h.maxBytes <= 0 {
 		h.maxBytes = MaxDocumentBytes
 	}
+	if h.res.AdmissionLimit > 0 {
+		h.limiter = resilience.NewLimiter(resilience.LimiterOptions{
+			Limit:     h.res.AdmissionLimit,
+			Queue:     h.res.AdmissionQueue,
+			QueueWait: h.res.QueueWait,
+		})
+		h.limiter.Instrument(reg, "resilience")
+	}
 	h.instrumentCorpus()
+
+	// Middleware assembly, innermost first: the deadline budget must be on
+	// the context the handler sees; admission runs before the budget starts
+	// ticking (queue wait should not eat into compute time); recovery wraps
+	// everything so a panic anywhere inside becomes a 500 + counter.
+	recov := resilience.Recover(h.panics, opts.Logf, writeError)
+	admit := resilience.Admission(h.limiter, h.res.RetryAfter, writeError)
+	guarded := func(budget time.Duration, fn http.HandlerFunc) http.HandlerFunc {
+		return recov(admit(resilience.Deadline(budget)(fn)))
+	}
+
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/estimate", h.instrument("estimate", h.estimate))
-	mux.HandleFunc("GET /v1/exact", h.instrument("exact", h.exact))
-	mux.HandleFunc("GET /v1/explain", h.instrument("explain", h.explain))
-	mux.HandleFunc("GET /v1/stats", h.instrument("stats", h.stats))
-	mux.HandleFunc("GET /v1/metrics", h.instrument("metrics", h.metricsEndpoint))
-	mux.HandleFunc("POST /v1/docs/{name}", h.instrument("doc_add", h.addDoc))
-	mux.HandleFunc("DELETE /v1/docs/{name}", h.instrument("doc_remove", h.removeDoc))
+	mux.HandleFunc("GET /v1/estimate", h.instrument("estimate", guarded(h.res.EstimateBudget, h.estimate)))
+	mux.HandleFunc("GET /v1/exact", h.instrument("exact", guarded(h.res.ExactBudget, h.exact)))
+	mux.HandleFunc("GET /v1/explain", h.instrument("explain", guarded(h.res.EstimateBudget, h.explain)))
+	mux.HandleFunc("GET /v1/stats", h.instrument("stats", recov(h.stats)))
+	mux.HandleFunc("GET /v1/metrics", h.instrument("metrics", recov(h.metricsEndpoint)))
+	mux.HandleFunc("POST /v1/docs/{name}", h.instrument("doc_add", guarded(h.res.BuildBudget, h.addDoc)))
+	mux.HandleFunc("DELETE /v1/docs/{name}", h.instrument("doc_remove", guarded(0, h.removeDoc)))
 	// Method-less fallbacks: a matching path with the wrong verb gets the
 	// JSON envelope instead of the mux's plain-text 405. They share one
 	// "other" metric with the 404 fallback: per-endpoint histograms are
@@ -150,8 +244,9 @@ func (h *Handler) estimate(w http.ResponseWriter, r *http.Request) {
 	h.mu.RLock()
 	defer h.mu.RUnlock()
 	sum := h.c.Summary()
-	estimator, err := sum.Estimator(method)
-	if err != nil {
+	// Validate the method before the query: with an empty corpus every
+	// label is unknown, and a bogus method should still 400.
+	if _, err := sum.Estimator(method); err != nil {
 		writeCoreError(w, err)
 		return
 	}
@@ -166,10 +261,47 @@ func (h *Handler) estimate(w http.ResponseWriter, r *http.Request) {
 		writeCoreError(w, err)
 		return
 	}
-	est := h.cache.GetOrCompute(string(method), q, func() float64 {
-		return estimator.Estimate(q)
-	})
-	writeJSON(w, map[string]any{"query": qs, "estimate": est})
+	// Cache lookup under the requested method; a hit needs no budget.
+	if est, ok := h.cache.Get(string(method), q); ok {
+		writeJSON(w, map[string]any{"query": qs, "estimate": est})
+		return
+	}
+	res, err := h.runEstimate(r.Context(), q, method)
+	if err != nil {
+		h.coreError(w, err)
+		return
+	}
+	// Cache under the method that actually produced the value: a degraded
+	// answer must not masquerade as the requested method once pressure
+	// subsides.
+	h.cache.Put(string(res.Method), q, res.Estimate)
+	resp := map[string]any{"query": qs, "estimate": res.Estimate}
+	if res.Degraded {
+		resp["degraded"] = true
+		resp["method"] = string(res.Method)
+	}
+	writeJSON(w, resp)
+}
+
+// runEstimate evaluates q within the request budget, degrading to a
+// cheaper method when the budget expires (unless disabled).
+func (h *Handler) runEstimate(ctx context.Context, q labeltree.Pattern, method core.Method) (core.DegradedEstimate, error) {
+	sum := h.c.Summary()
+	if h.res.DisableFallback {
+		est, err := sum.EstimateContext(ctx, q, method)
+		if err != nil {
+			return core.DegradedEstimate{}, err
+		}
+		return core.DegradedEstimate{Estimate: est, Method: method}, nil
+	}
+	res, err := sum.EstimateDegradable(ctx, q, method)
+	if err != nil {
+		return core.DegradedEstimate{}, err
+	}
+	if res.Degraded {
+		h.degraded.Inc()
+	}
+	return res, nil
 }
 
 func (h *Handler) exact(w http.ResponseWriter, r *http.Request) {
@@ -189,7 +321,12 @@ func (h *Handler) exact(w http.ResponseWriter, r *http.Request) {
 		writeCoreError(w, err)
 		return
 	}
-	writeJSON(w, map[string]any{"query": qs, "count": h.c.ExactCount(q)})
+	count, err := h.c.ExactCountContext(r.Context(), q)
+	if err != nil {
+		h.coreError(w, err)
+		return
+	}
+	writeJSON(w, map[string]any{"query": qs, "count": count})
 }
 
 func (h *Handler) explain(w http.ResponseWriter, r *http.Request) {
@@ -249,11 +386,32 @@ func (h *Handler) stats(w http.ResponseWriter, _ *http.Request) {
 		// plus current concurrency, without scraping /v1/metrics.
 		"endpoints": h.endpointSummaries(),
 		"in_flight": h.inFlight.Value(),
+		// Resilience headline: is the server shedding, degrading, timing
+		// out, or eating panics right now?
+		"resilience": h.resilienceSummary(),
 	}
 	if t := h.c.BuildTimings(); t != nil {
 		resp["last_build_ms"] = t.Millis()
 	}
 	writeJSON(w, resp)
+}
+
+// resilienceSummary condenses the admission/degradation counters for
+// /v1/stats.
+func (h *Handler) resilienceSummary() map[string]any {
+	out := map[string]any{
+		"degraded":          h.degraded.Value(),
+		"panics":            h.panics.Value(),
+		"deadline_exceeded": h.timeouts.Value(),
+	}
+	if h.limiter != nil {
+		admitted, queued, shed, inFlight := h.limiter.Stats()
+		out["admitted"] = admitted
+		out["queued"] = queued
+		out["shed"] = shed
+		out["admission_in_flight"] = inFlight
+	}
+	return out
 }
 
 func (h *Handler) addDoc(w http.ResponseWriter, r *http.Request) {
@@ -297,6 +455,14 @@ func methodNotAllowed(allow string) http.HandlerFunc {
 	}
 }
 
+// coreError is writeCoreError plus deadline accounting.
+func (h *Handler) coreError(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		h.timeouts.Inc()
+	}
+	writeCoreError(w, err)
+}
+
 // writeCoreError maps estimation-side errors onto the envelope.
 func writeCoreError(w http.ResponseWriter, err error) {
 	switch {
@@ -306,6 +472,12 @@ func writeCoreError(w http.ResponseWriter, err error) {
 		writeError(w, http.StatusBadRequest, "unknown_label", err.Error())
 	case errors.Is(err, core.ErrUnknownMethod):
 		writeError(w, http.StatusBadRequest, "unknown_method", err.Error())
+	case errors.Is(err, context.DeadlineExceeded):
+		// The endpoint's deadline budget expired mid-computation.
+		writeError(w, http.StatusGatewayTimeout, "deadline_exceeded", err.Error())
+	case errors.Is(err, context.Canceled):
+		// The client went away; 499 in nginx's vocabulary.
+		writeError(w, 499, "canceled", err.Error())
 	default:
 		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
 	}

@@ -1,0 +1,56 @@
+package xmlparse
+
+import (
+	"strings"
+	"testing"
+
+	"treelattice/internal/labeltree"
+)
+
+// FuzzParse: the XML parser never panics on arbitrary bytes, respects its
+// node/depth limits, and whatever it accepts reaches a serialization
+// fixed point: Write(t) reparsed and rewritten is byte-identical. (The
+// first Write can differ from the input — whitespace, attribute values,
+// and value buckets are not preserved — but the second round trip must be
+// stable or estimates over re-ingested documents would drift.)
+func FuzzParse(f *testing.F) {
+	f.Add("<a><b/><c><d/></c></a>")
+	f.Add(`<computer><laptop brand="x">1 900 </laptop></computer>`)
+	f.Add("<a/>")
+	f.Add("<a><a><a><a/></a></a></a>")
+	f.Add("<a></b>")
+	f.Add("<a/><b/>")
+	f.Fuzz(func(t *testing.T, input string) {
+		opts := Options{MaxNodes: 10_000, MaxDepth: 200}
+		tr, err := Parse(strings.NewReader(input), labeltree.NewDict(), opts)
+		if err != nil {
+			return
+		}
+		if tr.Size() > 10_000 {
+			t.Fatalf("limit breached: %d nodes from %q", tr.Size(), input)
+		}
+		// Write treats '@'/'#' label prefixes as attribute/value-bucket
+		// markers; documents whose element names collide with those
+		// synthetic prefixes are out of round-trip scope.
+		for i := int32(0); i < int32(tr.Size()); i++ {
+			if n := tr.LabelName(i); n == "" || n[0] == '@' || n[0] == '#' {
+				return
+			}
+		}
+		var b1 strings.Builder
+		if err := Write(&b1, tr); err != nil {
+			t.Fatalf("Write failed on accepted document %q: %v", input, err)
+		}
+		t1, err := Parse(strings.NewReader(b1.String()), labeltree.NewDict(), opts)
+		if err != nil {
+			t.Fatalf("rewritten document does not reparse: %v\ninput: %q\nrewritten: %q", err, input, b1.String())
+		}
+		var b2 strings.Builder
+		if err := Write(&b2, t1); err != nil {
+			t.Fatal(err)
+		}
+		if b1.String() != b2.String() {
+			t.Fatalf("round trip not a fixed point:\nfirst:  %q\nsecond: %q", b1.String(), b2.String())
+		}
+	})
+}

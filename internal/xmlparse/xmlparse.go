@@ -14,6 +14,23 @@ import (
 	"treelattice/internal/labeltree"
 )
 
+// Default parse limits. The zero Options used to mean "unlimited", which
+// made every caller that forgot to set a cap a resource-exhaustion hole for
+// untrusted input (/v1/docs uploads). Zero now means these defaults; bulk
+// CLI loads of trusted files opt out with Unlimited.
+const (
+	// DefaultMaxDepth bounds element nesting. encoding/xml recurses per
+	// level nowhere, but the builder's stack and any later traversal grow
+	// with depth; 10k is far beyond real documents (DBLP/NASA are < 10).
+	DefaultMaxDepth = 10_000
+	// DefaultMaxNodes bounds tree size. 20M nodes is roughly a 1 GiB
+	// working set — larger than any benchmark document by two orders of
+	// magnitude, small enough to fail before the process OOMs.
+	DefaultMaxNodes = 20_000_000
+	// Unlimited disables a limit when set as MaxDepth or MaxNodes.
+	Unlimited = -1
+)
+
 // Options configures parsing.
 type Options struct {
 	// ValueBuckets, when positive, maps leaf text content to one of this
@@ -28,13 +45,31 @@ type Options struct {
 	// attribute node gets a value-bucket child.
 	Attributes bool
 	// MaxNodes aborts the parse once the tree exceeds this many nodes.
-	// Zero means unlimited.
+	// Zero means DefaultMaxNodes; Unlimited (or any negative) disables
+	// the check.
 	MaxNodes int
+	// MaxDepth aborts the parse once element nesting exceeds this depth.
+	// Zero means DefaultMaxDepth; Unlimited (or any negative) disables
+	// the check.
+	MaxDepth int
+}
+
+// limits resolves the zero-value defaults.
+func (o Options) limits() (maxNodes, maxDepth int) {
+	maxNodes, maxDepth = o.MaxNodes, o.MaxDepth
+	if maxNodes == 0 {
+		maxNodes = DefaultMaxNodes
+	}
+	if maxDepth == 0 {
+		maxDepth = DefaultMaxDepth
+	}
+	return maxNodes, maxDepth
 }
 
 // Parse reads one XML document from r into a data tree, interning element
 // names into dict.
 func Parse(r io.Reader, dict *labeltree.Dict, opts Options) (*labeltree.Tree, error) {
+	maxNodes, maxDepth := opts.limits()
 	dec := xml.NewDecoder(r)
 	b := labeltree.NewBuilder(dict)
 	var stack []int32
@@ -58,8 +93,11 @@ func Parse(r io.Reader, dict *labeltree.Dict, opts Options) (*labeltree.Tree, er
 			} else {
 				id = b.AddChild(stack[len(stack)-1], tk.Name.Local)
 			}
-			if opts.MaxNodes > 0 && b.Len() > opts.MaxNodes {
-				return nil, fmt.Errorf("xmlparse: document exceeds %d nodes", opts.MaxNodes)
+			if maxDepth > 0 && len(stack)+1 > maxDepth {
+				return nil, fmt.Errorf("xmlparse: document exceeds depth %d", maxDepth)
+			}
+			if maxNodes > 0 && b.Len() > maxNodes {
+				return nil, fmt.Errorf("xmlparse: document exceeds %d nodes", maxNodes)
 			}
 			if opts.Attributes {
 				for _, attr := range tk.Attr {
@@ -67,8 +105,8 @@ func Parse(r io.Reader, dict *labeltree.Dict, opts Options) (*labeltree.Tree, er
 					if opts.ValueBuckets > 0 {
 						b.AddChild(an, ValueLabel(attr.Value, opts.ValueBuckets))
 					}
-					if opts.MaxNodes > 0 && b.Len() > opts.MaxNodes {
-						return nil, fmt.Errorf("xmlparse: document exceeds %d nodes", opts.MaxNodes)
+					if maxNodes > 0 && b.Len() > maxNodes {
+						return nil, fmt.Errorf("xmlparse: document exceeds %d nodes", maxNodes)
 					}
 				}
 			}
@@ -123,10 +161,20 @@ func appendTrimmed(dst []byte, src []byte) []byte {
 // (labels starting with '#') are skipped — bucket identities are hashes
 // and do not survive a round trip. Structural and attribute content
 // round-trips exactly under the same parse options.
+//
+// The traversal is iterative (an explicit frame stack), so serializing a
+// pathologically deep document — parse limits can be opted out of — grows
+// the heap, never the goroutine stack.
 func Write(w io.Writer, t *labeltree.Tree) error {
 	bw := &errWriter{w: w}
-	var walk func(i int32, depth int)
-	walk = func(i int32, depth int) {
+	type frame struct {
+		node  int32
+		elems []int32
+		next  int
+	}
+	// open emits the start tag (or the whole element, when childless) and
+	// reports whether the caller must descend.
+	open := func(i int32) (frame, bool) {
 		name := t.LabelName(i)
 		var attrs, elems []int32
 		for _, c := range t.Children(i) {
@@ -145,15 +193,28 @@ func Write(w io.Writer, t *labeltree.Tree) error {
 		}
 		if len(elems) == 0 {
 			bw.printf("/>")
-			return
+			return frame{}, false
 		}
 		bw.printf(">")
-		for _, c := range elems {
-			walk(c, depth+1)
-		}
-		bw.printf("</%s>", name)
+		return frame{node: i, elems: elems}, true
 	}
-	walk(0, 0)
+	var stack []frame
+	if f, descend := open(0); descend {
+		stack = append(stack, f)
+	}
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		if top.next == len(top.elems) {
+			bw.printf("</%s>", t.LabelName(top.node))
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		c := top.elems[top.next]
+		top.next++
+		if f, descend := open(c); descend {
+			stack = append(stack, f)
+		}
+	}
 	bw.printf("\n")
 	return bw.err
 }

@@ -253,3 +253,52 @@ func TestWriteSkipsValueBuckets(t *testing.T) {
 		t.Fatalf("structural content lost: size %d", tr2.Size())
 	}
 }
+
+// deepDoc builds <a><a>...<a/>...</a></a> nested n levels.
+func deepDoc(n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteString("<a>")
+	}
+	for i := 0; i < n; i++ {
+		b.WriteString("</a>")
+	}
+	return b.String()
+}
+
+// TestParseMaxDepth: nesting beyond MaxDepth aborts; exactly MaxDepth
+// parses; Unlimited opts out.
+func TestParseMaxDepth(t *testing.T) {
+	doc := deepDoc(50)
+	if _, err := Parse(strings.NewReader(doc), labeltree.NewDict(), Options{MaxDepth: 49}); err == nil {
+		t.Fatal("MaxDepth not enforced")
+	}
+	if _, err := Parse(strings.NewReader(doc), labeltree.NewDict(), Options{MaxDepth: 50}); err != nil {
+		t.Fatalf("MaxDepth=50 rejected 50-deep doc: %v", err)
+	}
+	if _, err := Parse(strings.NewReader(doc), labeltree.NewDict(), Options{MaxDepth: Unlimited, MaxNodes: Unlimited}); err != nil {
+		t.Fatalf("Unlimited rejected doc: %v", err)
+	}
+}
+
+// TestWriteDeepDocument: serialization is iterative, so a document far
+// deeper than any recursive traversal could survive writes fine (the
+// parse limits can be opted out of, so Write must not assume bounded
+// depth).
+func TestWriteDeepDocument(t *testing.T) {
+	const depth = 200_000
+	tr, err := Parse(strings.NewReader(deepDoc(depth)), labeltree.NewDict(),
+		Options{MaxDepth: Unlimited, MaxNodes: Unlimited})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := Write(&out, tr); err != nil {
+		t.Fatal(err)
+	}
+	// The innermost element self-closes on the way back out.
+	want := strings.Repeat("<a>", depth-1) + "<a/>" + strings.Repeat("</a>", depth-1)
+	if got := strings.TrimSuffix(out.String(), "\n"); got != want {
+		t.Fatalf("deep round trip diverged (len %d vs %d)", len(got), len(want))
+	}
+}
