@@ -14,7 +14,8 @@ FUZZTIME ?= 10s
 FUZZ_TARGETS = \
 	./internal/xmlparse:FuzzParse \
 	./internal/labeltree:FuzzQuerySyntax \
-	./internal/labeltree:FuzzKeyDecode
+	./internal/labeltree:FuzzKeyDecode \
+	./internal/lattice:FuzzFrozenLoad
 
 .PHONY: check vet build test race fuzz fuzz-short bench benchcore microbench
 
@@ -31,7 +32,7 @@ fuzz:
 # generation): fast enough for the check gate, still catches regressions
 # on every previously interesting input checked into testdata.
 fuzz-short:
-	$(GO) test -run='^Fuzz' ./internal/xmlparse ./internal/labeltree
+	$(GO) test -run='^Fuzz' ./internal/xmlparse ./internal/labeltree ./internal/lattice
 
 vet:
 	$(GO) vet ./...
@@ -46,13 +47,15 @@ race:
 	$(GO) test -race ./...
 
 # bench seeds the serving perf trajectory: generate a synthetic corpus,
-# start an in-process server, drive a short closed-loop load run, and
-# write BENCH_serve.json (achieved QPS, p50/p95/p99, server-side
-# metrics). The report schema is regression-tested in
+# start an in-process server, drive a short closed-loop load run —
+# single-query, then the same workload batched 32 queries per POST
+# /v1/estimate/batch request — and write BENCH_serve.json (achieved
+# QPS, p50/p95/p99, server-side metrics, batched vs single throughput).
+# The report schema is regression-tested in
 # cmd/treelattice/loadbench_test.go.
 bench:
 	$(GO) run ./cmd/treelattice loadbench -gen xmark -scale 20000 \
-		-duration 3s -warmup 500ms -seed 1 -out BENCH_serve.json
+		-duration 3s -warmup 500ms -seed 1 -batch 32 -out BENCH_serve.json
 
 # benchcore is the build/estimate-path counterpart of `make bench`: it
 # runs the canonical-keying microbenchmarks (BenchmarkKey and the

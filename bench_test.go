@@ -257,6 +257,69 @@ func BenchmarkFigure9ResponseTime(b *testing.B) {
 	}
 }
 
+// BenchmarkFrozenLookup compares point lookups on the map-backed summary
+// against the frozen read-optimized store over the same entries. The
+// frozen store's open-addressing probe over a flat arena should match or
+// beat the map on time and do zero allocations per lookup.
+func BenchmarkFrozenLookup(b *testing.B) {
+	e := benchEnv(b, datagen.NASA)
+	lat := e.Summary.Lattice()
+	frozen := lattice.Freeze(lat)
+	keys := make([]labeltree.Key, 0, lat.Len())
+	for _, entry := range lat.Entries(0) {
+		keys = append(keys, entry.Pattern.Key())
+	}
+	b.Run("map", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, ok := lat.CountKey(keys[i%len(keys)]); !ok {
+				b.Fatal("miss")
+			}
+		}
+	})
+	b.Run("frozen", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, ok := frozen.CountKey(keys[i%len(keys)]); !ok {
+				b.Fatal("miss")
+			}
+		}
+	})
+}
+
+// BenchmarkFigure9ResponseTimeFrozen is Figure 9 over the frozen store
+// with a warm shared sub-estimate cache per method — the serving-replica
+// configuration. Estimates are bit-identical to the map-backed rows (see
+// the differential tests); only the response time should move.
+func BenchmarkFigure9ResponseTimeFrozen(b *testing.B) {
+	e := benchEnv(b, datagen.XMark)
+	frozen := lattice.Freeze(e.Summary.Lattice())
+	ests := map[string]func(labeltree.Pattern) float64{
+		"recursive":        (&estimate.Recursive{Sum: frozen, Cache: estimate.NewSubCache(0)}).Estimate,
+		"recursive-voting": (&estimate.Recursive{Sum: frozen, Voting: true, Cache: estimate.NewSubCache(0)}).Estimate,
+		"fix-sized":        (&estimate.FixSized{Sum: frozen, Cache: estimate.NewSubCache(0)}).Estimate,
+	}
+	for _, name := range []string{"recursive", "recursive-voting", "fix-sized"} {
+		fn := ests[name]
+		for _, size := range []int{4, 6, 8} {
+			qs := e.Positive[size]
+			if len(qs) == 0 {
+				continue
+			}
+			// Warm the shared cache the way sustained serving traffic would.
+			for _, q := range qs {
+				fn(q.Pattern)
+			}
+			b.Run(fmt.Sprintf("%s/size%d", name, size), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					fn(qs[i%len(qs)].Pattern)
+				}
+			})
+		}
+	}
+}
+
 // ---- Figure 10: δ-derivable pruning ----
 
 func BenchmarkFigure10aZeroDerivablePruning(b *testing.B) {

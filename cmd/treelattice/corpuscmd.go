@@ -251,6 +251,7 @@ func runServe(args []string, stdout io.Writer) error {
 	dir := fs.String("corpus", "", "corpus directory")
 	addr := fs.String("addr", "127.0.0.1:8357", "listen address")
 	workers := fs.Int("workers", 0, "upload mining parallelism (0 = all CPUs)")
+	frozen := fs.Bool("frozen", false, "serve a read-only replica: load the summary in the frozen representation (zero-allocation lookups; document mutations answer 409)")
 	debugAddr := fs.String("debug-addr", "", "separate listen address for pprof/expvar/metrics (off when empty)")
 	tune := defaultTuning()
 	tune.register(fs)
@@ -260,7 +261,11 @@ func runServe(args []string, stdout io.Writer) error {
 	if *dir == "" {
 		return fmt.Errorf("serve: -corpus is required")
 	}
-	c, err := corpus.Open(*dir)
+	open := corpus.Open
+	if *frozen {
+		open = corpus.OpenReadOnly
+	}
+	c, err := open(*dir)
 	if err != nil {
 		return err
 	}

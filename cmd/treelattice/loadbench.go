@@ -27,9 +27,13 @@ import (
 // and — when the run went over HTTP — the server-side metrics snapshot so
 // driver and server numbers can be cross-checked.
 type benchReport struct {
-	Config        benchConfig     `json:"config"`
-	Workload      workloadSummary `json:"workload"`
-	Result        *loadgen.Result `json:"result"`
+	Config   benchConfig     `json:"config"`
+	Workload workloadSummary `json:"workload"`
+	Result   *loadgen.Result `json:"result"`
+	// BatchResult is the batched run over the same workload and worker
+	// count (-batch N), for a direct single-vs-batched throughput
+	// comparison in one report.
+	BatchResult   *loadgen.Result `json:"batch_result,omitempty"`
 	ServerMetrics *obs.Snapshot   `json:"server_metrics,omitempty"`
 }
 
@@ -44,6 +48,7 @@ type benchConfig struct {
 	NegFraction float64 `json:"negative_fraction"`
 	Seed        int64   `json:"seed"`
 	Concurrency int     `json:"concurrency"`
+	Batch       int     `json:"batch,omitempty"`
 	DurationSec float64 `json:"duration_seconds,omitempty"`
 	Requests    int     `json:"requests,omitempty"`
 	WarmupSec   float64 `json:"warmup_seconds,omitempty"`
@@ -71,6 +76,7 @@ func runLoadbench(args []string, stdout io.Writer) error {
 	requests := fs.Int("requests", 0, "stop after a fixed request count instead of a duration")
 	concurrency := fs.Int("concurrency", 0, "driver workers (0 = all CPUs)")
 	qps := fs.Float64("qps", 0, "open-loop arrival rate; 0 = closed loop")
+	batch := fs.Int("batch", 0, "also run batched via POST /v1/estimate/batch with this many queries per request (HTTP targets, closed loop only)")
 	warmup := fs.Duration("warmup", 500*time.Millisecond, "unmeasured warmup before the run")
 	sizes := fs.String("sizes", "3,4,5", "comma-separated query sizes")
 	perSize := fs.Int("persize", 20, "distinct positive queries per size per document")
@@ -136,10 +142,13 @@ func runLoadbench(args []string, stdout io.Writer) error {
 	// HTTP server over a loopback listener — the full serving path
 	// without requiring a separate process.
 	var target loadgen.Target
+	var batchTarget loadgen.BatchTarget
 	var scrapeMetrics func() (*obs.Snapshot, error)
 	switch {
 	case *liveURL != "":
-		target = loadgen.NewHTTPTarget(strings.TrimSuffix(*liveURL, "/"), core.Method(*method), nil)
+		base := strings.TrimSuffix(*liveURL, "/")
+		target = loadgen.NewHTTPTarget(base, core.Method(*method), nil)
+		batchTarget = loadgen.NewHTTPBatchTarget(base, core.Method(*method), nil)
 		scrapeMetrics = func() (*obs.Snapshot, error) { return scrapeHTTPMetrics(*liveURL) }
 	case *inproc:
 		t, err := loadgen.NewEstimatorTarget(c.Summary(), core.Method(*method))
@@ -163,10 +172,14 @@ func runLoadbench(args []string, stdout io.Writer) error {
 		base := "http://" + ln.Addr().String()
 		fmt.Fprintf(stdout, "in-process server on %s\n", base)
 		target = loadgen.NewHTTPTarget(base, core.Method(*method), nil)
+		batchTarget = loadgen.NewHTTPBatchTarget(base, core.Method(*method), nil)
 		scrapeMetrics = func() (*obs.Snapshot, error) {
 			s := handler.Metrics().Snapshot()
 			return &s, nil
 		}
+	}
+	if *batch > 1 && batchTarget == nil {
+		return fmt.Errorf("loadbench: -batch requires an HTTP target (drop -inproc)")
 	}
 
 	opts := loadgen.Options{
@@ -189,12 +202,26 @@ func runLoadbench(args []string, stdout io.Writer) error {
 		return err
 	}
 
+	// Batched pass over the same workload: identical stopping rule and
+	// concurrency, queries carried -batch at a time per request.
+	var batchRes *loadgen.Result
+	if *batch > 1 {
+		cfg.Batch = *batch
+		bopts := opts
+		bopts.BatchSize = *batch
+		batchRes, err = loadgen.Run(context.Background(), batchTarget, w, bopts)
+		if err != nil {
+			return err
+		}
+	}
+
 	report := benchReport{
 		Config: cfg,
 		Workload: workloadSummary{
 			Queries: len(w.Items), Positives: w.Positives, Negatives: w.Negatives,
 		},
-		Result: res,
+		Result:      res,
+		BatchResult: batchRes,
 	}
 	if scrapeMetrics != nil {
 		snap, err := scrapeMetrics()
@@ -222,6 +249,15 @@ func runLoadbench(args []string, stdout io.Writer) error {
 		res.Mode, res.Target, res.AchievedQPS, res.ElapsedSeconds, res.Issued, res.Errors)
 	fmt.Fprintf(stdout, "latency p50=%.3fms p95=%.3fms p99=%.3fms\n",
 		res.Latency.P50*1e3, res.Latency.P95*1e3, res.Latency.P99*1e3)
+	if batchRes != nil {
+		fmt.Fprintf(stdout, "batched ×%d %s: %.0f queries/s over %.2fs (%d issued, %d errors)\n",
+			batchRes.BatchSize, batchRes.Target, batchRes.AchievedQPS,
+			batchRes.ElapsedSeconds, batchRes.Issued, batchRes.Errors)
+		if res.AchievedQPS > 0 {
+			fmt.Fprintf(stdout, "batched throughput = %.2f× single\n",
+				batchRes.AchievedQPS/res.AchievedQPS)
+		}
+	}
 	fmt.Fprintf(stdout, "report written to %s\n", *out)
 	return nil
 }

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"treelattice/internal/labeltree"
+)
+
+// BatchOptions configures EstimateBatchContext.
+type BatchOptions struct {
+	// Workers bounds the goroutines fanning queries out. Zero means
+	// min(GOMAXPROCS, len(queries)); 1 forces sequential evaluation.
+	Workers int
+	// DisableFallback answers each item strictly under the requested
+	// method: items that blow the budget fail with their context error
+	// instead of degrading to a cheaper method.
+	DisableFallback bool
+}
+
+// BatchResult is the per-item outcome of a batch estimate. Exactly one
+// of Err or the estimate fields is meaningful: on success Method names
+// the method that produced the estimate (the requested one, or its
+// fallback when Degraded is set).
+type BatchResult struct {
+	Estimate float64
+	Method   Method
+	Degraded bool
+	Err      error
+}
+
+// EstimateBatchContext estimates every query in one call, fanning the
+// batch across a worker pool. All workers share the summary's per-method
+// sub-estimate cache, so structurally overlapping queries — the common
+// case for optimizer-generated batches — decompose shared sub-twigs once
+// instead of once per query.
+//
+// Results are positional: results[i] answers queries[i], with per-item
+// errors (an expired budget fails the not-yet-evaluated items
+// individually, it does not poison completed ones). The method is
+// validated up front; an unknown method fails the whole batch, since no
+// item could succeed.
+func (s *Summary) EstimateBatchContext(ctx context.Context, queries []labeltree.Pattern, method Method, opts BatchOptions) ([]BatchResult, error) {
+	if _, err := s.Estimator(method); err != nil {
+		return nil, err
+	}
+	results := make([]BatchResult, len(queries))
+	if len(queries) == 0 {
+		return results, nil
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(queries) {
+					return
+				}
+				results[i] = s.estimateBatchItem(ctx, queries[i], method, opts.DisableFallback)
+			}
+		}()
+	}
+	wg.Wait()
+	return results, nil
+}
+
+func (s *Summary) estimateBatchItem(ctx context.Context, q labeltree.Pattern, method Method, strict bool) BatchResult {
+	if strict {
+		est, err := s.EstimateContext(ctx, q, method)
+		if err != nil {
+			return BatchResult{Err: err}
+		}
+		return BatchResult{Estimate: est, Method: method}
+	}
+	de, err := s.EstimateDegradable(ctx, q, method)
+	if err != nil {
+		return BatchResult{Err: err}
+	}
+	return BatchResult{Estimate: de.Estimate, Method: de.Method, Degraded: de.Degraded}
+}

@@ -71,13 +71,30 @@ type BuildOptions struct {
 type EstimateObserver func(method Method, d time.Duration)
 
 // Summary is a TreeLattice summary of one or more documents.
+//
+// A summary has one or two backends: the map-backed lattice (mutable;
+// built by mining) and an optional frozen snapshot (immutable, flat
+// arena + open addressing; see lattice.Frozen). Freeze installs the
+// snapshot and routes all estimates through it; a summary loaded with
+// ReadFrozen has only the snapshot and rejects every mutation with
+// ErrFrozenSummary. Both backends answer identically, so switching is
+// purely a performance decision.
 type Summary struct {
-	lat  *lattice.Summary
-	dict *labeltree.Dict
+	lat    *lattice.Summary // nil when loaded frozen-only
+	frozen *lattice.Frozen  // nil until Freeze or ReadFrozen
+	dict   *labeltree.Dict
 	// observe, when non-nil, is called with the latency of every estimate
 	// issued through Estimator or EstimateWithTrace. Set once via
 	// Instrument before the summary sees concurrent traffic.
 	observe EstimateObserver
+
+	// Per-method shared sub-estimate caches, created on first use. Cached
+	// values depend on the estimator configuration (voting changes
+	// out-of-range sub-estimates), so each method gets its own cache; all
+	// are reset whenever the summary mutates.
+	cacheMu     sync.Mutex
+	subCaches   map[Method]*estimate.SubCache
+	subCacheCap int // entries per cache; 0 = estimate's default
 }
 
 // Instrument installs an estimate-latency observer on the summary. Call
@@ -224,33 +241,136 @@ func FromLattice(lat *lattice.Summary) *Summary {
 	return &Summary{lat: lat, dict: lat.Dict()}
 }
 
+// store returns the backend estimates read from: the frozen snapshot
+// when installed, else the map-backed lattice.
+func (s *Summary) store() estimate.Store {
+	if s.frozen != nil {
+		return s.frozen
+	}
+	return s.lat
+}
+
+// Freeze installs (or refreshes) a read-optimized snapshot of the
+// summary and routes subsequent estimates through it. The summary stays
+// mutable; mutations refresh the snapshot automatically. Freezing an
+// already frozen-only summary is a no-op.
+func (s *Summary) Freeze() {
+	if s.lat != nil {
+		s.frozen = lattice.Freeze(s.lat)
+	}
+}
+
+// Mutable reports whether the summary can accept mutations (AddTree,
+// RemoveTree, MergeSummary). Summaries loaded with ReadFrozen are not
+// mutable.
+func (s *Summary) Mutable() bool { return s.lat != nil }
+
+// FrozenStore reports whether estimates run against the frozen snapshot.
+func (s *Summary) FrozenStore() bool { return s.frozen != nil }
+
+// SubCache returns the shared sub-estimate cache for method, creating it
+// on first use. Safe for concurrent use; the cache is dedicated to this
+// summary's store and method configuration, which is what keeps cached
+// estimates bit-identical to uncached ones.
+func (s *Summary) SubCache(method Method) *estimate.SubCache {
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
+	c, ok := s.subCaches[method]
+	if !ok {
+		if s.subCaches == nil {
+			s.subCaches = make(map[Method]*estimate.SubCache, 3)
+		}
+		c = estimate.NewSubCache(s.subCacheCap)
+		s.subCaches[method] = c
+	}
+	return c
+}
+
+// SetSubCacheCapacity bounds each per-method sub-estimate cache to
+// roughly n entries (0 restores the default). Only caches created after
+// the call are affected; call before serving.
+func (s *Summary) SetSubCacheCapacity(n int) {
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
+	s.subCacheCap = n
+}
+
+// SubCacheStats aggregates hit/miss/eviction counters and occupancy
+// across the per-method sub-estimate caches.
+func (s *Summary) SubCacheStats() estimate.SubCacheStats {
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
+	var total estimate.SubCacheStats
+	for _, c := range s.subCaches {
+		st := c.Stats()
+		total.Hits += st.Hits
+		total.Misses += st.Misses
+		total.Evictions += st.Evictions
+		total.Entries += st.Entries
+	}
+	return total
+}
+
+// invalidateDerived resets every derived read structure after a
+// successful mutation: sub-estimate caches are emptied and an installed
+// frozen snapshot is rebuilt. Callers synchronize mutations against
+// concurrent estimates themselves (the map-backed lattice is not
+// concurrency-safe under writes to begin with).
+func (s *Summary) invalidateDerived() {
+	s.cacheMu.Lock()
+	for _, c := range s.subCaches {
+		c.Reset()
+	}
+	s.cacheMu.Unlock()
+	if s.frozen != nil && s.lat != nil {
+		s.frozen = lattice.Freeze(s.lat)
+	}
+}
+
 // K returns the lattice level.
-func (s *Summary) K() int { return s.lat.K() }
+func (s *Summary) K() int {
+	if s.frozen != nil {
+		return s.frozen.K()
+	}
+	return s.lat.K()
+}
 
 // Dict returns the label dictionary queries must be parsed against.
 func (s *Summary) Dict() *labeltree.Dict { return s.dict }
 
-// Lattice exposes the underlying lattice summary.
+// Lattice exposes the underlying map-backed lattice summary. It is nil
+// for summaries loaded with ReadFrozen.
 func (s *Summary) Lattice() *lattice.Summary { return s.lat }
 
 // SizeBytes is the accounted storage size of the summary.
-func (s *Summary) SizeBytes() int { return s.lat.SizeBytes() }
+func (s *Summary) SizeBytes() int {
+	if s.frozen != nil {
+		return s.frozen.SizeBytes()
+	}
+	return s.lat.SizeBytes()
+}
 
 // Patterns reports the number of stored patterns.
-func (s *Summary) Patterns() int { return s.lat.Len() }
+func (s *Summary) Patterns() int {
+	if s.frozen != nil {
+		return s.frozen.Len()
+	}
+	return s.lat.Len()
+}
 
 // Estimator returns the estimator implementing method over this summary.
 // When the summary is instrumented, the estimator reports every Estimate's
 // latency to the observer.
 func (s *Summary) Estimator(method Method) (estimate.Estimator, error) {
+	st := s.store()
 	var est estimate.Estimator
 	switch method {
 	case MethodRecursive:
-		est = estimate.NewRecursive(s.lat, false)
+		est = &estimate.Recursive{Sum: st, Cache: s.SubCache(method)}
 	case MethodRecursiveVoting:
-		est = estimate.NewRecursive(s.lat, true)
+		est = &estimate.Recursive{Sum: st, Voting: true, Cache: s.SubCache(method)}
 	case MethodFixSized:
-		est = estimate.NewFixSized(s.lat)
+		est = &estimate.FixSized{Sum: st, Cache: s.SubCache(method)}
 	default:
 		return nil, fmt.Errorf("%w: %q", ErrUnknownMethod, method)
 	}
@@ -375,7 +495,7 @@ func (s *Summary) ParseQuery(query string) (labeltree.Pattern, error) {
 func (s *Summary) EstimateWithTrace(q labeltree.Pattern, method Method) (float64, estimate.Trace, error) {
 	switch method {
 	case MethodRecursive, MethodRecursiveVoting:
-		r := estimate.NewRecursive(s.lat, method == MethodRecursiveVoting)
+		r := &estimate.Recursive{Sum: s.store(), Voting: method == MethodRecursiveVoting, Cache: s.SubCache(method)}
 		start := time.Now()
 		est, tr := r.EstimateWithTrace(q)
 		if s.observe != nil {
@@ -392,7 +512,7 @@ func (s *Summary) EstimateWithTrace(q labeltree.Pattern, method Method) (float64
 // decompositions, an indicator of how hard the conditional-independence
 // assumption is working.
 func (s *Summary) EstimateInterval(q labeltree.Pattern) estimate.Interval {
-	return estimate.EstimateInterval(s.lat, q)
+	return estimate.EstimateInterval(s.store(), q)
 }
 
 // AddTree incrementally folds another document into the summary: the
@@ -409,6 +529,9 @@ func (s *Summary) AddTree(t *labeltree.Tree) error {
 // incremental mine runs on a private lattice, so a canceled add leaves
 // the summary untouched.
 func (s *Summary) AddTreeContext(ctx context.Context, t *labeltree.Tree, workers int) error {
+	if s.lat == nil {
+		return fmt.Errorf("%w: cannot add documents", ErrFrozenSummary)
+	}
 	if s.lat.Pruned() {
 		return fmt.Errorf("%w: cannot add documents", ErrPrunedSummary)
 	}
@@ -419,20 +542,31 @@ func (s *Summary) AddTreeContext(ctx context.Context, t *labeltree.Tree, workers
 	if err != nil {
 		return err
 	}
-	return s.lat.Merge(inc)
+	if err := s.lat.Merge(inc); err != nil {
+		return err
+	}
+	s.invalidateDerived()
+	return nil
 }
 
 // MergeSummary folds another summary's counts into this one — the bulk
 // equivalent of AddTree for pre-mined batches. Both summaries must share
 // a dictionary and K, and neither may be pruned.
 func (s *Summary) MergeSummary(other *Summary) error {
+	if s.lat == nil || other.lat == nil {
+		return fmt.Errorf("%w: cannot merge", ErrFrozenSummary)
+	}
 	if s.lat.Pruned() || other.lat.Pruned() {
 		return fmt.Errorf("%w: cannot merge", ErrPrunedSummary)
 	}
 	if other.dict != s.dict {
 		return fmt.Errorf("%w: summaries do not share a dictionary", ErrDictMismatch)
 	}
-	return s.lat.Merge(other.lat)
+	if err := s.lat.Merge(other.lat); err != nil {
+		return err
+	}
+	s.invalidateDerived()
+	return nil
 }
 
 // RemoveTree subtracts a previously added document's counts from the
@@ -441,6 +575,9 @@ func (s *Summary) MergeSummary(other *Summary) error {
 // negative are reported as errors, and the summary may be left partially
 // updated when that happens.
 func (s *Summary) RemoveTree(t *labeltree.Tree) error {
+	if s.lat == nil {
+		return fmt.Errorf("%w: cannot remove documents", ErrFrozenSummary)
+	}
 	if s.lat.Pruned() {
 		return fmt.Errorf("%w: cannot remove documents", ErrPrunedSummary)
 	}
@@ -456,18 +593,30 @@ func (s *Summary) RemoveTree(t *labeltree.Tree) error {
 			return fmt.Errorf("core: removing document: %w", err)
 		}
 	}
+	s.invalidateDerived()
 	return nil
 }
 
 // Prune returns a copy of the summary without δ-derivable patterns
 // (Section 4.3). delta is a relative tolerance; 0 prunes only patterns
-// whose decomposition estimate is exact.
+// whose decomposition estimate is exact. A frozen-only summary is
+// returned unchanged: pruning needs the map-backed lattice.
 func (s *Summary) Prune(delta float64) *Summary {
+	if s.lat == nil {
+		return s
+	}
 	return &Summary{lat: estimate.PruneDerivable(s.lat, delta), dict: s.dict}
 }
 
-// WriteTo serializes the summary.
-func (s *Summary) WriteTo(w io.Writer) (int64, error) { return s.lat.WriteTo(w) }
+// WriteTo serializes the summary. Frozen-only summaries were loaded from
+// the serialized form and cannot have changed; re-serializing them is
+// rejected with ErrFrozenSummary.
+func (s *Summary) WriteTo(w io.Writer) (int64, error) {
+	if s.lat == nil {
+		return 0, fmt.Errorf("%w: cannot serialize", ErrFrozenSummary)
+	}
+	return s.lat.WriteTo(w)
+}
 
 // Read deserializes a summary written by WriteTo, interning labels into
 // dict.
@@ -477,4 +626,17 @@ func Read(r io.Reader, dict *labeltree.Dict) (*Summary, error) {
 		return nil, err
 	}
 	return &Summary{lat: lat, dict: dict}, nil
+}
+
+// ReadFrozen deserializes a summary straight into the read-optimized
+// frozen representation, never materializing the map backend. The result
+// serves estimates (typically faster, with zero-allocation lookups) but
+// rejects every mutation with ErrFrozenSummary — the load path for
+// read-only serving replicas.
+func ReadFrozen(r io.Reader, dict *labeltree.Dict) (*Summary, error) {
+	f, err := lattice.ReadFrozen(r, dict)
+	if err != nil {
+		return nil, err
+	}
+	return &Summary{frozen: f, dict: dict}, nil
 }

@@ -24,4 +24,8 @@ var (
 	// ErrDictMismatch reports trees or summaries that do not share a
 	// label dictionary.
 	ErrDictMismatch = errors.New("treelattice: different label dictionary")
+	// ErrFrozenSummary reports a mutation against a summary loaded in the
+	// read-only frozen representation (ReadFrozen), which has no map
+	// backend to update.
+	ErrFrozenSummary = errors.New("treelattice: summary is frozen")
 )

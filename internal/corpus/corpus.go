@@ -147,6 +147,19 @@ func Create(dir string, opts Options) (*Corpus, error) {
 
 // Open loads an existing corpus.
 func Open(dir string) (*Corpus, error) {
+	return open(dir, core.Read)
+}
+
+// OpenReadOnly loads an existing corpus with its summary in the frozen
+// read-optimized representation: the map backend is never materialized,
+// estimate lookups are allocation-free, and every mutating operation
+// fails with core.ErrFrozenSummary. The load path for read-only serving
+// replicas.
+func OpenReadOnly(dir string) (*Corpus, error) {
+	return open(dir, core.ReadFrozen)
+}
+
+func open(dir string, readSummary func(io.Reader, *labeltree.Dict) (*core.Summary, error)) (*Corpus, error) {
 	opts, err := readMeta(metaPath(dir))
 	if err != nil {
 		return nil, err
@@ -162,7 +175,7 @@ func Open(dir string) (*Corpus, error) {
 		return nil, fmt.Errorf("corpus: opening summary: %w", err)
 	}
 	defer f.Close()
-	c.summary, err = core.Read(f, c.dict)
+	c.summary, err = readSummary(f, c.dict)
 	if err != nil {
 		return nil, fmt.Errorf("corpus: loading summary: %w", err)
 	}

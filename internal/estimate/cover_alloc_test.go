@@ -1,0 +1,27 @@
+package estimate
+
+import (
+	"math/rand"
+	"testing"
+
+	"treelattice/internal/treetest"
+)
+
+// TestCoverAllocsBounded gates the fix-sized cover's allocation profile:
+// a handful of query-sized scratch slices, never per-step or per-node
+// maps. The bound is the slice count of the implementation (CSR pair,
+// cursor/stack, preorder, covered, in, backing buffer, step headers,
+// frontier) with one slot of headroom.
+func TestCoverAllocsBounded(t *testing.T) {
+	_, alphabet := treetest.Alphabet(4)
+	rng := rand.New(rand.NewSource(29))
+	for _, k := range []int{2, 3, 4} {
+		q := treetest.RandomPattern(rng, k+8, alphabet)
+		allocs := testing.AllocsPerRun(200, func() {
+			Cover(q, k)
+		})
+		if allocs > 9 {
+			t.Fatalf("Cover(size %d, k=%d) allocates %.1f per call, want <= 9", q.Size(), k, allocs)
+		}
+	}
+}

@@ -71,6 +71,7 @@ type Store interface {
 }
 
 var _ Store = (*lattice.Summary)(nil)
+var _ Store = (*lattice.Frozen)(nil)
 
 // Augment applies Theorem 1 / Lemma 1: the expected count of the union of
 // two subtrees with counts s1 and s2 whose common part has count common.
@@ -99,6 +100,9 @@ type Trace struct {
 	// MaxDepth is the deepest decomposition recursion reached — the
 	// number of independence assumptions compounded on the worst path.
 	MaxDepth int
+	// CacheHits counts sub-estimates answered from the shared SubCache
+	// instead of being decomposed.
+	CacheHits int
 }
 
 // VotingScheme selects how the voting extension aggregates the estimates
@@ -144,6 +148,10 @@ type Recursive struct {
 	// when voting (0 = all pairs). The paper's voting scheme considers
 	// all decompositions; the cap bounds worst-case latency.
 	MaxVotingPairs int
+	// Cache, when non-nil, shares decomposed sub-estimates across
+	// queries (and goroutines). It must be dedicated to estimators with
+	// this estimator's store and configuration; see SubCache.
+	Cache *SubCache
 }
 
 // NewRecursive returns a recursive decomposition estimator over sum.
@@ -161,7 +169,7 @@ func (r *Recursive) Name() string {
 
 // Estimate implements Estimator.
 func (r *Recursive) Estimate(q labeltree.Pattern) float64 {
-	e := engine{sum: r.Sum, voting: r.Voting, scheme: r.Scheme, maxPairs: r.MaxVotingPairs, memo: make(map[labeltree.Key]float64)}
+	e := engine{sum: r.Sum, voting: r.Voting, scheme: r.Scheme, maxPairs: r.MaxVotingPairs, memo: make(map[labeltree.Key]float64), cache: r.Cache}
 	return e.estimate(q, 0)
 }
 
@@ -169,7 +177,7 @@ func (r *Recursive) Estimate(q labeltree.Pattern) float64 {
 // polls ctx every ctxOpsInterval memo operations and unwinds with ctx.Err()
 // once the context is done.
 func (r *Recursive) EstimateContext(ctx context.Context, q labeltree.Pattern) (float64, error) {
-	e := engine{sum: r.Sum, voting: r.Voting, scheme: r.Scheme, maxPairs: r.MaxVotingPairs, memo: make(map[labeltree.Key]float64), ctx: ctx}
+	e := engine{sum: r.Sum, voting: r.Voting, scheme: r.Scheme, maxPairs: r.MaxVotingPairs, memo: make(map[labeltree.Key]float64), cache: r.Cache, ctx: ctx}
 	est := e.estimate(q, 0)
 	if e.ctxErr != nil {
 		return 0, e.ctxErr
@@ -179,7 +187,7 @@ func (r *Recursive) EstimateContext(ctx context.Context, q labeltree.Pattern) (f
 
 // EstimateWithTrace is Estimate plus a record of the work performed.
 func (r *Recursive) EstimateWithTrace(q labeltree.Pattern) (float64, Trace) {
-	e := engine{sum: r.Sum, voting: r.Voting, scheme: r.Scheme, maxPairs: r.MaxVotingPairs, memo: make(map[labeltree.Key]float64), tr: &Trace{}}
+	e := engine{sum: r.Sum, voting: r.Voting, scheme: r.Scheme, maxPairs: r.MaxVotingPairs, memo: make(map[labeltree.Key]float64), cache: r.Cache, tr: &Trace{}}
 	est := e.estimate(q, 0)
 	return est, *e.tr
 }
@@ -199,7 +207,12 @@ type engine struct {
 	scheme   VotingScheme
 	maxPairs int
 	memo     map[labeltree.Key]float64
-	tr       *Trace
+	// cache, when non-nil, shares decomposed sub-estimates across engine
+	// runs. The memo stays authoritative within a run; the cache is
+	// consulted on memo misses and fed on decompositions, never on
+	// cancelled (partially evaluated) results.
+	cache *SubCache
+	tr    *Trace
 
 	// ctx, when non-nil, is polled every ctxOpsInterval estimateKeyed
 	// entries; on cancellation ctxErr latches and the recursion unwinds
@@ -254,6 +267,17 @@ func (e *engine) estimateKeyed(q labeltree.Pattern, key labeltree.Key, depth int
 		e.memo[key] = 0
 		return 0
 	}
+	// The shared cache sits below the memo and above decomposition: its
+	// values were produced by this same deterministic evaluation (for
+	// this store and configuration), so a hit is bit-identical to
+	// recomputing.
+	if v, ok := e.cache.get(key); ok {
+		if e.tr != nil {
+			e.tr.CacheHits++
+		}
+		e.memo[key] = v
+		return v
+	}
 	voting := e.voting
 	if q.Size() <= e.sum.K() {
 		// In range but pruned as derivable: reconstruct with the same
@@ -288,6 +312,11 @@ func (e *engine) estimateKeyed(q labeltree.Pattern, key labeltree.Key, depth int
 	e.voting = saved
 	est := aggregate(votes, e.scheme)
 	e.memo[key] = est
+	// A cancelled recursion unwinds with zero placeholders; only fully
+	// evaluated results may enter the shared cache.
+	if e.ctxErr == nil {
+		e.cache.put(key, est)
+	}
 	return est
 }
 

@@ -1,0 +1,264 @@
+package lattice
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"treelattice/internal/labeltree"
+)
+
+// Frozen is an immutable, read-optimized snapshot of a K-lattice. All
+// canonical key bytes live in one flat arena addressed by an
+// open-addressing index, so a lookup touches two small slices and the
+// arena — no per-entry header objects, no map iteration order, and no
+// write barriers on the read path. It is safe for concurrent use by any
+// number of readers.
+//
+// A Frozen is built either from a populated *Summary (Freeze) or
+// directly from the serialized form (ReadFrozen), the latter without
+// ever materializing the Go map — the layout the serving path loads.
+type Frozen struct {
+	k      int
+	dict   *labeltree.Dict
+	pruned bool
+
+	arena  []byte   // concatenated canonical key bytes of all entries
+	offs   []uint32 // len(counts)+1; entry i's key is arena[offs[i]:offs[i+1]]
+	counts []int64  // entry i's occurrence count
+
+	table []int32 // open addressing: slot -> entry index, -1 = empty
+	mask  uint32  // len(table)-1; table size is a power of two
+
+	sizeBytes int // accounted storage, matching Summary.SizeBytes
+}
+
+// K returns the lattice level: the maximum stored pattern size.
+func (f *Frozen) K() int { return f.k }
+
+// Dict returns the label dictionary the snapshot is keyed against.
+func (f *Frozen) Dict() *labeltree.Dict { return f.dict }
+
+// Pruned reports whether the summary this snapshot was taken from had
+// entries removed by Filter.
+func (f *Frozen) Pruned() bool { return f.pruned }
+
+// Len reports the number of stored patterns.
+func (f *Frozen) Len() int { return len(f.counts) }
+
+// SizeBytes returns the accounted storage size (8 bytes of count plus 5
+// bytes per node, the same accounting as Summary.SizeBytes).
+func (f *Frozen) SizeBytes() int { return f.sizeBytes }
+
+// Count returns the stored count for p and whether p is present.
+func (f *Frozen) Count(p labeltree.Pattern) (int64, bool) {
+	return f.CountKey(p.Key())
+}
+
+// CountKey is Count for a precomputed canonical key. It performs no
+// allocations.
+func (f *Frozen) CountKey(key labeltree.Key) (int64, bool) {
+	if len(f.table) == 0 {
+		return 0, false
+	}
+	s := string(key)
+	for slot := uint32(hashKey(s)) & f.mask; ; slot = (slot + 1) & f.mask {
+		idx := f.table[slot]
+		if idx < 0 {
+			return 0, false
+		}
+		if bytesEqString(f.arena[f.offs[idx]:f.offs[idx+1]], s) {
+			return f.counts[idx], true
+		}
+	}
+}
+
+// Entries returns all entries of the given size in deterministic
+// (canonical key) order, decoding patterns from their stored keys.
+// size 0 means all sizes. Intended for inspection and tests, not the
+// query path.
+func (f *Frozen) Entries(size int) []Entry {
+	var out []Entry
+	for i := range f.counts {
+		key := labeltree.Key(f.arena[f.offs[i]:f.offs[i+1]])
+		p, err := labeltree.DecodeKey(key)
+		if err != nil {
+			panic(fmt.Sprintf("lattice: frozen arena holds undecodable key: %v", err))
+		}
+		if size == 0 || p.Size() == size {
+			out = append(out, Entry{Pattern: p, Count: f.counts[i]})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if sa, sb := out[a].Pattern.Size(), out[b].Pattern.Size(); sa != sb {
+			return sa < sb
+		}
+		return out[a].Pattern.Key() < out[b].Pattern.Key()
+	})
+	return out
+}
+
+// Freeze builds a read-optimized snapshot of s. The snapshot shares s's
+// dictionary but none of its storage; mutating s afterwards does not
+// affect the snapshot.
+func Freeze(s *Summary) *Frozen {
+	keys := make([]string, 0, len(s.entries))
+	total := 0
+	for k := range s.entries {
+		keys = append(keys, string(k))
+		total += len(k)
+	}
+	// Sorted keys give a deterministic arena layout: freezing equal
+	// summaries yields byte-identical snapshots.
+	sort.Strings(keys)
+	f := &Frozen{
+		k: s.k, dict: s.dict, pruned: s.pruned,
+		arena:  make([]byte, 0, total),
+		offs:   make([]uint32, 1, len(keys)+1),
+		counts: make([]int64, 0, len(keys)),
+	}
+	for _, k := range keys {
+		e := s.entries[labeltree.Key(k)]
+		f.add([]byte(k), e.Count, e.Pattern.Size())
+	}
+	return f
+}
+
+// ReadFrozen deserializes a summary written by WriteTo straight into a
+// frozen snapshot, interning labels into dict. It streams entries —
+// peak memory is the snapshot itself plus one in-flight pattern — and
+// accepts exactly the inputs Read accepts, yielding the same counts.
+func ReadFrozen(r io.Reader, dict *labeltree.Dict) (*Frozen, error) {
+	sr, err := newSummaryReader(r, dict)
+	if err != nil {
+		return nil, err
+	}
+	f := &Frozen{k: sr.k, dict: dict, pruned: sr.pruned}
+	var keyBuf []byte
+	for e := uint64(0); e < sr.nEntries; e++ {
+		p, count, err := sr.next(e)
+		if err != nil {
+			return nil, err
+		}
+		keyBuf = p.AppendKey(keyBuf[:0])
+		if len(f.arena)+len(keyBuf) > math.MaxUint32 {
+			return nil, fmt.Errorf("lattice: frozen arena exceeds 4GiB")
+		}
+		f.add(keyBuf, count, p.Size())
+	}
+	return f, nil
+}
+
+// add records an entry. A duplicate key (possible only in hand-crafted
+// serialized input; WriteTo never emits one) overwrites the existing
+// count — the same last-wins semantics as Summary.Add — and leaves no
+// dead arena bytes.
+func (f *Frozen) add(key []byte, count int64, size int) {
+	if at := f.find(key); at >= 0 {
+		f.counts[at] = count
+		return
+	}
+	if len(f.offs) == 0 {
+		f.offs = append(f.offs, 0)
+	}
+	f.arena = append(f.arena, key...)
+	f.offs = append(f.offs, uint32(len(f.arena)))
+	f.counts = append(f.counts, count)
+	f.insert(int32(len(f.counts) - 1))
+	f.sizeBytes += 8 + 5*size
+}
+
+// find returns the index of the entry holding key, or -1.
+func (f *Frozen) find(key []byte) int32 {
+	if len(f.table) == 0 {
+		return -1
+	}
+	for slot := uint32(hashKey(key)) & f.mask; ; slot = (slot + 1) & f.mask {
+		at := f.table[slot]
+		if at < 0 {
+			return -1
+		}
+		if bytesEq(f.arena[f.offs[at]:f.offs[at+1]], key) {
+			return at
+		}
+	}
+}
+
+// insert places entry idx — whose key is distinct from every indexed
+// key — into the index, growing the table to keep the load factor at or
+// below 1/2. Rehashing reindexes all entries including idx.
+func (f *Frozen) insert(idx int32) {
+	if 2*len(f.counts) > len(f.table) {
+		f.rehash()
+		return
+	}
+	key := f.arena[f.offs[idx]:f.offs[idx+1]]
+	slot := uint32(hashKey(key)) & f.mask
+	for f.table[slot] >= 0 {
+		slot = (slot + 1) & f.mask
+	}
+	f.table[slot] = idx
+}
+
+// rehash rebuilds the index at four times the current entry count
+// (minimum 16 slots). All indexed keys are distinct, so reinsertion
+// needs no equality checks.
+func (f *Frozen) rehash() {
+	n := 16
+	for n < 4*len(f.counts) {
+		n *= 2
+	}
+	f.table = make([]int32, n)
+	for i := range f.table {
+		f.table[i] = -1
+	}
+	f.mask = uint32(n - 1)
+	for idx := range f.counts {
+		key := f.arena[f.offs[idx]:f.offs[idx+1]]
+		slot := uint32(hashKey(key)) & f.mask
+		for f.table[slot] >= 0 {
+			slot = (slot + 1) & f.mask
+		}
+		f.table[slot] = int32(idx)
+	}
+}
+
+// hashKey is a multiply-xor hash over 8-byte chunks, generic over both
+// key representations so neither the build path ([]byte spans) nor the
+// lookup path (Key strings) converts. Chunked loads matter: canonical
+// keys are 5-30 bytes, and a byte-at-a-time FNV loop costs more than the
+// probe it feeds. The length seeds the hash, so zero-padding the final
+// partial chunk cannot collide keys of different lengths; the final
+// avalanche mixes high bits into the low bits the table mask keeps.
+func hashKey[K ~string | ~[]byte](k K) uint64 {
+	const m = 0x9E3779B97F4A7C15 // 2^64 / golden ratio, odd
+	h := uint64(len(k))*m + 14695981039346656037
+	i := 0
+	for ; i+8 <= len(k); i += 8 {
+		c := uint64(k[i]) | uint64(k[i+1])<<8 | uint64(k[i+2])<<16 | uint64(k[i+3])<<24 |
+			uint64(k[i+4])<<32 | uint64(k[i+5])<<40 | uint64(k[i+6])<<48 | uint64(k[i+7])<<56
+		h = (h ^ c) * m
+	}
+	var c uint64
+	for j := 0; i < len(k); i, j = i+1, j+8 {
+		c |= uint64(k[i]) << j
+	}
+	h = (h ^ c) * m
+	h ^= h >> 32
+	h *= m
+	h ^= h >> 29
+	return h
+}
+
+// bytesEqString compares a byte span to a string. The conversion inside
+// a comparison does not allocate — the compiler lowers it to a direct
+// memory comparison (verified by TestFrozenLookupAllocs).
+func bytesEqString(b []byte, s string) bool {
+	return string(b) == s
+}
+
+func bytesEq(a, b []byte) bool {
+	return bytes.Equal(a, b)
+}

@@ -1,0 +1,285 @@
+package lattice_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"treelattice/internal/datagen"
+	"treelattice/internal/labeltree"
+	"treelattice/internal/lattice"
+	"treelattice/internal/mine"
+	"treelattice/internal/treetest"
+)
+
+// randomSummary builds a summary of random patterns, optionally pruned.
+func randomSummary(t testing.TB, seed int64, n int) (*lattice.Summary, *labeltree.Dict) {
+	t.Helper()
+	d, alphabet := treetest.Alphabet(5)
+	rng := rand.New(rand.NewSource(seed))
+	s := lattice.New(4, d)
+	for i := 0; i < n; i++ {
+		p := treetest.RandomPattern(rng, 1+rng.Intn(4), alphabet)
+		if err := s.Add(p, int64(rng.Intn(1000)+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s, d
+}
+
+// assertFrozenMatches checks that f answers exactly like s for every
+// stored entry and for a probe of absent patterns.
+func assertFrozenMatches(t *testing.T, s *lattice.Summary, f *lattice.Frozen) {
+	t.Helper()
+	if f.K() != s.K() || f.Len() != s.Len() || f.Pruned() != s.Pruned() || f.SizeBytes() != s.SizeBytes() {
+		t.Fatalf("frozen header mismatch: K=%d/%d len=%d/%d pruned=%v/%v bytes=%d/%d",
+			f.K(), s.K(), f.Len(), s.Len(), f.Pruned(), s.Pruned(), f.SizeBytes(), s.SizeBytes())
+	}
+	for _, e := range s.Entries(0) {
+		key := e.Pattern.Key()
+		got, ok := f.CountKey(key)
+		if !ok || got != e.Count {
+			t.Fatalf("CountKey(%x) = %d,%v; summary has %d", key, got, ok, e.Count)
+		}
+		if got, ok := f.Count(e.Pattern); !ok || got != e.Count {
+			t.Fatalf("Count = %d,%v; summary has %d", got, ok, e.Count)
+		}
+	}
+}
+
+func TestFreezeMatchesSummary(t *testing.T) {
+	s, d := randomSummary(t, 17, 120)
+	f := lattice.Freeze(s)
+	assertFrozenMatches(t, s, f)
+	// Absent patterns miss in both backends.
+	rng := rand.New(rand.NewSource(99))
+	_, alphabet := treetest.Alphabet(5)
+	_ = d
+	for i := 0; i < 50; i++ {
+		p := treetest.RandomPattern(rng, 1+rng.Intn(4), alphabet)
+		_, inMap := s.Count(p)
+		_, inFrozen := f.Count(p)
+		if inMap != inFrozen {
+			t.Fatalf("presence diverges for %x: map=%v frozen=%v", p.Key(), inMap, inFrozen)
+		}
+	}
+}
+
+func TestFreezePreservesPrunedFlag(t *testing.T) {
+	s, _ := randomSummary(t, 23, 60)
+	pruned := s.Filter(func(e lattice.Entry) bool { return e.Pattern.Size() < 3 })
+	f := lattice.Freeze(pruned)
+	if !f.Pruned() {
+		t.Fatal("pruned flag lost in Freeze")
+	}
+	assertFrozenMatches(t, pruned, f)
+}
+
+func TestFreezeIsSnapshot(t *testing.T) {
+	d := labeltree.NewDict()
+	a := d.Intern("a")
+	s := lattice.New(3, d)
+	p := labeltree.SingleNode(a)
+	if err := s.Add(p, 5); err != nil {
+		t.Fatal(err)
+	}
+	f := lattice.Freeze(s)
+	if err := s.Add(p, 9); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := f.Count(p); got != 5 {
+		t.Fatalf("snapshot saw later mutation: count = %d, want 5", got)
+	}
+}
+
+func TestReadFrozenMatchesRead(t *testing.T) {
+	s, _ := randomSummary(t, 31, 150)
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	// Load both backends into a fresh dictionary with shifted IDs so the
+	// comparison exercises label remapping too.
+	d2 := labeltree.NewDict()
+	d2.Intern("unrelated")
+	viaMap, err := lattice.Read(bytes.NewReader(data), d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d3 := labeltree.NewDict()
+	d3.Intern("unrelated")
+	viaFrozen, err := lattice.ReadFrozen(bytes.NewReader(data), d3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertFrozenMatches(t, viaMap, viaFrozen)
+}
+
+func TestFrozenEntriesMatchSummary(t *testing.T) {
+	s, _ := randomSummary(t, 41, 80)
+	f := lattice.Freeze(s)
+	for _, size := range []int{0, 1, 2, 3, 4} {
+		want, got := s.Entries(size), f.Entries(size)
+		if len(want) != len(got) {
+			t.Fatalf("Entries(%d): %d vs %d entries", size, len(want), len(got))
+		}
+		for i := range want {
+			if want[i].Pattern.Key() != got[i].Pattern.Key() || want[i].Count != got[i].Count {
+				t.Fatalf("Entries(%d)[%d] diverges", size, i)
+			}
+		}
+	}
+}
+
+// TestFrozenDifferentialMined is the differential property test of the
+// issue: for every pattern the miner enumerates on the example corpora,
+// the frozen store must return exactly the map-backed count — both for a
+// complete and for a pruned summary, and both for Freeze and ReadFrozen.
+func TestFrozenDifferentialMined(t *testing.T) {
+	for _, profile := range datagen.AllProfiles() {
+		t.Run(string(profile), func(t *testing.T) {
+			dict := labeltree.NewDict()
+			tree, err := datagen.Generate(datagen.Config{Profile: profile, Scale: 800, Seed: 7}, dict)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum, err := mine.Mine(tree, 4, mine.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			variants := map[string]*lattice.Summary{
+				"complete": sum,
+				"pruned":   sum.Filter(func(e lattice.Entry) bool { return e.Count > 2 || e.Pattern.Size() <= 2 }),
+			}
+			for name, s := range variants {
+				frozen := lattice.Freeze(s)
+				var buf bytes.Buffer
+				if _, err := s.WriteTo(&buf); err != nil {
+					t.Fatal(err)
+				}
+				loaded, err := lattice.ReadFrozen(&buf, dict)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Probe with every pattern of the complete lattice so the
+				// pruned variant also exercises misses.
+				for _, e := range sum.Entries(0) {
+					key := e.Pattern.Key()
+					wantC, wantOK := s.CountKey(key)
+					for which, f := range map[string]*lattice.Frozen{"freeze": frozen, "read": loaded} {
+						gotC, gotOK := f.CountKey(key)
+						if gotC != wantC || gotOK != wantOK {
+							t.Fatalf("%s/%s: CountKey(%x) = %d,%v want %d,%v",
+								name, which, key, gotC, gotOK, wantC, wantOK)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFrozenDuplicateEntries pins last-wins semantics on hand-crafted
+// serialized input holding the same pattern twice: Read and ReadFrozen
+// must agree on both the surviving count and the entry count.
+func TestFrozenDuplicateEntries(t *testing.T) {
+	// magic, version, K=2, not pruned, 1 label "a", 2 entries of the
+	// single-node pattern with counts 7 then 9.
+	var buf bytes.Buffer
+	buf.WriteString("TLAT")
+	buf.WriteByte(1)          // version
+	buf.WriteByte(2)          // K
+	buf.WriteByte(0)          // pruned
+	buf.WriteByte(1)          // one label
+	buf.WriteByte(1)          // len("a")
+	buf.WriteString("a")      //
+	buf.WriteByte(2)          // two entries
+	buf.Write([]byte{1, 0, 7}) // size=1, label 0, count 7
+	buf.Write([]byte{1, 0, 9}) // size=1, label 0, count 9
+	data := buf.Bytes()
+
+	viaMap, err := lattice.Read(bytes.NewReader(data), labeltree.NewDict())
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaFrozen, err := lattice.ReadFrozen(bytes.NewReader(data), labeltree.NewDict())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaMap.Len() != 1 || viaFrozen.Len() != 1 {
+		t.Fatalf("Len = %d (map) / %d (frozen), want 1", viaMap.Len(), viaFrozen.Len())
+	}
+	if viaMap.SizeBytes() != viaFrozen.SizeBytes() {
+		t.Fatalf("SizeBytes diverges: %d vs %d", viaMap.SizeBytes(), viaFrozen.SizeBytes())
+	}
+	p := labeltree.SingleNode(viaFrozen.Dict().Intern("a"))
+	if got, _ := viaFrozen.Count(p); got != 9 {
+		t.Fatalf("frozen duplicate count = %d, want last-wins 9", got)
+	}
+}
+
+func TestFrozenEmpty(t *testing.T) {
+	d := labeltree.NewDict()
+	f := lattice.Freeze(lattice.New(3, d))
+	if f.Len() != 0 || f.SizeBytes() != 0 {
+		t.Fatalf("empty frozen: len=%d bytes=%d", f.Len(), f.SizeBytes())
+	}
+	if _, ok := f.Count(labeltree.SingleNode(d.Intern("a"))); ok {
+		t.Fatal("empty frozen reported a hit")
+	}
+}
+
+func TestFrozenLookupAllocs(t *testing.T) {
+	s, _ := randomSummary(t, 53, 100)
+	f := lattice.Freeze(s)
+	keys := make([]labeltree.Key, 0, s.Len())
+	for _, e := range s.Entries(0) {
+		keys = append(keys, e.Pattern.Key())
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		f.CountKey(keys[i%len(keys)])
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("CountKey allocates %.1f per op, want 0", allocs)
+	}
+}
+
+// FuzzFrozenLoad: ReadFrozen never panics on arbitrary bytes, and it
+// accepts exactly the inputs Read accepts — when both succeed they agree
+// on every header field and every count.
+func FuzzFrozenLoad(f *testing.F) {
+	seed, _ := randomSummary(f, 61, 40)
+	var buf bytes.Buffer
+	if _, err := seed.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("TLAT"))
+	f.Add([]byte("TLAT\x01\x02\x00\x00\x00"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		viaFrozen, errF := lattice.ReadFrozen(bytes.NewReader(data), labeltree.NewDict())
+		viaMap, errM := lattice.Read(bytes.NewReader(data), labeltree.NewDict())
+		if (errF == nil) != (errM == nil) {
+			t.Fatalf("loaders disagree: frozen err=%v, map err=%v", errF, errM)
+		}
+		if errF != nil {
+			return
+		}
+		if viaFrozen.K() != viaMap.K() || viaFrozen.Len() != viaMap.Len() ||
+			viaFrozen.Pruned() != viaMap.Pruned() || viaFrozen.SizeBytes() != viaMap.SizeBytes() {
+			t.Fatal("loaders disagree on header fields")
+		}
+		for _, e := range viaMap.Entries(0) {
+			key := e.Pattern.Key()
+			got, ok := viaFrozen.CountKey(key)
+			if !ok || got != e.Count {
+				t.Fatalf("CountKey(%x) = %d,%v; map loader has %d", key, got, ok, e.Count)
+			}
+		}
+	})
+}

@@ -74,6 +74,39 @@ func (s *Summary) WriteTo(w io.Writer) (int64, error) {
 // Read deserializes a summary written by WriteTo, interning labels into
 // dict.
 func Read(r io.Reader, dict *labeltree.Dict) (*Summary, error) {
+	sr, err := newSummaryReader(r, dict)
+	if err != nil {
+		return nil, err
+	}
+	s := New(sr.k, dict)
+	s.pruned = sr.pruned
+	for e := uint64(0); e < sr.nEntries; e++ {
+		p, count, err := sr.next(e)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.Add(p, count); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// summaryReader streams a serialized summary: header (magic, K, pruned
+// flag, label table) up front, then nEntries patterns on demand. Both the
+// map-backed Read and the frozen-store ReadFrozen decode through it, so
+// the two loaders accept exactly the same byte strings.
+type summaryReader struct {
+	br       *bufio.Reader
+	k        int
+	pruned   bool
+	ids      []labeltree.LabelID
+	nEntries uint64
+}
+
+// newSummaryReader validates the header and label table, leaving the
+// reader positioned at the first entry.
+func newSummaryReader(r io.Reader, dict *labeltree.Dict) (*summaryReader, error) {
 	br := bufio.NewReader(r)
 	head := make([]byte, len(magic)+1)
 	if _, err := io.ReadFull(br, head); err != nil {
@@ -88,6 +121,9 @@ func Read(r io.Reader, dict *labeltree.Dict) (*Summary, error) {
 	k, err := binary.ReadUvarint(br)
 	if err != nil {
 		return nil, fmt.Errorf("lattice: reading K: %w", err)
+	}
+	if k < 2 || k > 1<<20 {
+		return nil, fmt.Errorf("lattice: implausible K=%d", k)
 	}
 	prunedByte, err := br.ReadByte()
 	if err != nil {
@@ -115,47 +151,48 @@ func Read(r io.Reader, dict *labeltree.Dict) (*Summary, error) {
 		}
 		ids[i] = dict.Intern(string(buf))
 	}
-	s := New(int(k), dict)
-	s.pruned = prunedByte == 1
 	nEntries, err := binary.ReadUvarint(br)
 	if err != nil {
 		return nil, fmt.Errorf("lattice: reading entry count: %w", err)
 	}
-	for e := uint64(0); e < nEntries; e++ {
-		size, err := binary.ReadUvarint(br)
-		if err != nil || size == 0 || size > k {
-			return nil, fmt.Errorf("lattice: entry %d has bad size %d (err %v)", e, size, err)
-		}
-		labels := make([]labeltree.LabelID, size)
-		for i := range labels {
-			li, err := binary.ReadUvarint(br)
-			if err != nil || li >= nLabels {
-				return nil, fmt.Errorf("lattice: entry %d has bad label (err %v)", e, err)
-			}
-			labels[i] = ids[li]
-		}
-		parents := make([]int32, size)
-		parents[0] = -1
-		for i := 1; i < int(size); i++ {
-			pi, err := binary.ReadUvarint(br)
-			if err != nil {
-				return nil, fmt.Errorf("lattice: entry %d parent: %w", e, err)
-			}
-			parents[i] = int32(pi)
-		}
-		count, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, fmt.Errorf("lattice: entry %d count: %w", e, err)
-		}
-		p, err := labeltree.NewPattern(labels, parents)
-		if err != nil {
-			return nil, fmt.Errorf("lattice: entry %d: %w", e, err)
-		}
-		if err := s.Add(p, int64(count)); err != nil {
-			return nil, err
-		}
+	return &summaryReader{br: br, k: int(k), pruned: prunedByte == 1, ids: ids, nEntries: nEntries}, nil
+}
+
+// next decodes the e'th entry (e is only for error messages).
+func (sr *summaryReader) next(e uint64) (labeltree.Pattern, int64, error) {
+	size, err := binary.ReadUvarint(sr.br)
+	if err != nil || size == 0 || size > uint64(sr.k) {
+		return labeltree.Pattern{}, 0, fmt.Errorf("lattice: entry %d has bad size %d (err %v)", e, size, err)
 	}
-	return s, nil
+	labels := make([]labeltree.LabelID, size)
+	for i := range labels {
+		li, err := binary.ReadUvarint(sr.br)
+		if err != nil || li >= uint64(len(sr.ids)) {
+			return labeltree.Pattern{}, 0, fmt.Errorf("lattice: entry %d has bad label (err %v)", e, err)
+		}
+		labels[i] = sr.ids[li]
+	}
+	parents := make([]int32, size)
+	parents[0] = -1
+	for i := 1; i < int(size); i++ {
+		pi, err := binary.ReadUvarint(sr.br)
+		if err != nil {
+			return labeltree.Pattern{}, 0, fmt.Errorf("lattice: entry %d parent: %w", e, err)
+		}
+		parents[i] = int32(pi)
+	}
+	count, err := binary.ReadUvarint(sr.br)
+	if err != nil {
+		return labeltree.Pattern{}, 0, fmt.Errorf("lattice: entry %d count: %w", e, err)
+	}
+	if count > 1<<62 {
+		return labeltree.Pattern{}, 0, fmt.Errorf("lattice: entry %d count %d overflows", e, count)
+	}
+	p, err := labeltree.NewPattern(labels, parents)
+	if err != nil {
+		return labeltree.Pattern{}, 0, fmt.Errorf("lattice: entry %d: %w", e, err)
+	}
+	return p, int64(count), nil
 }
 
 type countWriter struct {

@@ -31,7 +31,9 @@
 package loadgen
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
@@ -153,6 +155,13 @@ type Target interface {
 	Name() string
 }
 
+// BatchTarget is a Target that can carry several queries in one request.
+// Options.BatchSize > 1 requires the target to implement it.
+type BatchTarget interface {
+	Target
+	IssueBatch(items []Item) error
+}
+
 // EstimatorTarget drives an in-process estimator — the estimation engine
 // with no HTTP, parsing, or cache in the way.
 type EstimatorTarget struct {
@@ -242,6 +251,67 @@ func (t *HTTPTarget) Issue(it Item) error {
 // Name identifies the target in reports.
 func (t *HTTPTarget) Name() string { return "http:" + t.base }
 
+// HTTPBatchTarget drives POST /v1/estimate/batch: one request carries a
+// whole batch, so the driver measures the amortization the batch endpoint
+// buys — one HTTP round trip and one admission slot per BatchSize queries,
+// plus the shared sub-estimate cache across the batch's worker pool.
+type HTTPBatchTarget struct {
+	base   string
+	method string
+	client *http.Client
+}
+
+// NewHTTPBatchTarget points at a server's base URL. A nil client uses the
+// same pooled defaults as NewHTTPTarget.
+func NewHTTPBatchTarget(base string, method core.Method, client *http.Client) *HTTPBatchTarget {
+	if client == nil {
+		transport := http.DefaultTransport.(*http.Transport).Clone()
+		transport.MaxIdleConnsPerHost = 256
+		client = &http.Client{Transport: transport, Timeout: 30 * time.Second}
+	}
+	return &HTTPBatchTarget{base: base, method: string(method), client: client}
+}
+
+// Issue sends a single-query batch, satisfying Target so the same target
+// can serve both modes of a single/batched comparison run.
+func (t *HTTPBatchTarget) Issue(it Item) error { return t.IssueBatch([]Item{it}) }
+
+// IssueBatch POSTs the items as one batch request and drains the response.
+// Per-item error envelopes inside a 200 response are the server doing its
+// job, not a driver-visible failure; only transport errors and non-200
+// statuses count.
+func (t *HTTPBatchTarget) IssueBatch(items []Item) error {
+	var body bytes.Buffer
+	body.WriteString(`{"queries":[`)
+	for i, it := range items {
+		if i > 0 {
+			body.WriteByte(',')
+		}
+		b, _ := json.Marshal(it.Text)
+		body.Write(b)
+	}
+	body.WriteString(`]`)
+	if t.method != "" {
+		body.WriteString(`,"method":`)
+		b, _ := json.Marshal(t.method)
+		body.Write(b)
+	}
+	body.WriteString(`}`)
+	resp, err := t.client.Post(t.base+"/v1/estimate/batch", "application/json", &body)
+	if err != nil {
+		return err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("loadgen: batch returned %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// Name identifies the target in reports.
+func (t *HTTPBatchTarget) Name() string { return "http-batch:" + t.base }
+
 // Options configures a load run.
 type Options struct {
 	// Concurrency is the worker count (closed loop) or the in-flight
@@ -262,6 +332,11 @@ type Options struct {
 	// MaxOutstanding caps in-flight open-loop requests; arrivals beyond
 	// it count as Dropped. Default 32 × Concurrency.
 	MaxOutstanding int
+	// BatchSize, when > 1, carries this many queries per request (closed
+	// loop only; the target must implement BatchTarget). Issued and
+	// AchievedQPS still count individual queries, so single and batched
+	// runs compare directly; each latency observation covers one batch.
+	BatchSize int
 }
 
 // Result is the outcome of a load run.
@@ -269,6 +344,7 @@ type Result struct {
 	Target         string                `json:"target"`
 	Mode           string                `json:"mode"` // "closed" | "open"
 	Concurrency    int                   `json:"concurrency"`
+	BatchSize      int                   `json:"batch_size,omitempty"`
 	Issued         uint64                `json:"issued"`
 	Errors         uint64                `json:"errors"`
 	Dropped        uint64                `json:"dropped,omitempty"`
@@ -298,11 +374,19 @@ func Run(ctx context.Context, target Target, w *Workload, opts Options) (*Result
 		if opts.MaxOutstanding <= 0 {
 			opts.MaxOutstanding = 32 * opts.Concurrency
 		}
+		if opts.BatchSize > 1 {
+			return nil, fmt.Errorf("loadgen: batched runs are closed loop only")
+		}
+	}
+	if opts.BatchSize > 1 {
+		if _, ok := target.(BatchTarget); !ok {
+			return nil, fmt.Errorf("loadgen: target %s does not support batching", target.Name())
+		}
 	}
 
 	if opts.Warmup > 0 {
 		warmCtx, cancel := context.WithTimeout(ctx, opts.Warmup)
-		runClosed(warmCtx, target, w, opts.Concurrency, 0, nil, nil, nil)
+		runClosed(warmCtx, target, w, opts.Concurrency, 0, opts.BatchSize, nil, nil, nil)
 		cancel()
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
@@ -312,6 +396,9 @@ func Run(ctx context.Context, target Target, w *Workload, opts Options) (*Result
 	hist := obs.NewHistogram(nil)
 	var issued, errs, dropped atomic.Uint64
 	res := &Result{Target: target.Name(), Concurrency: opts.Concurrency}
+	if opts.BatchSize > 1 {
+		res.BatchSize = opts.BatchSize
+	}
 	start := time.Now()
 	if opts.OpenLoopQPS > 0 {
 		res.Mode = "open"
@@ -326,7 +413,7 @@ func Run(ctx context.Context, target Target, w *Workload, opts Options) (*Result
 		if opts.Duration > 0 {
 			runCtx, cancel = context.WithTimeout(ctx, opts.Duration)
 		}
-		runClosed(runCtx, target, w, opts.Concurrency, opts.Requests, hist, &issued, &errs)
+		runClosed(runCtx, target, w, opts.Concurrency, opts.Requests, opts.BatchSize, hist, &issued, &errs)
 		cancel()
 	}
 	elapsed := time.Since(start)
@@ -343,9 +430,15 @@ func Run(ctx context.Context, target Target, w *Workload, opts Options) (*Result
 }
 
 // runClosed keeps workers issuing back-to-back until the context is done
-// or maxRequests (when positive) have been issued. A nil hist skips
-// recording (warmup).
-func runClosed(ctx context.Context, target Target, w *Workload, workers, maxRequests int, hist *obs.Histogram, issued, errs *atomic.Uint64) {
+// or maxQueries (when positive) queries have been issued. batch > 1
+// claims that many queries per request through the target's BatchTarget
+// side. A nil hist skips recording (warmup). Counters count queries;
+// latency observations cover one request (a whole batch).
+func runClosed(ctx context.Context, target Target, w *Workload, workers, maxQueries, batch int, hist *obs.Histogram, issued, errs *atomic.Uint64) {
+	bt, isBatch := target.(BatchTarget)
+	if batch <= 1 || !isBatch {
+		batch = 1
+	}
 	var next atomic.Uint64
 	var wg sync.WaitGroup
 	items := w.Items
@@ -353,22 +446,43 @@ func runClosed(ctx context.Context, target Target, w *Workload, workers, maxRequ
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Per-worker scratch: batches wrap around the workload ring, so
+			// the claimed range is copied out instead of sliced.
+			var scratch []Item
+			if batch > 1 {
+				scratch = make([]Item, 0, batch)
+			}
 			for {
 				if ctx.Err() != nil {
 					return
 				}
-				n := next.Add(1)
-				if maxRequests > 0 && n > uint64(maxRequests) {
-					return
+				end := next.Add(uint64(batch))
+				first := end - uint64(batch)
+				if maxQueries > 0 {
+					if first >= uint64(maxQueries) {
+						return
+					}
+					if end > uint64(maxQueries) {
+						end = uint64(maxQueries)
+					}
 				}
-				it := items[(n-1)%uint64(len(items))]
+				n := end - first
+				var err error
 				start := time.Now()
-				err := target.Issue(it)
+				if batch == 1 {
+					err = target.Issue(items[first%uint64(len(items))])
+				} else {
+					scratch = scratch[:0]
+					for q := first; q < end; q++ {
+						scratch = append(scratch, items[q%uint64(len(items))])
+					}
+					err = bt.IssueBatch(scratch)
+				}
 				if hist != nil {
 					hist.ObserveSince(start)
-					issued.Add(1)
+					issued.Add(n)
 					if err != nil {
-						errs.Add(1)
+						errs.Add(n)
 					}
 				}
 			}

@@ -270,3 +270,102 @@ func TestHTTPTarget(t *testing.T) {
 		t.Fatalf("server saw %d estimate requests, driver issued %d", got, res.Issued)
 	}
 }
+
+type countingBatchTarget struct {
+	countingTarget
+	batches  atomic.Uint64
+	maxBatch atomic.Uint64
+}
+
+func (c *countingBatchTarget) IssueBatch(items []Item) error {
+	c.batches.Add(1)
+	c.n.Add(uint64(len(items)))
+	for {
+		old := c.maxBatch.Load()
+		if uint64(len(items)) <= old || c.maxBatch.CompareAndSwap(old, uint64(len(items))) {
+			return nil
+		}
+	}
+}
+
+// TestRunBatched: a batched closed-loop run issues exactly Requests
+// queries grouped into BatchSize claims, and counts queries (not
+// requests) in Issued.
+func TestRunBatched(t *testing.T) {
+	w := smallWorkload(t)
+	target := &countingBatchTarget{}
+	res, err := Run(context.Background(), target, w, Options{
+		Concurrency: 3, Requests: 100, BatchSize: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BatchSize != 8 {
+		t.Errorf("result batch size = %d", res.BatchSize)
+	}
+	if res.Issued != 100 || target.n.Load() != 100 {
+		t.Errorf("issued %d queries (target saw %d), want 100", res.Issued, target.n.Load())
+	}
+	// 100 queries in claims of 8: 12 full batches plus one remainder of 4.
+	if got := target.batches.Load(); got != 13 {
+		t.Errorf("target saw %d batch requests, want 13", got)
+	}
+	if got := target.maxBatch.Load(); got > 8 {
+		t.Errorf("a batch carried %d queries, cap is 8", got)
+	}
+	if res.Latency.Count != target.batches.Load() {
+		t.Errorf("latency count %d != batch requests %d", res.Latency.Count, target.batches.Load())
+	}
+}
+
+func TestRunBatchedValidation(t *testing.T) {
+	w := smallWorkload(t)
+	if _, err := Run(context.Background(), &countingTarget{}, w, Options{Requests: 10, BatchSize: 4}); err == nil {
+		t.Error("batching accepted on a non-batch target")
+	}
+	if _, err := Run(context.Background(), &countingBatchTarget{}, w, Options{Duration: time.Second, OpenLoopQPS: 10, BatchSize: 4}); err == nil {
+		t.Error("batching accepted in open loop")
+	}
+}
+
+// TestHTTPBatchTarget drives the real batch endpoint end to end and
+// cross-checks against the server's batch metrics.
+func TestHTTPBatchTarget(t *testing.T) {
+	dir := t.TempDir()
+	c, err := corpus.Create(dir, corpus.Options{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddXML("sample", strings.NewReader(doc)); err != nil {
+		t.Fatal(err)
+	}
+	handler := serve.NewHandler(c)
+	srv := httptest.NewServer(handler)
+	defer srv.Close()
+
+	tr, ok := c.Doc("sample")
+	if !ok {
+		t.Fatal("sample doc missing")
+	}
+	w, err := BuildWorkload([]*labeltree.Tree{tr}, c.Dict(), WorkloadOptions{
+		Sizes: []int{2, 3}, PerSize: 5, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := NewHTTPBatchTarget(srv.URL, core.MethodRecursiveVoting, nil)
+	res, err := Run(context.Background(), target, w, Options{Concurrency: 2, Requests: 64, BatchSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("batched HTTP run errored %d/%d times", res.Errors, res.Issued)
+	}
+	if res.Issued != 64 {
+		t.Fatalf("issued %d queries, want 64", res.Issued)
+	}
+	snap := handler.Metrics().Snapshot()
+	if got := snap.Counters["http.estimate_batch.requests"]; got != 4 {
+		t.Fatalf("server saw %d batch requests, want 4", got)
+	}
+}

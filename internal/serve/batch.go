@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"treelattice/internal/core"
+	"treelattice/internal/labeltree"
+)
+
+// MaxBatchQueries bounds how many queries one batch request may carry.
+// A batch occupies a single admission slot regardless of size, so the cap
+// keeps one client from smuggling unbounded work past the limiter.
+const MaxBatchQueries = 256
+
+// maxBatchBodyBytes bounds the batch request body. 256 twig queries fit
+// comfortably in far less; anything beyond this is malformed or hostile.
+const maxBatchBodyBytes = 1 << 20
+
+// batchSizeBounds are the batch-size histogram buckets — powers of two up
+// to MaxBatchQueries, so the distribution shows whether clients actually
+// batch or send singletons through the batch endpoint.
+var batchSizeBounds = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+type batchRequest struct {
+	Queries []string `json:"queries"`
+	// Method applies to the whole batch; empty means recursive+voting.
+	Method string `json:"method"`
+}
+
+// batchItem is the per-query result envelope. Exactly one of Estimate or
+// Error is present: a failed item carries the same code vocabulary as the
+// single-query endpoint's error envelope.
+type batchItem struct {
+	Query    string   `json:"query"`
+	Estimate *float64 `json:"estimate,omitempty"`
+	Method   string   `json:"method,omitempty"`
+	Degraded bool     `json:"degraded,omitempty"`
+	Error    string   `json:"error,omitempty"`
+	Code     string   `json:"code,omitempty"`
+}
+
+type batchResponse struct {
+	Method  string      `json:"method"`
+	Results []batchItem `json:"results"`
+}
+
+// estimateBatch serves POST /v1/estimate/batch: many twig queries, one
+// admission slot, one worker-pool fan-out sharing the summary's
+// sub-estimate cache. Results are positional with per-item error
+// envelopes — one unparseable query does not fail its neighbors.
+func (h *Handler) estimateBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	body := http.MaxBytesReader(w, r.Body, maxBatchBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, "too_large", "batch body too large")
+			return
+		}
+		writeError(w, http.StatusBadRequest, "bad_request", "malformed batch request: "+err.Error())
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, "bad_request", "empty batch")
+		return
+	}
+	if len(req.Queries) > MaxBatchQueries {
+		writeError(w, http.StatusBadRequest, "batch_too_large",
+			"batch exceeds the per-request query cap")
+		return
+	}
+	method := core.MethodRecursiveVoting
+	if req.Method != "" {
+		method = core.Method(req.Method)
+	}
+
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	sum := h.c.Summary()
+	if _, err := sum.Estimator(method); err != nil {
+		writeCoreError(w, err)
+		return
+	}
+	h.batchSizes.Observe(float64(len(req.Queries)))
+
+	items := make([]batchItem, len(req.Queries))
+	// Parse and consult the query cache first; only misses reach the
+	// worker pool. pending[j] remembers which item slot miss j fills.
+	var (
+		pending []int
+		queries []labeltree.Pattern
+	)
+	for i, qs := range req.Queries {
+		items[i].Query = qs
+		q, err := sum.ParseQuery(qs)
+		if errors.Is(err, core.ErrUnknownLabel) {
+			// Same semantics as the single endpoint: a label no document
+			// carries cannot match, so the true selectivity is zero.
+			zero := 0.0
+			items[i].Estimate = &zero
+			continue
+		}
+		if err != nil {
+			_, code := coreErrorCode(err)
+			items[i].Error = err.Error()
+			items[i].Code = code
+			continue
+		}
+		if est, ok := h.cache.Get(string(method), q); ok {
+			e := est
+			items[i].Estimate = &e
+			continue
+		}
+		pending = append(pending, i)
+		queries = append(queries, q)
+	}
+
+	if len(queries) > 0 {
+		results, err := sum.EstimateBatchContext(r.Context(), queries, method,
+			core.BatchOptions{DisableFallback: h.res.DisableFallback})
+		if err != nil {
+			h.coreError(w, err)
+			return
+		}
+		for j, res := range results {
+			i := pending[j]
+			if res.Err != nil {
+				status, code := coreErrorCode(res.Err)
+				if status == http.StatusGatewayTimeout {
+					h.timeouts.Inc()
+				}
+				items[i].Error = res.Err.Error()
+				items[i].Code = code
+				continue
+			}
+			e := res.Estimate
+			items[i].Estimate = &e
+			if res.Degraded {
+				items[i].Degraded = true
+				items[i].Method = string(res.Method)
+				h.degraded.Inc()
+			}
+			// Cache under the producing method, mirroring the single
+			// endpoint: degraded answers must not masquerade as the
+			// requested method once pressure subsides.
+			h.cache.Put(string(res.Method), queries[j], res.Estimate)
+		}
+	}
+	writeJSON(w, batchResponse{Method: string(method), Results: items})
+}

@@ -100,6 +100,13 @@ func (h *Handler) instrumentCorpus() {
 	hists := make(map[core.Method]*obs.Histogram, len(core.Methods()))
 	for _, m := range core.Methods() {
 		hists[m] = h.reg.Histogram("estimate."+string(m)+".latency_seconds", nil)
+		// Mirror each per-method sub-estimate cache into the registry so
+		// /v1/metrics shows which estimator's workload shares structure.
+		h.c.Summary().SubCache(m).Instrument(
+			h.reg.Counter("subcache."+string(m)+".hits"),
+			h.reg.Counter("subcache."+string(m)+".misses"),
+			h.reg.Counter("subcache."+string(m)+".evictions"),
+		)
 	}
 	h.c.Summary().Instrument(func(m core.Method, d time.Duration) {
 		if hist, ok := hists[m]; ok {

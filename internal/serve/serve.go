@@ -4,6 +4,7 @@
 // Endpoints (JSON unless noted):
 //
 //	GET    /v1/estimate?q=<twig>&method=<name>  estimated selectivity
+//	POST   /v1/estimate/batch                   many estimates in one call
 //	GET    /v1/exact?q=<twig>                   exact count (scans documents)
 //	GET    /v1/explain?q=<twig>                 estimate + trace + spread interval
 //	GET    /v1/stats                            summary and corpus statistics
@@ -18,8 +19,15 @@
 //	{"error": <message>, "code": <machine-readable code>}
 //
 // with codes: bad_query, unknown_method, bad_document, too_large,
-// exists, not_found, method_not_allowed, canceled, shed,
-// deadline_exceeded, internal.
+// batch_too_large, exists, not_found, frozen, method_not_allowed,
+// canceled, shed, deadline_exceeded, internal.
+//
+// POST /v1/estimate/batch accepts {"queries": [...], "method": <name>}
+// (up to MaxBatchQueries queries) and answers positionally with per-item
+// envelopes: one unparseable query fails alone, not the batch. The whole
+// batch occupies a single admission slot and fans out across a worker
+// pool sharing the summary's sub-estimate cache, so structurally
+// overlapping queries decompose shared sub-twigs once.
 //
 // Document uploads are mined into a private shard lattice and merged
 // into the live summary incrementally — a POST never triggers a full
@@ -133,13 +141,14 @@ type Handler struct {
 	maxBytes int64
 	res      ResilienceOptions
 
-	reg      *obs.Registry
-	inFlight *obs.Gauge
-	routes   map[string]*routeMetrics
-	limiter  *resilience.Limiter
-	panics   *obs.Counter
-	degraded *obs.Counter
-	timeouts *obs.Counter
+	reg        *obs.Registry
+	inFlight   *obs.Gauge
+	routes     map[string]*routeMetrics
+	limiter    *resilience.Limiter
+	panics     *obs.Counter
+	degraded   *obs.Counter
+	timeouts   *obs.Counter
+	batchSizes *obs.Histogram
 }
 
 // NewHandler wraps a corpus with default options.
@@ -167,6 +176,8 @@ func NewHandlerOptions(c Backend, opts Options) *Handler {
 		panics:   reg.Counter("http.panics"),
 		degraded: reg.Counter("estimate.degraded"),
 		timeouts: reg.Counter("http.deadline_exceeded"),
+		batchSizes: reg.Histogram("http.estimate_batch.batch_size",
+			batchSizeBounds),
 	}
 	if h.maxBytes <= 0 {
 		h.maxBytes = MaxDocumentBytes
@@ -193,6 +204,7 @@ func NewHandlerOptions(c Backend, opts Options) *Handler {
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/estimate", h.instrument("estimate", guarded(h.res.EstimateBudget, h.estimate)))
+	mux.HandleFunc("POST /v1/estimate/batch", h.instrument("estimate_batch", guarded(h.res.EstimateBudget, h.estimateBatch)))
 	mux.HandleFunc("GET /v1/exact", h.instrument("exact", guarded(h.res.ExactBudget, h.exact)))
 	mux.HandleFunc("GET /v1/explain", h.instrument("explain", guarded(h.res.EstimateBudget, h.explain)))
 	mux.HandleFunc("GET /v1/stats", h.instrument("stats", recov(h.stats)))
@@ -205,6 +217,7 @@ func NewHandlerOptions(c Backend, opts Options) *Handler {
 	// for traffic that reached an endpoint.
 	other := func(fn http.HandlerFunc) http.HandlerFunc { return h.instrument("other", fn) }
 	mux.HandleFunc("/v1/estimate", other(methodNotAllowed("GET")))
+	mux.HandleFunc("/v1/estimate/batch", other(methodNotAllowed("POST")))
 	mux.HandleFunc("/v1/exact", other(methodNotAllowed("GET")))
 	mux.HandleFunc("/v1/explain", other(methodNotAllowed("GET")))
 	mux.HandleFunc("/v1/stats", other(methodNotAllowed("GET")))
@@ -389,6 +402,11 @@ func (h *Handler) stats(w http.ResponseWriter, _ *http.Request) {
 		// Resilience headline: is the server shedding, degrading, timing
 		// out, or eating panics right now?
 		"resilience": h.resilienceSummary(),
+		// Shared sub-estimate cache effectiveness across the estimator
+		// worker pool (distinct from the whole-query cache above).
+		"subcache": h.subcacheSummary(s),
+		// Batch endpoint traffic shape: are clients batching, and how big?
+		"batch": h.batchSummary(),
 	}
 	if t := h.c.BuildTimings(); t != nil {
 		resp["last_build_ms"] = t.Millis()
@@ -412,6 +430,37 @@ func (h *Handler) resilienceSummary() map[string]any {
 		out["admission_in_flight"] = inFlight
 	}
 	return out
+}
+
+// subcacheSummary condenses the summary's shared sub-estimate cache
+// counters (aggregated across the per-method caches) for /v1/stats.
+func (h *Handler) subcacheSummary(s *core.Summary) map[string]any {
+	st := s.SubCacheStats()
+	ratio := 0.0
+	if st.Hits+st.Misses > 0 {
+		ratio = float64(st.Hits) / float64(st.Hits+st.Misses)
+	}
+	return map[string]any{
+		"hits":      st.Hits,
+		"misses":    st.Misses,
+		"evictions": st.Evictions,
+		"entries":   st.Entries,
+		"hit_ratio": ratio,
+	}
+}
+
+// batchSummary condenses the batch-size histogram for /v1/stats. The
+// histogram observes sizes, not seconds, so the snapshot's sum is the
+// total number of queries carried by batch requests.
+func (h *Handler) batchSummary() map[string]any {
+	snap := h.batchSizes.Snapshot()
+	return map[string]any{
+		"requests":      snap.Count,
+		"total_queries": int64(snap.SumSeconds + 0.5),
+		"p50_size":      snap.P50,
+		"p95_size":      snap.P95,
+		"size_buckets":  snap.Buckets,
+	}
 }
 
 func (h *Handler) addDoc(w http.ResponseWriter, r *http.Request) {
@@ -463,24 +512,32 @@ func (h *Handler) coreError(w http.ResponseWriter, err error) {
 	writeCoreError(w, err)
 }
 
-// writeCoreError maps estimation-side errors onto the envelope.
-func writeCoreError(w http.ResponseWriter, err error) {
+// coreErrorCode classifies estimation-side errors into the envelope's
+// (status, code) vocabulary. Shared between whole-response errors
+// (writeCoreError) and the batch endpoint's per-item envelopes.
+func coreErrorCode(err error) (int, string) {
 	switch {
 	case errors.Is(err, core.ErrBadQuery):
-		writeError(w, http.StatusBadRequest, "bad_query", err.Error())
+		return http.StatusBadRequest, "bad_query"
 	case errors.Is(err, core.ErrUnknownLabel):
-		writeError(w, http.StatusBadRequest, "unknown_label", err.Error())
+		return http.StatusBadRequest, "unknown_label"
 	case errors.Is(err, core.ErrUnknownMethod):
-		writeError(w, http.StatusBadRequest, "unknown_method", err.Error())
+		return http.StatusBadRequest, "unknown_method"
 	case errors.Is(err, context.DeadlineExceeded):
 		// The endpoint's deadline budget expired mid-computation.
-		writeError(w, http.StatusGatewayTimeout, "deadline_exceeded", err.Error())
+		return http.StatusGatewayTimeout, "deadline_exceeded"
 	case errors.Is(err, context.Canceled):
 		// The client went away; 499 in nginx's vocabulary.
-		writeError(w, 499, "canceled", err.Error())
+		return 499, "canceled"
 	default:
-		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return http.StatusBadRequest, "bad_request"
 	}
+}
+
+// writeCoreError maps estimation-side errors onto the envelope.
+func writeCoreError(w http.ResponseWriter, err error) {
+	status, code := coreErrorCode(err)
+	writeError(w, status, code, err.Error())
 }
 
 // writeCorpusError maps document-mutation errors onto the envelope.
@@ -494,6 +551,10 @@ func writeCorpusError(w http.ResponseWriter, err error) {
 		writeError(w, http.StatusConflict, "exists", err.Error())
 	case errors.Is(err, corpus.ErrNoSuchDoc):
 		writeError(w, http.StatusNotFound, "not_found", err.Error())
+	case errors.Is(err, core.ErrFrozenSummary):
+		// A read-only replica (loaded via corpus.OpenReadOnly) cannot
+		// accept document mutations.
+		writeError(w, http.StatusConflict, "frozen", err.Error())
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		// 499 in nginx's vocabulary; stdlib has no constant for it.
 		writeError(w, 499, "canceled", err.Error())
