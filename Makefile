@@ -51,11 +51,14 @@ race:
 # single-query, then the same workload batched 32 queries per POST
 # /v1/estimate/batch request — and write BENCH_serve.json (achieved
 # QPS, p50/p95/p99, server-side metrics, batched vs single throughput).
-# The report schema is regression-tested in
-# cmd/treelattice/loadbench_test.go.
+# -methods all additionally sweeps every registered estimator in-process,
+# adding the accuracy×latency matrix (q-error vs exact counts, per-method
+# throughput, ensemble divergence counts) to the report. The report
+# schema is regression-tested in cmd/treelattice/loadbench_test.go.
 bench:
 	$(GO) run ./cmd/treelattice loadbench -gen xmark -scale 20000 \
-		-duration 3s -warmup 500ms -seed 1 -batch 32 -out BENCH_serve.json
+		-duration 3s -warmup 500ms -seed 1 -batch 32 -methods all \
+		-out BENCH_serve.json
 
 # benchcore is the build/estimate-path counterpart of `make bench`: it
 # runs the canonical-keying microbenchmarks (BenchmarkKey and the

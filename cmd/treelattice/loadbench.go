@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -33,8 +34,26 @@ type benchReport struct {
 	// BatchResult is the batched run over the same workload and worker
 	// count (-batch N), for a direct single-vs-batched throughput
 	// comparison in one report.
-	BatchResult   *loadgen.Result `json:"batch_result,omitempty"`
-	ServerMetrics *obs.Snapshot   `json:"server_metrics,omitempty"`
+	BatchResult *loadgen.Result `json:"batch_result,omitempty"`
+	// Methods is the accuracy×latency matrix from a -methods sweep: every
+	// requested estimator driven in-process over the same workload, scored
+	// against exact counts on a subsample.
+	Methods       []methodReport `json:"methods,omitempty"`
+	ServerMetrics *obs.Snapshot  `json:"server_metrics,omitempty"`
+}
+
+// methodReport is one row of the accuracy×latency matrix.
+type methodReport struct {
+	Method string `json:"method"`
+	// PrepareMs is the cold-start cost: the first estimate, which builds
+	// the method's prepared instance (index, tables, sketches) on demand.
+	PrepareMs   float64           `json:"prepare_ms"`
+	AchievedQPS float64           `json:"achieved_qps"`
+	P50ms       float64           `json:"p50_ms"`
+	P95ms       float64           `json:"p95_ms"`
+	P99ms       float64           `json:"p99_ms"`
+	Errors      uint64            `json:"errors,omitempty"`
+	Accuracy    *loadgen.Accuracy `json:"accuracy,omitempty"`
 }
 
 type benchConfig struct {
@@ -82,6 +101,9 @@ func runLoadbench(args []string, stdout io.Writer) error {
 	perSize := fs.Int("persize", 20, "distinct positive queries per size per document")
 	neg := fs.Float64("neg", 0.25, "target fraction of zero-selectivity queries in the mix")
 	seed := fs.Int64("seed", 1, "workload generation seed (same seed = same mix)")
+	methodsSpec := fs.String("methods", "", `sweep these estimation methods in-process ("all" or a comma list), adding a per-method accuracy×latency matrix to the report`)
+	accQueries := fs.Int("accqueries", 60, "queries scored against exact counts per swept method (-methods)")
+	sweepRequests := fs.Int("sweeprequests", 300, "timed requests per swept method (-methods)")
 	out := fs.String("out", "BENCH_serve.json", "report output path")
 	fs.Parse(args)
 
@@ -215,6 +237,18 @@ func runLoadbench(args []string, stdout io.Writer) error {
 		}
 	}
 
+	// Method sweep: every requested estimator in-process over the same
+	// workload, timed and scored, so one report answers "which method, at
+	// what cost, for what accuracy" side by side.
+	var methodRows []methodReport
+	if *methodsSpec != "" {
+		methodRows, err = sweepMethods(context.Background(), c, trees, w,
+			*methodsSpec, *concurrency, *sweepRequests, *accQueries, stdout)
+		if err != nil {
+			return err
+		}
+	}
+
 	report := benchReport{
 		Config: cfg,
 		Workload: workloadSummary{
@@ -222,6 +256,7 @@ func runLoadbench(args []string, stdout io.Writer) error {
 		},
 		Result:      res,
 		BatchResult: batchRes,
+		Methods:     methodRows,
 	}
 	if scrapeMetrics != nil {
 		snap, err := scrapeMetrics()
@@ -260,6 +295,72 @@ func runLoadbench(args []string, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "report written to %s\n", *out)
 	return nil
+}
+
+// sweepMethods drives each requested estimator in-process over the
+// workload and scores it against exact counts, producing the report's
+// accuracy×latency matrix. spec is "all" (every registered method) or a
+// comma list; unknown names fail the run with the registry's method list
+// in the error.
+func sweepMethods(ctx context.Context, c *corpus.Corpus, trees []*labeltree.Tree, w *loadgen.Workload, spec string, concurrency, requests, accQueries int, stdout io.Writer) ([]methodReport, error) {
+	sum := c.Summary()
+	var methods []core.Method
+	if spec == "all" {
+		methods = sum.Registry().Methods()
+	} else {
+		for _, part := range strings.Split(spec, ",") {
+			methods = append(methods, core.Method(strings.TrimSpace(part)))
+		}
+	}
+	rows := make([]methodReport, 0, len(methods))
+	for _, m := range methods {
+		if _, err := sum.LookupMethod(m); err != nil {
+			return nil, err
+		}
+		row := methodReport{Method: string(m)}
+
+		// First estimate pays the lazy Prepare (index/table/sketch build);
+		// time it separately so steady-state latency stays clean. A blown
+		// probe budget on this one query is a per-query outcome, not a
+		// prepare failure.
+		prepStart := time.Now()
+		if _, err := sum.EstimateStrict(ctx, w.Items[0].Pattern, m); err != nil &&
+			!errors.Is(err, core.ErrBudgetExhausted) {
+			return nil, fmt.Errorf("loadbench: method %s failed on first query: %w", m, err)
+		}
+		row.PrepareMs = float64(time.Since(prepStart)) / 1e6
+
+		target, err := loadgen.NewEstimatorTarget(sum, m)
+		if err != nil {
+			return nil, err
+		}
+		res, err := loadgen.Run(ctx, target, w, loadgen.Options{
+			Concurrency: concurrency, Requests: requests,
+		})
+		if err != nil {
+			return nil, err
+		}
+		row.AchievedQPS = res.AchievedQPS
+		row.P50ms = res.Latency.P50 * 1e3
+		row.P95ms = res.Latency.P95 * 1e3
+		row.P99ms = res.Latency.P99 * 1e3
+		row.Errors = res.Errors
+
+		acc, err := loadgen.MeasureAccuracy(ctx, sum, trees, w, m, accQueries)
+		if err != nil {
+			return nil, fmt.Errorf("loadbench: scoring method %s: %w", m, err)
+		}
+		row.Accuracy = acc
+
+		line := fmt.Sprintf("method %-17s %9.0f req/s  p50=%.3fms p95=%.3fms  q-err mean=%.2f p95=%.2f",
+			m, row.AchievedQPS, row.P50ms, row.P95ms, acc.MeanQError, acc.P95QError)
+		if acc.Checked > 0 {
+			line += fmt.Sprintf("  divergent %d/%d", acc.Divergent, acc.Checked)
+		}
+		fmt.Fprintln(stdout, line)
+		rows = append(rows, row)
+	}
+	return rows, nil
 }
 
 // parseSizes parses "3,4,5".

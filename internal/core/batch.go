@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -18,17 +19,29 @@ type BatchOptions struct {
 	// method: items that blow the budget fail with their context error
 	// instead of degrading to a cheaper method.
 	DisableFallback bool
+	// Methods, when non-empty, overrides the batch-level method per item:
+	// Methods[i] applies to queries[i], with the empty Method falling
+	// back to the batch-level one. Length must match queries. Every named
+	// method is validated against the registry up front.
+	Methods []Method
 }
 
-// BatchResult is the per-item outcome of a batch estimate. Exactly one
-// of Err or the estimate fields is meaningful: on success Method names
-// the method that produced the estimate (the requested one, or its
-// fallback when Degraded is set).
+// BatchResult is the per-item outcome of a batch estimate. Exactly one of
+// Err or the estimate fields is meaningful; Method always names the
+// method involved — on success the one that produced the estimate (the
+// requested one, or its fallback when Degraded is set), on failure the
+// one that was asked for.
 type BatchResult struct {
 	Estimate float64
 	Method   Method
 	Degraded bool
-	Err      error
+	// Checked through Divergent carry the ensemble cross-check verdict,
+	// mirroring DegradedEstimate.
+	Checked       bool
+	CrossEstimate float64
+	Divergence    float64
+	Divergent     bool
+	Err           error
 }
 
 // EstimateBatchContext estimates every query in one call, fanning the
@@ -39,12 +52,33 @@ type BatchResult struct {
 //
 // Results are positional: results[i] answers queries[i], with per-item
 // errors (an expired budget fails the not-yet-evaluated items
-// individually, it does not poison completed ones). The method is
-// validated up front; an unknown method fails the whole batch, since no
-// item could succeed.
+// individually, it does not poison completed ones). Methods — the
+// batch-level one and every per-item override — are validated up front;
+// an unknown method fails the whole batch, since its items could never
+// succeed.
 func (s *Summary) EstimateBatchContext(ctx context.Context, queries []labeltree.Pattern, method Method, opts BatchOptions) ([]BatchResult, error) {
-	if _, err := s.Estimator(method); err != nil {
+	if _, err := s.LookupMethod(method); err != nil {
 		return nil, err
+	}
+	if len(opts.Methods) > 0 && len(opts.Methods) != len(queries) {
+		return nil, fmt.Errorf("core: %d method overrides for %d queries", len(opts.Methods), len(queries))
+	}
+	methodAt := func(i int) Method {
+		if len(opts.Methods) > 0 && opts.Methods[i] != "" {
+			return opts.Methods[i]
+		}
+		return method
+	}
+	checked := map[Method]bool{method: true}
+	for i := range opts.Methods {
+		m := methodAt(i)
+		if checked[m] {
+			continue
+		}
+		if _, err := s.LookupMethod(m); err != nil {
+			return nil, err
+		}
+		checked[m] = true
 	}
 	results := make([]BatchResult, len(queries))
 	if len(queries) == 0 {
@@ -68,7 +102,7 @@ func (s *Summary) EstimateBatchContext(ctx context.Context, queries []labeltree.
 				if i >= len(queries) {
 					return
 				}
-				results[i] = s.estimateBatchItem(ctx, queries[i], method, opts.DisableFallback)
+				results[i] = s.estimateBatchItem(ctx, queries[i], methodAt(i), opts.DisableFallback)
 			}
 		}()
 	}
@@ -77,16 +111,17 @@ func (s *Summary) EstimateBatchContext(ctx context.Context, queries []labeltree.
 }
 
 func (s *Summary) estimateBatchItem(ctx context.Context, q labeltree.Pattern, method Method, strict bool) BatchResult {
+	run := s.EstimateDegradable
 	if strict {
-		est, err := s.EstimateContext(ctx, q, method)
-		if err != nil {
-			return BatchResult{Err: err}
-		}
-		return BatchResult{Estimate: est, Method: method}
+		run = s.EstimateStrict
 	}
-	de, err := s.EstimateDegradable(ctx, q, method)
+	de, err := run(ctx, q, method)
 	if err != nil {
-		return BatchResult{Err: err}
+		return BatchResult{Method: method, Err: err}
 	}
-	return BatchResult{Estimate: de.Estimate, Method: de.Method, Degraded: de.Degraded}
+	return BatchResult{
+		Estimate: de.Estimate, Method: de.Method, Degraded: de.Degraded,
+		Checked: de.Checked, CrossEstimate: de.CrossEstimate,
+		Divergence: de.Divergence, Divergent: de.Divergent,
+	}
 }

@@ -37,7 +37,9 @@ const (
 	MethodFixSized Method = "fix-sized"
 )
 
-// Methods returns all estimation methods in presentation order.
+// Methods returns the paper's estimation methods in presentation order.
+// The full set of registered backends (markov, treesketches, sampling,
+// ensemble included) is RegisteredMethods().
 func Methods() []Method {
 	return []Method{MethodRecursive, MethodRecursiveVoting, MethodFixSized}
 }
@@ -95,43 +97,42 @@ type Summary struct {
 	cacheMu     sync.Mutex
 	subCaches   map[Method]*estimate.SubCache
 	subCacheCap int // entries per cache; 0 = estimate's default
+
+	// registry resolves methods to backends (nil = DefaultRegistry).
+	registry *Registry
+	// prepMu guards source and the prepared-backend cache; the cache
+	// empties whenever the summary mutates, freezes, or rebinds its
+	// source (see registry.go).
+	prepMu   sync.Mutex
+	source   TreeSource
+	prepared map[Method]Prepared
 }
 
 // Instrument installs an estimate-latency observer on the summary. Call
 // before serving; a nil observer disables instrumentation.
 func (s *Summary) Instrument(obs EstimateObserver) { s.observe = obs }
 
-// timedEstimator wraps an estimator with latency observation.
-type timedEstimator struct {
-	inner   estimate.Estimator
-	method  Method
-	observe EstimateObserver
+// methodEstimator adapts a registered method to the estimate.Estimator /
+// estimate.ContextEstimator shape callers hold — every call routes through
+// the summary's registry pipeline, so it sees the same prepared backends,
+// caches, and instrumentation as EstimateContext.
+type methodEstimator struct {
+	s      *Summary
+	method Method
 }
 
-func (t timedEstimator) Estimate(q labeltree.Pattern) float64 {
-	start := time.Now()
-	v := t.inner.Estimate(q)
-	t.observe(t.method, time.Since(start))
+func (e methodEstimator) Estimate(q labeltree.Pattern) float64 {
+	v, _ := e.EstimateContext(context.Background(), q)
 	return v
 }
 
-// EstimateContext keeps the wrapped estimator's cooperative cancellation
-// visible through the instrumentation layer. Failed (canceled) estimates
-// are still observed: their latency is exactly the budget burned.
-func (t timedEstimator) EstimateContext(ctx context.Context, q labeltree.Pattern) (float64, error) {
-	start := time.Now()
-	var v float64
-	var err error
-	if ce, ok := t.inner.(estimate.ContextEstimator); ok {
-		v, err = ce.EstimateContext(ctx, q)
-	} else {
-		v = t.inner.Estimate(q)
-	}
-	t.observe(t.method, time.Since(start))
-	return v, err
+func (e methodEstimator) EstimateContext(ctx context.Context, q labeltree.Pattern) (float64, error) {
+	return e.s.EstimateContext(ctx, q, e.method)
 }
 
-func (t timedEstimator) Name() string { return t.inner.Name() }
+func (e methodEstimator) Name() string { return string(e.method) }
+
+var _ estimate.ContextEstimator = methodEstimator{}
 
 // Build mines a K-lattice summary from t.
 func Build(t *labeltree.Tree, opts BuildOptions) (*Summary, error) {
@@ -151,7 +152,7 @@ func BuildContext(ctx context.Context, t *labeltree.Tree, opts BuildOptions) (*S
 	if err != nil {
 		return nil, fmt.Errorf("core: building summary: %w", err)
 	}
-	return &Summary{lat: lat, dict: t.Dict()}, nil
+	return &Summary{lat: lat, dict: t.Dict(), source: TreeSliceSource{t}}, nil
 }
 
 // BuildForestContext mines a shared summary of several documents in
@@ -213,7 +214,7 @@ func BuildForestContext(ctx context.Context, trees []*labeltree.Tree, opts Build
 	if err != nil {
 		return nil, fmt.Errorf("core: merging shards: %w", err)
 	}
-	return &Summary{lat: merged, dict: dict}, nil
+	return &Summary{lat: merged, dict: dict, source: TreeSliceSource(trees)}, nil
 }
 
 // checkOptions applies defaults and validates the lattice level.
@@ -257,6 +258,8 @@ func (s *Summary) store() estimate.Store {
 func (s *Summary) Freeze() {
 	if s.lat != nil {
 		s.frozen = lattice.Freeze(s.lat)
+		// Prepared backends hold the previous store; rebind lazily.
+		s.invalidatePrepared()
 	}
 }
 
@@ -325,6 +328,7 @@ func (s *Summary) invalidateDerived() {
 	if s.frozen != nil && s.lat != nil {
 		s.frozen = lattice.Freeze(s.lat)
 	}
+	s.invalidatePrepared()
 }
 
 // K returns the lattice level.
@@ -358,26 +362,32 @@ func (s *Summary) Patterns() int {
 	return s.lat.Len()
 }
 
-// Estimator returns the estimator implementing method over this summary.
-// When the summary is instrumented, the estimator reports every Estimate's
-// latency to the observer.
+// Estimator returns an estimator handle for method over this summary,
+// validated against the registry. Every call on the handle routes through
+// the registry pipeline, sharing prepared backends and instrumentation
+// with EstimateContext.
 func (s *Summary) Estimator(method Method) (estimate.Estimator, error) {
-	st := s.store()
-	var est estimate.Estimator
-	switch method {
-	case MethodRecursive:
-		est = &estimate.Recursive{Sum: st, Cache: s.SubCache(method)}
-	case MethodRecursiveVoting:
-		est = &estimate.Recursive{Sum: st, Voting: true, Cache: s.SubCache(method)}
-	case MethodFixSized:
-		est = &estimate.FixSized{Sum: st, Cache: s.SubCache(method)}
-	default:
-		return nil, fmt.Errorf("%w: %q", ErrUnknownMethod, method)
+	if _, err := s.registryFor().Lookup(method); err != nil {
+		return nil, err
 	}
+	return methodEstimator{s: s, method: method}, nil
+}
+
+// estimateVia drives one estimate through the registry pipeline,
+// reporting its latency to the instrumentation observer. Failed (canceled
+// or budget-blown) estimates are still observed: their latency is exactly
+// the budget burned.
+func (s *Summary) estimateVia(ctx context.Context, q labeltree.Pattern, method Method) (Aggregate, error) {
+	p, err := s.preparedFor(ctx, method)
+	if err != nil {
+		return Aggregate{}, err
+	}
+	start := time.Now()
+	agg, err := runPrepared(ctx, p, q)
 	if s.observe != nil {
-		est = timedEstimator{inner: est, method: method, observe: s.observe}
+		s.observe(method, time.Since(start))
 	}
-	return est, nil
+	return agg, err
 }
 
 // Estimate returns the estimated selectivity of q under method.
@@ -393,62 +403,97 @@ func (s *Summary) EstimateContext(ctx context.Context, q labeltree.Pattern, meth
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
-	est, err := s.Estimator(method)
+	agg, err := s.estimateVia(ctx, q, method)
 	if err != nil {
 		return 0, err
 	}
-	if ce, ok := est.(estimate.ContextEstimator); ok {
-		return ce.EstimateContext(ctx, q)
-	}
-	return est.Estimate(q), nil
+	return agg.Estimate, nil
 }
 
 // Fallback names the cheaper method EstimateDegradable retries with when
-// method blows its budget. The ladder follows the paper's cost ordering:
-// both recursive variants degrade to fix-sized decomposition (Section 3.3,
-// the fastest estimator); fix-sized has nothing cheaper to fall to.
+// method blows its budget, consulting the default registry's declared
+// capabilities: the recursive variants and sampling degrade to fix-sized
+// decomposition (the fastest estimator), the ensemble drops its
+// cross-check and degrades to its primary, and fix-sized has nothing
+// cheaper to fall to.
 func Fallback(method Method) (Method, bool) {
-	switch method {
-	case MethodRecursive, MethodRecursiveVoting:
-		return MethodFixSized, true
-	default:
-		return "", false
-	}
+	return DefaultRegistry.fallbackFor(method)
 }
 
-// DegradedEstimate is the result of EstimateDegradable: the estimate, the
-// method that actually produced it, and whether that method was a
-// budget-forced downgrade from the one requested.
+// fallbackFor reads a method's registered fallback capability.
+func (r *Registry) fallbackFor(method Method) (Method, bool) {
+	b, err := r.Lookup(method)
+	if err != nil {
+		return "", false
+	}
+	fb := b.Capabilities().Fallback
+	return fb, fb != ""
+}
+
+// DegradedEstimate is the result of EstimateStrict/EstimateDegradable:
+// the estimate, the method that actually produced it, whether that method
+// was a budget-forced downgrade from the one requested, and — when the
+// producing method was the ensemble — its cross-check verdict.
 type DegradedEstimate struct {
 	Estimate float64
 	Method   Method
 	Degraded bool
+	// Checked through Divergent mirror Aggregate: an ensemble estimate
+	// that completed its sampling cross-check reports how far the two
+	// backends disagreed.
+	Checked       bool
+	CrossEstimate float64
+	Divergence    float64
+	Divergent     bool
+}
+
+// EstimateStrict estimates q under exactly the requested method —
+// EstimateContext plus the full result envelope (the ensemble's
+// divergence verdict), without the degradation ladder.
+func (s *Summary) EstimateStrict(ctx context.Context, q labeltree.Pattern, method Method) (DegradedEstimate, error) {
+	if err := ctx.Err(); err != nil {
+		return DegradedEstimate{}, err
+	}
+	agg, err := s.estimateVia(ctx, q, method)
+	if err != nil {
+		return DegradedEstimate{}, err
+	}
+	return DegradedEstimate{
+		Estimate:      agg.Estimate,
+		Method:        method,
+		Checked:       agg.Checked,
+		CrossEstimate: agg.CrossEstimate,
+		Divergence:    agg.Divergence,
+		Divergent:     agg.Divergent,
+	}, nil
 }
 
 // EstimateDegradable estimates q under method within ctx's budget; if the
-// budget expires mid-estimate and the method has a cheaper Fallback, it
-// re-runs under the fallback instead of failing. The fallback runs outside
-// the expired deadline (the request already paid for an answer; a degraded
-// one beats a 504) but still honors the caller's cancellation — a client
-// that hung up gets context.Canceled, never a degraded answer it will not
-// read.
+// budget expires mid-estimate — the deadline passes, or a budgeted
+// backend exhausts its internal work budget (ErrBudgetExhausted) — and
+// the method has a registered cheaper fallback, it re-runs under the
+// fallback instead of failing. The fallback runs outside the expired
+// deadline (the request already paid for an answer; a degraded one beats
+// a 504) but still honors the caller's cancellation — a client that hung
+// up gets context.Canceled, never a degraded answer it will not read.
 func (s *Summary) EstimateDegradable(ctx context.Context, q labeltree.Pattern, method Method) (DegradedEstimate, error) {
-	est, err := s.EstimateContext(ctx, q, method)
+	res, err := s.EstimateStrict(ctx, q, method)
 	if err == nil {
-		return DegradedEstimate{Estimate: est, Method: method}, nil
+		return res, nil
 	}
-	fb, ok := Fallback(method)
-	if !ok || !errors.Is(err, context.DeadlineExceeded) {
+	fb, ok := s.registryFor().fallbackFor(method)
+	if !ok || !(errors.Is(err, context.DeadlineExceeded) || errors.Is(err, ErrBudgetExhausted)) {
 		return DegradedEstimate{}, err
 	}
 	// Drop the expired deadline but keep cancellation semantics: parent
 	// cancellation no longer propagates through WithoutCancel, so the
-	// fix-sized run (microseconds) completes unconditionally.
-	est, err = s.EstimateContext(context.WithoutCancel(ctx), q, fb)
+	// fallback run completes unconditionally.
+	res, err = s.EstimateStrict(context.WithoutCancel(ctx), q, fb)
 	if err != nil {
 		return DegradedEstimate{}, err
 	}
-	return DegradedEstimate{Estimate: est, Method: fb, Degraded: true}, nil
+	res.Degraded = true
+	return res, nil
 }
 
 // EstimateQuery parses a twig query in the "a(b,c(d))" syntax and
@@ -488,23 +533,25 @@ func (s *Summary) ParseQuery(query string) (labeltree.Pattern, error) {
 	return q, nil
 }
 
-// EstimateWithTrace estimates q with the recursive estimator (voting per
-// the method) and returns the work record: lattice hits/misses,
-// reconstruction count, and the recursion depth over which independence
-// assumptions compounded. Only the recursive methods carry traces.
+// EstimateWithTrace estimates q and returns the work record: lattice
+// hits/misses, reconstruction count, and the recursion depth over which
+// independence assumptions compounded. Only backends whose Prepared
+// exposes a trace (the recursive methods) support it.
 func (s *Summary) EstimateWithTrace(q labeltree.Pattern, method Method) (float64, estimate.Trace, error) {
-	switch method {
-	case MethodRecursive, MethodRecursiveVoting:
-		r := &estimate.Recursive{Sum: s.store(), Voting: method == MethodRecursiveVoting, Cache: s.SubCache(method)}
-		start := time.Now()
-		est, tr := r.EstimateWithTrace(q)
-		if s.observe != nil {
-			s.observe(method, time.Since(start))
-		}
-		return est, tr, nil
-	default:
+	p, err := s.preparedFor(context.Background(), method)
+	if err != nil {
+		return 0, estimate.Trace{}, err
+	}
+	tp, ok := p.(tracePrepared)
+	if !ok {
 		return 0, estimate.Trace{}, fmt.Errorf("core: method %q does not support traces", method)
 	}
+	start := time.Now()
+	est, tr := tp.EstimateWithTrace(q)
+	if s.observe != nil {
+		s.observe(method, time.Since(start))
+	}
+	return est, tr, nil
 }
 
 // EstimateInterval returns the decomposition-choice spread [Lo, Hi] of

@@ -458,13 +458,19 @@ func TestInstrumentObservesEstimates(t *testing.T) {
 		t.Fatalf("voting observer calls = %d, want 2 (estimate + trace)", calls[MethodRecursiveVoting])
 	}
 
-	// Uninstrumented summaries keep the raw estimator (no wrapper).
+	// A nil observer disables instrumentation: further estimates add no
+	// observations.
 	sum.Instrument(nil)
 	est, err := sum.Estimator(MethodRecursive)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := est.(timedEstimator); ok {
-		t.Fatal("nil observer still wraps the estimator")
+	q2, err := sum.ParseQuery("laptop(price)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	est.Estimate(q2)
+	if calls[MethodRecursive] != 1 {
+		t.Fatalf("nil observer still observes: calls = %v", calls)
 	}
 }

@@ -11,8 +11,9 @@ var (
 	// dictionary has never seen. The true selectivity of such a query is
 	// zero; callers that prefer 0 over an error can test for this.
 	ErrUnknownLabel = errors.New("treelattice: unknown label")
-	// ErrUnknownMethod reports an estimation method name that is not one
-	// of Methods().
+	// ErrUnknownMethod reports an estimation method name with no
+	// registered backend; the wrapping error enumerates what is
+	// registered.
 	ErrUnknownMethod = errors.New("treelattice: unknown estimation method")
 	// ErrKTooLarge reports a BuildOptions.K beyond MaxK. Level-wise
 	// enumeration is exponential in K; the cap keeps a mistyped K from
@@ -28,4 +29,13 @@ var (
 	// read-only frozen representation (ReadFrozen), which has no map
 	// backend to update.
 	ErrFrozenSummary = errors.New("treelattice: summary is frozen")
+	// ErrBudgetExhausted reports an estimator that ran out of its internal
+	// work budget (the sampling backend's node budget) before producing an
+	// answer. Like a blown deadline, it makes the estimate degradable: the
+	// ladder retries with the backend's registered fallback.
+	ErrBudgetExhausted = errors.New("treelattice: estimation budget exhausted")
+	// ErrMethodUnavailable reports a registered method that cannot serve
+	// this summary — a document-needing backend (markov, treesketch,
+	// sampling, ensemble) with no bound TreeSource or an empty corpus.
+	ErrMethodUnavailable = errors.New("treelattice: method unavailable for this summary")
 )

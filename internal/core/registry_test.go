@@ -1,0 +1,296 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"treelattice/internal/estimate"
+	"treelattice/internal/labeltree"
+	"treelattice/internal/markov"
+	"treelattice/internal/sampling"
+	"treelattice/internal/treesketch"
+	"treelattice/internal/xmlparse"
+)
+
+// registrySample builds a summary with a richer document than buildSample
+// so every method has structure to estimate over, plus a query mix
+// covering linear paths, branching, and repeated labels.
+func registrySample(t *testing.T) (*Summary, *labeltree.Tree, []labeltree.Pattern) {
+	t.Helper()
+	dict := labeltree.NewDict()
+	doc := `<site><people>` +
+		strings.Repeat(`<person><name/><address><city/><zip/></address><watch/></person>`, 8) +
+		strings.Repeat(`<person><name/><phone/></person>`, 5) +
+		`</people><items>` +
+		strings.Repeat(`<item><name/><price/><desc><par/></desc></item>`, 6) +
+		`</items></site>`
+	tr, err := xmlparse.Parse(strings.NewReader(doc), dict, xmlparse.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := Build(tr, BuildOptions{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var queries []labeltree.Pattern
+	for _, qs := range []string{
+		"person(name)",
+		"person(name,address(city))",
+		"person(address(city,zip),watch)",
+		"item(name,price)",
+		"item(desc(par))",
+		"site(people(person(name)),items(item))",
+	} {
+		q, err := sum.ParseQuery(qs)
+		if err != nil {
+			t.Fatalf("parse %q: %v", qs, err)
+		}
+		queries = append(queries, q)
+	}
+	return sum, tr, queries
+}
+
+// directEstimate computes each method's estimate exactly the way the
+// pre-registry API did — hand-built estimator structs with no registry,
+// no Prepared cache, no subquery plumbing.
+func directEstimate(t *testing.T, sum *Summary, tr *labeltree.Tree, m Method, q labeltree.Pattern) float64 {
+	t.Helper()
+	switch m {
+	case MethodRecursive:
+		return (&estimate.Recursive{Sum: sum.store()}).Estimate(q)
+	case MethodRecursiveVoting:
+		return (&estimate.Recursive{Sum: sum.store(), Voting: true}).Estimate(q)
+	case MethodFixSized:
+		return (&estimate.FixSized{Sum: sum.store()}).Estimate(q)
+	case MethodMarkov:
+		k := sum.K()
+		if k < 2 {
+			k = 2
+		}
+		return markov.BuildForest([]*labeltree.Tree{tr}, k).EstimateTwig(q)
+	case MethodTreeSketch:
+		return treesketch.Build(tr, treesketchOptions).Estimate(q)
+	case MethodSampling:
+		se, err := sampling.New([]*labeltree.Tree{tr}, DefaultSamplingOptions)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := se.EstimateContext(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	default:
+		t.Fatalf("no direct construction for method %q", m)
+		return 0
+	}
+}
+
+// TestRegistryDifferentialIdentity: routing through the registry must be
+// a pure refactor — bit-identical to direct estimator calls for every
+// method, on both the map backend and the frozen backend.
+func TestRegistryDifferentialIdentity(t *testing.T) {
+	methods := []Method{
+		MethodRecursive, MethodRecursiveVoting, MethodFixSized,
+		MethodMarkov, MethodTreeSketch, MethodSampling,
+	}
+	for _, backend := range []string{"map", "frozen"} {
+		sum, tr, queries := registrySample(t)
+		if backend == "frozen" {
+			sum.Freeze()
+		}
+		for _, m := range methods {
+			for _, q := range queries {
+				want := directEstimate(t, sum, tr, m, q)
+				got, err := sum.EstimateContext(context.Background(), q, m)
+				if err != nil {
+					t.Fatalf("%s/%s EstimateContext(%v): %v", backend, m, q, err)
+				}
+				if got != want {
+					t.Errorf("%s/%s query %v: registry %v != direct %v", backend, m, q, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestEnsembleMatchesPrimary: the ensemble answers with exactly its
+// primary method's estimate; the cross-check only annotates.
+func TestEnsembleMatchesPrimary(t *testing.T) {
+	sum, _, queries := registrySample(t)
+	for _, q := range queries {
+		primary, err := sum.EstimateContext(context.Background(), q, MethodRecursiveVoting)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sum.EstimateStrict(context.Background(), q, MethodEnsemble)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Estimate != primary {
+			t.Errorf("query %v: ensemble %v != primary %v", q, res.Estimate, primary)
+		}
+		if !res.Checked {
+			t.Errorf("query %v: ensemble did not run its cross-check", q)
+		}
+		if res.Divergence < 1 {
+			t.Errorf("query %v: divergence %v < 1", q, res.Divergence)
+		}
+	}
+}
+
+// TestEnsembleFlagsDivergence: a cross-estimate more than threshold× off
+// the primary must set Divergent. Exercised through a registry carrying a
+// rigged ensemble whose delegates disagree wildly.
+func TestEnsembleFlagsDivergence(t *testing.T) {
+	_, _, queries := registrySample(t)
+	q := queries[0]
+	agg := ensemblePrepared{threshold: DefaultEnsembleThreshold}.AggCard(
+		[]Subquery{{Pattern: q, Role: rolePrimary}, {Pattern: q, Role: roleCross, Optional: true}},
+		[]Card{{Value: 100}, {Value: 3}},
+	)
+	if !agg.Checked || !agg.Divergent {
+		t.Fatalf("100 vs 3 should flag divergence, got %+v", agg)
+	}
+	agg = ensemblePrepared{threshold: DefaultEnsembleThreshold}.AggCard(
+		[]Subquery{{Pattern: q, Role: rolePrimary}, {Pattern: q, Role: roleCross, Optional: true}},
+		[]Card{{Value: 100}, {Value: 90}},
+	)
+	if !agg.Checked || agg.Divergent {
+		t.Fatalf("100 vs 90 should agree, got %+v", agg)
+	}
+	// A failed cross-check (blown budget) degrades to unchecked.
+	agg = ensemblePrepared{threshold: DefaultEnsembleThreshold}.AggCard(
+		[]Subquery{{Pattern: q, Role: rolePrimary}, {Pattern: q, Role: roleCross, Optional: true}},
+		[]Card{{Value: 100}, {Err: ErrBudgetExhausted}},
+	)
+	if agg.Checked || agg.Divergent {
+		t.Fatalf("failed cross-check must leave the estimate unchecked, got %+v", agg)
+	}
+}
+
+// TestUnknownMethodListsRegistered: the error for an unknown method must
+// enumerate what IS registered, so callers can self-correct.
+func TestUnknownMethodListsRegistered(t *testing.T) {
+	sum, _, _ := registrySample(t)
+	_, err := sum.LookupMethod(Method("bogus"))
+	if !errors.Is(err, ErrUnknownMethod) {
+		t.Fatalf("want ErrUnknownMethod, got %v", err)
+	}
+	for _, m := range RegisteredMethods() {
+		if !strings.Contains(err.Error(), string(m)) {
+			t.Errorf("error %q does not mention registered method %q", err, m)
+		}
+	}
+}
+
+// TestRegistryOrderAndDuplicates: Methods() preserves registration order;
+// duplicate registration fails.
+func TestRegistryOrderAndDuplicates(t *testing.T) {
+	r := NewRegistry()
+	a := fakeEstimator{method: "a"}
+	b := fakeEstimator{method: "b"}
+	r.MustRegister(a)
+	r.MustRegister(b)
+	got := r.Methods()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Methods() = %v, want [a b]", got)
+	}
+	if err := r.Register(fakeEstimator{method: "a"}); err == nil {
+		t.Fatal("duplicate registration must fail")
+	}
+}
+
+// TestRegistryFallbackLadder: the degradation ladder comes from
+// registered capabilities — sampling and ensemble must degrade to
+// something cheaper, terminal methods to nothing.
+func TestRegistryFallbackLadder(t *testing.T) {
+	cases := []struct {
+		method Method
+		want   Method
+	}{
+		{MethodSampling, MethodFixSized},
+		{MethodEnsemble, MethodRecursiveVoting},
+		{MethodMarkov, ""},
+		{MethodTreeSketch, ""},
+	}
+	for _, c := range cases {
+		got, ok := Fallback(c.method)
+		if c.want == "" {
+			if ok {
+				t.Errorf("Fallback(%s) = %q, want none", c.method, got)
+			}
+			continue
+		}
+		if !ok || got != c.want {
+			t.Errorf("Fallback(%s) = %q/%v, want %q", c.method, got, ok, c.want)
+		}
+	}
+}
+
+// TestUnboundSourceUnavailable: document-needing methods on a summary
+// with no bound source must fail with ErrMethodUnavailable, not panic.
+func TestUnboundSourceUnavailable(t *testing.T) {
+	sum, _, queries := registrySample(t)
+	sum.BindSource(nil)
+	for _, m := range []Method{MethodMarkov, MethodTreeSketch, MethodSampling, MethodEnsemble} {
+		_, err := sum.EstimateContext(context.Background(), queries[0], m)
+		if !errors.Is(err, ErrMethodUnavailable) {
+			t.Errorf("method %s without source: got %v, want ErrMethodUnavailable", m, err)
+		}
+	}
+	// The decomposition methods need no documents and must be untouched.
+	if _, err := sum.EstimateContext(context.Background(), queries[0], MethodRecursiveVoting); err != nil {
+		t.Errorf("recursive+voting must not need a source: %v", err)
+	}
+}
+
+// fakeEstimator is a minimal registrable backend for registry-shape tests.
+type fakeEstimator struct {
+	method Method
+}
+
+func (f fakeEstimator) Method() Method             { return f.method }
+func (f fakeEstimator) Capabilities() Capabilities { return Capabilities{} }
+func (f fakeEstimator) Prepare(context.Context, *Summary) (Prepared, error) {
+	return wholeQueryPrepared{}, nil
+}
+
+// TestConcurrentRegistryUse: lookups, registrations (fresh registry), and
+// registry-routed estimates across every method racing each other — the
+// -race pass of `make check` is the real assertion here.
+func TestConcurrentRegistryUse(t *testing.T) {
+	sum, _, queries := registrySample(t)
+	methods := RegisteredMethods()
+	fresh := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				m := methods[(i+j)%len(methods)]
+				q := queries[(i*7+j)%len(queries)]
+				if _, err := sum.EstimateContext(context.Background(), q, m); err != nil {
+					t.Errorf("concurrent %s: %v", m, err)
+					return
+				}
+				if _, err := DefaultRegistry.Lookup(m); err != nil {
+					t.Errorf("concurrent lookup %s: %v", m, err)
+					return
+				}
+			}
+		}(i)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_ = fresh.Register(fakeEstimator{method: Method(rune('a' + i))})
+			_ = fresh.Methods()
+			_, _ = fresh.Lookup(Method("a"))
+		}(i)
+	}
+	wg.Wait()
+}

@@ -75,6 +75,8 @@ type Corpus struct {
 	lastBuild *metrics.BuildTimings
 }
 
+var _ core.TreeSource = (*Corpus)(nil)
+
 // SetUnboundedParse lifts (true) or restores (false) the default XML
 // parse limits for subsequent AddXML/AddXMLBatch calls. The limits exist
 // for untrusted /v1/docs uploads; bulk CLI ingestion of trusted local
@@ -136,6 +138,7 @@ func Create(dir string, opts Options) (*Corpus, error) {
 		return nil, err
 	}
 	c.summary = empty
+	c.summary.BindSource(c)
 	if err := c.writeMeta(); err != nil {
 		return nil, err
 	}
@@ -194,6 +197,11 @@ func open(dir string, readSummary func(io.Reader, *labeltree.Dict) (*core.Summar
 		}
 		c.docs[name] = tree
 	}
+	// The corpus itself is the summary's document source: sampling,
+	// markov, and treesketch backends prepare from the live doc set.
+	// Read-only replicas load their document trees too, so every backend
+	// works on frozen summaries.
+	c.summary.BindSource(c)
 	return c, nil
 }
 
@@ -220,6 +228,18 @@ func (c *Corpus) Docs() []string {
 func (c *Corpus) Doc(name string) (*labeltree.Tree, bool) {
 	t, ok := c.docs[name]
 	return t, ok
+}
+
+// Trees implements core.TreeSource: the loaded document trees in sorted
+// name order (a stable order keeps sampling probe selection
+// deterministic). The slice reflects the live doc set; document mutations
+// invalidate prepared backends through the summary.
+func (c *Corpus) Trees() []*labeltree.Tree {
+	out := make([]*labeltree.Tree, 0, len(c.docs))
+	for _, name := range c.Docs() {
+		out = append(out, c.docs[name])
+	}
+	return out
 }
 
 // AddXML parses an XML document from r, folds it into the summary, and

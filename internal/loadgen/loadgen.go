@@ -34,12 +34,15 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net/http"
 	"net/url"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -47,6 +50,7 @@ import (
 	"treelattice/internal/core"
 	"treelattice/internal/estimate"
 	"treelattice/internal/labeltree"
+	"treelattice/internal/match"
 	"treelattice/internal/obs"
 	"treelattice/internal/workload"
 )
@@ -146,6 +150,99 @@ func BuildWorkload(trees []*labeltree.Tree, dict *labeltree.Dict, opts WorkloadO
 	rng := rand.New(rand.NewSource(opts.Seed + 7))
 	rng.Shuffle(len(items), func(i, j int) { items[i], items[j] = items[j], items[i] })
 	return &Workload{Items: items, Positives: len(pos), Negatives: len(neg)}, nil
+}
+
+// Accuracy summarizes estimate quality against exact Definition-1 match
+// counts on a workload subsample. QError is the standard multiplicative
+// metric max(est/exact, exact/est) with +1 smoothing so zero-selectivity
+// queries still score; 1.0 is a perfect estimate.
+type Accuracy struct {
+	Queries       int     `json:"queries"`
+	MeanQError    float64 `json:"mean_q_error"`
+	MedianQError  float64 `json:"median_q_error"`
+	P95QError     float64 `json:"p95_q_error"`
+	MaxQError     float64 `json:"max_q_error"`
+	MeanAbsRelErr float64 `json:"mean_abs_rel_err"`
+	// Checked and Divergent count ensemble cross-check verdicts among the
+	// measured queries; zero for single-method estimators.
+	Checked   int `json:"ensemble_checked,omitempty"`
+	Divergent int `json:"ensemble_divergent,omitempty"`
+	// BudgetExhausted counts queries the method could not answer within
+	// its budget (scored queries exclude them — the matrix reports what
+	// the method achieves when it answers, and how often it cannot).
+	BudgetExhausted int `json:"budget_exhausted,omitempty"`
+}
+
+// qError is the smoothed multiplicative error between an estimate and the
+// exact count.
+func qError(est, exact float64) float64 {
+	a, b := est+1, exact+1
+	if a < b {
+		a, b = b, a
+	}
+	return a / b
+}
+
+// MeasureAccuracy estimates up to maxQueries workload items under method
+// (strictly — no degradation, so the numbers describe the method itself)
+// and scores each against its exact match count over trees. maxQueries
+// bounds the exact-count bill, which dwarfs estimation cost on large
+// documents; <= 0 measures the whole workload.
+func MeasureAccuracy(ctx context.Context, sum *core.Summary, trees []*labeltree.Tree, w *Workload, method core.Method, maxQueries int) (*Accuracy, error) {
+	if w == nil || len(w.Items) == 0 {
+		return nil, fmt.Errorf("loadgen: empty workload")
+	}
+	n := len(w.Items)
+	if maxQueries > 0 && maxQueries < n {
+		n = maxQueries
+	}
+	counters := make([]*match.Counter, len(trees))
+	for i, t := range trees {
+		counters[i] = match.NewCounter(t)
+	}
+	acc := &Accuracy{}
+	qerrs := make([]float64, 0, n)
+	var sumQ, sumRel float64
+	for _, it := range w.Items[:n] {
+		de, err := sum.EstimateStrict(ctx, it.Pattern, method)
+		if errors.Is(err, core.ErrBudgetExhausted) {
+			acc.BudgetExhausted++
+			continue
+		}
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: estimating %q: %w", it.Text, err)
+		}
+		var exact int64
+		for _, c := range counters {
+			cnt, err := c.CountContext(ctx, it.Pattern)
+			if err != nil {
+				return nil, err
+			}
+			exact += cnt
+		}
+		qe := qError(de.Estimate, float64(exact))
+		qerrs = append(qerrs, qe)
+		sumQ += qe
+		sumRel += math.Abs(de.Estimate-float64(exact)) / (float64(exact) + 1)
+		if de.Checked {
+			acc.Checked++
+			if de.Divergent {
+				acc.Divergent++
+			}
+		}
+	}
+	scored := len(qerrs)
+	acc.Queries = scored
+	if scored == 0 {
+		return acc, nil
+	}
+	sort.Float64s(qerrs)
+	acc.MeanQError = sumQ / float64(scored)
+	acc.MedianQError = qerrs[scored/2]
+	acc.P95QError = qerrs[min(scored-1, scored*95/100)]
+	acc.MaxQError = qerrs[scored-1]
+	acc.MeanAbsRelErr = sumRel / float64(scored)
+	return acc, nil
 }
 
 // Target executes one request. Implementations must be safe for

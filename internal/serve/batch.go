@@ -3,6 +3,7 @@ package serve
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 
 	"treelattice/internal/core"
@@ -23,22 +24,55 @@ const maxBatchBodyBytes = 1 << 20
 // batch or send singletons through the batch endpoint.
 var batchSizeBounds = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
 
+// batchEntry is one requested query: either a bare JSON string ("a(b)")
+// or an object {"q": "a(b)", "method": "sampling"} overriding the
+// batch-level method for this item.
+type batchEntry struct {
+	Q      string `json:"q"`
+	Method string `json:"method"`
+}
+
+// UnmarshalJSON accepts both entry forms.
+func (e *batchEntry) UnmarshalJSON(data []byte) error {
+	if len(data) > 0 && data[0] == '"' {
+		return json.Unmarshal(data, &e.Q)
+	}
+	type plain batchEntry // drop the method set to avoid recursion
+	var p plain
+	if err := json.Unmarshal(data, &p); err != nil {
+		return err
+	}
+	if p.Q == "" {
+		return fmt.Errorf("batch entry object missing \"q\"")
+	}
+	*e = batchEntry(p)
+	return nil
+}
+
 type batchRequest struct {
-	Queries []string `json:"queries"`
-	// Method applies to the whole batch; empty means recursive+voting.
+	Queries []batchEntry `json:"queries"`
+	// Method applies to entries without their own; empty means
+	// recursive+voting.
 	Method string `json:"method"`
 }
 
 // batchItem is the per-query result envelope. Exactly one of Estimate or
 // Error is present: a failed item carries the same code vocabulary as the
-// single-query endpoint's error envelope.
+// single-query endpoint's error envelope. Method always echoes the method
+// that answered (or was asked, for failed items) — with per-item
+// overrides in play, positional results alone no longer identify it.
 type batchItem struct {
-	Query    string   `json:"query"`
-	Estimate *float64 `json:"estimate,omitempty"`
-	Method   string   `json:"method,omitempty"`
-	Degraded bool     `json:"degraded,omitempty"`
-	Error    string   `json:"error,omitempty"`
-	Code     string   `json:"code,omitempty"`
+	Query         string   `json:"query"`
+	Estimate      *float64 `json:"estimate,omitempty"`
+	Method        string   `json:"method"`
+	Degraded      bool     `json:"degraded,omitempty"`
+	CrossEstimate *float64 `json:"cross_estimate,omitempty"`
+	Divergence    float64  `json:"divergence,omitempty"`
+	// Divergent is a pointer so checked-but-agreeing items still carry an
+	// explicit false, matching the single endpoint's envelope.
+	Divergent *bool `json:"divergent,omitempty"`
+	Error         string   `json:"error,omitempty"`
+	Code          string   `json:"code,omitempty"`
 }
 
 type batchResponse struct {
@@ -79,22 +113,42 @@ func (h *Handler) estimateBatch(w http.ResponseWriter, r *http.Request) {
 	h.mu.RLock()
 	defer h.mu.RUnlock()
 	sum := h.c.Summary()
-	if _, err := sum.Estimator(method); err != nil {
+	if _, err := sum.LookupMethod(method); err != nil {
 		writeCoreError(w, err)
 		return
 	}
+	// Resolve and validate each entry's effective method. A bad per-item
+	// override fails that item alone, mirroring per-item parse errors.
+	methods := make([]core.Method, len(req.Queries))
+	items := make([]batchItem, len(req.Queries))
+	for i, entry := range req.Queries {
+		m := method
+		if entry.Method != "" {
+			m = core.Method(entry.Method)
+			if _, err := sum.LookupMethod(m); err != nil {
+				_, code := coreErrorCode(err)
+				items[i].Error = err.Error()
+				items[i].Code = code
+			}
+		}
+		methods[i] = m
+		items[i].Query = entry.Q
+		items[i].Method = string(m)
+	}
 	h.batchSizes.Observe(float64(len(req.Queries)))
 
-	items := make([]batchItem, len(req.Queries))
 	// Parse and consult the query cache first; only misses reach the
 	// worker pool. pending[j] remembers which item slot miss j fills.
 	var (
-		pending []int
-		queries []labeltree.Pattern
+		pending     []int
+		queries     []labeltree.Pattern
+		itemMethods []core.Method
 	)
-	for i, qs := range req.Queries {
-		items[i].Query = qs
-		q, err := sum.ParseQuery(qs)
+	for i, entry := range req.Queries {
+		if items[i].Error != "" {
+			continue // failed method validation above
+		}
+		q, err := sum.ParseQuery(entry.Q)
 		if errors.Is(err, core.ErrUnknownLabel) {
 			// Same semantics as the single endpoint: a label no document
 			// carries cannot match, so the true selectivity is zero.
@@ -108,18 +162,19 @@ func (h *Handler) estimateBatch(w http.ResponseWriter, r *http.Request) {
 			items[i].Code = code
 			continue
 		}
-		if est, ok := h.cache.Get(string(method), q); ok {
+		if est, ok := h.cache.Get(string(methods[i]), q); ok {
 			e := est
 			items[i].Estimate = &e
 			continue
 		}
 		pending = append(pending, i)
 		queries = append(queries, q)
+		itemMethods = append(itemMethods, methods[i])
 	}
 
 	if len(queries) > 0 {
 		results, err := sum.EstimateBatchContext(r.Context(), queries, method,
-			core.BatchOptions{DisableFallback: h.res.DisableFallback})
+			core.BatchOptions{DisableFallback: h.res.DisableFallback, Methods: itemMethods})
 		if err != nil {
 			h.coreError(w, err)
 			return
@@ -137,11 +192,18 @@ func (h *Handler) estimateBatch(w http.ResponseWriter, r *http.Request) {
 			}
 			e := res.Estimate
 			items[i].Estimate = &e
+			items[i].Method = string(res.Method)
 			if res.Degraded {
 				items[i].Degraded = true
-				items[i].Method = string(res.Method)
 				h.degraded.Inc()
 			}
+			if res.Checked {
+				ce, div := res.CrossEstimate, res.Divergent
+				items[i].CrossEstimate = &ce
+				items[i].Divergence = res.Divergence
+				items[i].Divergent = &div
+			}
+			h.observeEnsemble(core.DegradedEstimate{Checked: res.Checked, Divergent: res.Divergent})
 			// Cache under the producing method, mirroring the single
 			// endpoint: degraded answers must not masquerade as the
 			// requested method once pressure subsides.

@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"net/http"
+	"net/url"
+	"strings"
+	"testing"
+
+	"treelattice/internal/core"
+)
+
+// TestMethodsEndpoint: GET /v1/methods enumerates every registered
+// estimator with its capabilities, and names the default.
+func TestMethodsEndpoint(t *testing.T) {
+	srv, _ := newServer(t)
+	code, out := do(t, "GET", srv.URL+"/v1/methods", "")
+	if code != http.StatusOK {
+		t.Fatalf("methods: %d %v", code, out)
+	}
+	if out["default"] != string(core.MethodRecursiveVoting) {
+		t.Fatalf("default = %v", out["default"])
+	}
+	list, ok := out["methods"].([]any)
+	if !ok {
+		t.Fatalf("methods list missing: %v", out)
+	}
+	byName := make(map[string]map[string]any, len(list))
+	for _, e := range list {
+		m := e.(map[string]any)
+		byName[m["name"].(string)] = m
+	}
+	for _, m := range core.RegisteredMethods() {
+		if _, ok := byName[string(m)]; !ok {
+			t.Errorf("registered method %q missing from /v1/methods", m)
+		}
+	}
+	s, ok := byName[string(core.MethodSampling)]
+	if !ok || s["budgeted"] != true || s["needs_documents"] != true {
+		t.Errorf("sampling capabilities wrong: %v", s)
+	}
+	e, ok := byName[string(core.MethodEnsemble)]
+	if !ok || e["fallback"] != string(core.MethodRecursiveVoting) {
+		t.Errorf("ensemble capabilities wrong: %v", e)
+	}
+
+	// Method not allowed on the route still gets an envelope.
+	if code, _ := do(t, "POST", srv.URL+"/v1/methods", "{}"); code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /v1/methods: %d", code)
+	}
+}
+
+// TestUnknownMethodEnumerates: the estimate endpoint's unknown_method
+// error names the registered methods so clients can self-correct.
+func TestUnknownMethodEnumerates(t *testing.T) {
+	srv, _ := newServer(t)
+	do(t, "POST", srv.URL+"/v1/docs/sample", doc)
+	code, out := do(t, "GET", srv.URL+"/v1/estimate?q=laptop(brand)&method=bogus", "")
+	if code != http.StatusBadRequest || out["code"] != "unknown_method" {
+		t.Fatalf("got %d %v", code, out)
+	}
+	msg, _ := out["error"].(string)
+	for _, m := range []string{"sampling", "ensemble", "markov"} {
+		if !strings.Contains(msg, m) {
+			t.Errorf("error %q does not enumerate %q", msg, m)
+		}
+	}
+}
+
+// TestEstimateMethodsServeAll: every registered method answers the single
+// estimate endpoint on a corpus-backed summary.
+func TestEstimateMethodsServeAll(t *testing.T) {
+	srv, _ := newServer(t)
+	do(t, "POST", srv.URL+"/v1/docs/sample", doc)
+	for _, m := range core.RegisteredMethods() {
+		code, out := do(t, "GET", srv.URL+"/v1/estimate?q=laptop(brand,price)&method="+url.QueryEscape(string(m)), "")
+		if code != http.StatusOK {
+			t.Fatalf("method %s: %d %v", m, code, out)
+		}
+		if out["method"] != string(m) {
+			t.Errorf("method %s echoed as %v", m, out["method"])
+		}
+		if _, ok := out["estimate"].(float64); !ok {
+			t.Errorf("method %s returned no estimate: %v", m, out)
+		}
+	}
+}
+
+// TestEnsembleResponseAndStats: the ensemble annotates its response with
+// the cross-check verdict, and /v1/stats carries the running counters.
+func TestEnsembleResponseAndStats(t *testing.T) {
+	srv, _ := newServer(t)
+	do(t, "POST", srv.URL+"/v1/docs/sample", doc)
+	code, out := do(t, "GET", srv.URL+"/v1/estimate?q=laptop(brand,price)&method=ensemble", "")
+	if code != http.StatusOK {
+		t.Fatalf("ensemble estimate: %d %v", code, out)
+	}
+	if _, ok := out["cross_estimate"].(float64); !ok {
+		t.Fatalf("no cross_estimate in %v", out)
+	}
+	if div, ok := out["divergence"].(float64); !ok || div < 1 {
+		t.Fatalf("divergence = %v", out["divergence"])
+	}
+	if _, ok := out["divergent"].(bool); !ok {
+		t.Fatalf("no divergent flag in %v", out)
+	}
+
+	code, stats := do(t, "GET", srv.URL+"/v1/stats", "")
+	if code != http.StatusOK {
+		t.Fatalf("stats: %d", code)
+	}
+	ens, ok := stats["ensemble"].(map[string]any)
+	if !ok {
+		t.Fatalf("no ensemble section in stats: %v", stats)
+	}
+	if ens["checked"].(float64) < 1 {
+		t.Errorf("ensemble.checked = %v, want >= 1", ens["checked"])
+	}
+}
+
+// TestBatchPerItemMethod: batch entries may be bare strings or objects
+// carrying a per-item method override; every result echoes the method
+// that answered it.
+func TestBatchPerItemMethod(t *testing.T) {
+	srv, _ := newServer(t)
+	do(t, "POST", srv.URL+"/v1/docs/sample", doc)
+	code, out := postBatch(t, srv.URL, `{
+		"queries": [
+			"laptop(brand)",
+			{"q": "laptop(brand,price)", "method": "fix-sized"},
+			{"q": "laptop(price)", "method": "sampling"},
+			{"q": "laptop(brand)", "method": "nope"}
+		],
+		"method": "recursive"
+	}`)
+	if code != http.StatusOK {
+		t.Fatalf("batch: %d %v", code, out)
+	}
+	results := out["results"].([]any)
+	if len(results) != 4 {
+		t.Fatalf("got %d results", len(results))
+	}
+	wantMethods := []string{"recursive", "fix-sized", "sampling", "nope"}
+	for i, r := range results {
+		item := r.(map[string]any)
+		if item["method"] != wantMethods[i] {
+			t.Errorf("item %d method = %v, want %s", i, item["method"], wantMethods[i])
+		}
+	}
+	for i := 0; i < 3; i++ {
+		item := results[i].(map[string]any)
+		if _, ok := item["estimate"].(float64); !ok {
+			t.Errorf("item %d has no estimate: %v", i, item)
+		}
+	}
+	bad := results[3].(map[string]any)
+	if bad["code"] != "unknown_method" {
+		t.Errorf("unknown per-item method: %v", bad)
+	}
+	if _, ok := bad["estimate"]; ok {
+		t.Errorf("failed item carries an estimate: %v", bad)
+	}
+}
+
+// TestBatchEnsembleFields: ensemble items in a batch carry the
+// cross-check verdict like the single endpoint.
+func TestBatchEnsembleFields(t *testing.T) {
+	srv, _ := newServer(t)
+	do(t, "POST", srv.URL+"/v1/docs/sample", doc)
+	code, out := postBatch(t, srv.URL,
+		`{"queries": [{"q": "laptop(brand,price)", "method": "ensemble"}]}`)
+	if code != http.StatusOK {
+		t.Fatalf("batch: %d %v", code, out)
+	}
+	item := out["results"].([]any)[0].(map[string]any)
+	if item["method"] != "ensemble" {
+		t.Fatalf("method = %v", item["method"])
+	}
+	if _, ok := item["cross_estimate"].(float64); !ok {
+		t.Fatalf("no cross_estimate: %v", item)
+	}
+	if div, ok := item["divergence"].(float64); !ok || div < 1 {
+		t.Fatalf("divergence = %v", item["divergence"])
+	}
+}

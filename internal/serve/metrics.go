@@ -97,11 +97,16 @@ func (h *Handler) instrumentCorpus() {
 		h.reg.Counter("qcache.misses"),
 		h.reg.Counter("qcache.evictions"),
 	)
-	hists := make(map[core.Method]*obs.Histogram, len(core.Methods()))
-	for _, m := range core.Methods() {
+	registered := h.c.Summary().Registry().Methods()
+	hists := make(map[core.Method]*obs.Histogram, len(registered))
+	for _, m := range registered {
 		hists[m] = h.reg.Histogram("estimate."+string(m)+".latency_seconds", nil)
-		// Mirror each per-method sub-estimate cache into the registry so
-		// /v1/metrics shows which estimator's workload shares structure.
+	}
+	// Mirror each decomposition method's sub-estimate cache into the
+	// registry so /v1/metrics shows which estimator's workload shares
+	// structure. Only the decomposition methods keep sub-caches; the
+	// sampling, markov, and sketch backends have none to report.
+	for _, m := range core.Methods() {
 		h.c.Summary().SubCache(m).Instrument(
 			h.reg.Counter("subcache."+string(m)+".hits"),
 			h.reg.Counter("subcache."+string(m)+".misses"),

@@ -5,26 +5,35 @@
 //
 //	GET    /v1/estimate?q=<twig>&method=<name>  estimated selectivity
 //	POST   /v1/estimate/batch                   many estimates in one call
+//	GET    /v1/methods                          registered estimators + capabilities
 //	GET    /v1/exact?q=<twig>                   exact count (scans documents)
 //	GET    /v1/explain?q=<twig>                 estimate + trace + spread interval
 //	GET    /v1/stats                            summary and corpus statistics
 //	POST   /v1/docs/{name}                      add a document (XML body)
 //	DELETE /v1/docs/{name}                      remove a document
 //
-// Queries use the twig syntax ("a(b,c(d))"). Estimation methods:
-// recursive, recursive+voting (default), fix-sized.
+// Queries use the twig syntax ("a(b,c(d))"). Estimation methods resolve
+// through the core registry (GET /v1/methods lists them): the paper's
+// recursive, recursive+voting (default), and fix-sized decompositions,
+// plus markov, treesketches, sampling, and ensemble. An ensemble answer
+// carries its sampling cross-check verdict (cross_estimate, divergence,
+// divergent) when the check completed.
 //
 // Every error response carries the JSON envelope
 //
 //	{"error": <message>, "code": <machine-readable code>}
 //
-// with codes: bad_query, unknown_method, bad_document, too_large,
-// batch_too_large, exists, not_found, frozen, method_not_allowed,
-// canceled, shed, deadline_exceeded, internal.
+// with codes: bad_query, unknown_method, method_unavailable,
+// budget_exhausted, bad_document, too_large, batch_too_large, exists,
+// not_found, frozen, method_not_allowed, canceled, shed,
+// deadline_exceeded, internal.
 //
 // POST /v1/estimate/batch accepts {"queries": [...], "method": <name>}
 // (up to MaxBatchQueries queries) and answers positionally with per-item
-// envelopes: one unparseable query fails alone, not the batch. The whole
+// envelopes: one unparseable query fails alone, not the batch. A batch
+// entry may also be an object {"q": <twig>, "method": <name>} overriding
+// the batch-level method for that item; every item's envelope echoes the
+// method that answered it. The whole
 // batch occupies a single admission slot and fans out across a worker
 // pool sharing the summary's sub-estimate cache, so structurally
 // overlapping queries decompose shared sub-twigs once.
@@ -141,14 +150,16 @@ type Handler struct {
 	maxBytes int64
 	res      ResilienceOptions
 
-	reg        *obs.Registry
-	inFlight   *obs.Gauge
-	routes     map[string]*routeMetrics
-	limiter    *resilience.Limiter
-	panics     *obs.Counter
-	degraded   *obs.Counter
-	timeouts   *obs.Counter
-	batchSizes *obs.Histogram
+	reg               *obs.Registry
+	inFlight          *obs.Gauge
+	routes            map[string]*routeMetrics
+	limiter           *resilience.Limiter
+	panics            *obs.Counter
+	degraded          *obs.Counter
+	timeouts          *obs.Counter
+	batchSizes        *obs.Histogram
+	ensembleChecked   *obs.Counter
+	ensembleDivergent *obs.Counter
 }
 
 // NewHandler wraps a corpus with default options.
@@ -178,6 +189,8 @@ func NewHandlerOptions(c Backend, opts Options) *Handler {
 		timeouts: reg.Counter("http.deadline_exceeded"),
 		batchSizes: reg.Histogram("http.estimate_batch.batch_size",
 			batchSizeBounds),
+		ensembleChecked:   reg.Counter("ensemble.checked"),
+		ensembleDivergent: reg.Counter("ensemble.divergent"),
 	}
 	if h.maxBytes <= 0 {
 		h.maxBytes = MaxDocumentBytes
@@ -207,6 +220,7 @@ func NewHandlerOptions(c Backend, opts Options) *Handler {
 	mux.HandleFunc("POST /v1/estimate/batch", h.instrument("estimate_batch", guarded(h.res.EstimateBudget, h.estimateBatch)))
 	mux.HandleFunc("GET /v1/exact", h.instrument("exact", guarded(h.res.ExactBudget, h.exact)))
 	mux.HandleFunc("GET /v1/explain", h.instrument("explain", guarded(h.res.EstimateBudget, h.explain)))
+	mux.HandleFunc("GET /v1/methods", h.instrument("methods", recov(h.methods)))
 	mux.HandleFunc("GET /v1/stats", h.instrument("stats", recov(h.stats)))
 	mux.HandleFunc("GET /v1/metrics", h.instrument("metrics", recov(h.metricsEndpoint)))
 	mux.HandleFunc("POST /v1/docs/{name}", h.instrument("doc_add", guarded(h.res.BuildBudget, h.addDoc)))
@@ -218,6 +232,7 @@ func NewHandlerOptions(c Backend, opts Options) *Handler {
 	other := func(fn http.HandlerFunc) http.HandlerFunc { return h.instrument("other", fn) }
 	mux.HandleFunc("/v1/estimate", other(methodNotAllowed("GET")))
 	mux.HandleFunc("/v1/estimate/batch", other(methodNotAllowed("POST")))
+	mux.HandleFunc("/v1/methods", other(methodNotAllowed("GET")))
 	mux.HandleFunc("/v1/exact", other(methodNotAllowed("GET")))
 	mux.HandleFunc("/v1/explain", other(methodNotAllowed("GET")))
 	mux.HandleFunc("/v1/stats", other(methodNotAllowed("GET")))
@@ -258,8 +273,9 @@ func (h *Handler) estimate(w http.ResponseWriter, r *http.Request) {
 	defer h.mu.RUnlock()
 	sum := h.c.Summary()
 	// Validate the method before the query: with an empty corpus every
-	// label is unknown, and a bogus method should still 400.
-	if _, err := sum.Estimator(method); err != nil {
+	// label is unknown, and a bogus method should still 400. LookupMethod
+	// checks the registry without preparing the backend.
+	if _, err := sum.LookupMethod(method); err != nil {
 		writeCoreError(w, err)
 		return
 	}
@@ -275,8 +291,10 @@ func (h *Handler) estimate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Cache lookup under the requested method; a hit needs no budget.
+	// (Cached ensemble answers lose their divergence verdict — only fresh
+	// runs cross-check.)
 	if est, ok := h.cache.Get(string(method), q); ok {
-		writeJSON(w, map[string]any{"query": qs, "estimate": est})
+		writeJSON(w, map[string]any{"query": qs, "estimate": est, "method": string(method)})
 		return
 	}
 	res, err := h.runEstimate(r.Context(), q, method)
@@ -288,33 +306,76 @@ func (h *Handler) estimate(w http.ResponseWriter, r *http.Request) {
 	// answer must not masquerade as the requested method once pressure
 	// subsides.
 	h.cache.Put(string(res.Method), q, res.Estimate)
-	resp := map[string]any{"query": qs, "estimate": res.Estimate}
+	resp := map[string]any{"query": qs, "estimate": res.Estimate, "method": string(res.Method)}
 	if res.Degraded {
 		resp["degraded"] = true
-		resp["method"] = string(res.Method)
+	}
+	if res.Checked {
+		resp["cross_estimate"] = res.CrossEstimate
+		resp["divergence"] = res.Divergence
+		resp["divergent"] = res.Divergent
 	}
 	writeJSON(w, resp)
 }
 
+// methodCapabilities is one /v1/methods entry: the registered name plus
+// the backend's declared capabilities.
+type methodCapabilities struct {
+	Name string `json:"name"`
+	core.Capabilities
+}
+
+// methods serves GET /v1/methods: the estimator discovery endpoint,
+// driven entirely by the summary's backend registry.
+func (h *Handler) methods(w http.ResponseWriter, _ *http.Request) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	sum := h.c.Summary()
+	list := sum.Registry().Methods()
+	out := make([]methodCapabilities, 0, len(list))
+	for _, m := range list {
+		caps, err := sum.LookupMethod(m)
+		if err != nil {
+			continue // raced with registry mutation; skip
+		}
+		out = append(out, methodCapabilities{Name: string(m), Capabilities: caps})
+	}
+	writeJSON(w, map[string]any{
+		"default": string(core.MethodRecursiveVoting),
+		"methods": out,
+	})
+}
+
 // runEstimate evaluates q within the request budget, degrading to a
-// cheaper method when the budget expires (unless disabled).
+// cheaper method when the budget expires (unless disabled), and accounts
+// ensemble cross-check outcomes.
 func (h *Handler) runEstimate(ctx context.Context, q labeltree.Pattern, method core.Method) (core.DegradedEstimate, error) {
 	sum := h.c.Summary()
+	run := sum.EstimateDegradable
 	if h.res.DisableFallback {
-		est, err := sum.EstimateContext(ctx, q, method)
-		if err != nil {
-			return core.DegradedEstimate{}, err
-		}
-		return core.DegradedEstimate{Estimate: est, Method: method}, nil
+		run = sum.EstimateStrict
 	}
-	res, err := sum.EstimateDegradable(ctx, q, method)
+	res, err := run(ctx, q, method)
 	if err != nil {
 		return core.DegradedEstimate{}, err
 	}
 	if res.Degraded {
 		h.degraded.Inc()
 	}
+	h.observeEnsemble(res)
 	return res, nil
+}
+
+// observeEnsemble feeds an estimate's cross-check outcome into the obs
+// counters behind /v1/stats' ensemble section.
+func (h *Handler) observeEnsemble(res core.DegradedEstimate) {
+	if !res.Checked {
+		return
+	}
+	h.ensembleChecked.Inc()
+	if res.Divergent {
+		h.ensembleDivergent.Inc()
+	}
 }
 
 func (h *Handler) exact(w http.ResponseWriter, r *http.Request) {
@@ -405,6 +466,13 @@ func (h *Handler) stats(w http.ResponseWriter, _ *http.Request) {
 		// Shared sub-estimate cache effectiveness across the estimator
 		// worker pool (distinct from the whole-query cache above).
 		"subcache": h.subcacheSummary(s),
+		// Ensemble cross-check outcomes: how many estimates carried a
+		// completed sampling cross-check, and how many of those diverged
+		// past the threshold.
+		"ensemble": map[string]any{
+			"checked":   h.ensembleChecked.Value(),
+			"divergent": h.ensembleDivergent.Value(),
+		},
 		// Batch endpoint traffic shape: are clients batching, and how big?
 		"batch": h.batchSummary(),
 	}
@@ -523,6 +591,14 @@ func coreErrorCode(err error) (int, string) {
 		return http.StatusBadRequest, "unknown_label"
 	case errors.Is(err, core.ErrUnknownMethod):
 		return http.StatusBadRequest, "unknown_method"
+	case errors.Is(err, core.ErrMethodUnavailable):
+		// Registered but unusable here (no documents for a sampling-class
+		// backend): a conflict with server state, not a client typo.
+		return http.StatusConflict, "method_unavailable"
+	case errors.Is(err, core.ErrBudgetExhausted):
+		// A budgeted backend ran out of internal budget with fallback
+		// disabled — the 504 family, like a blown deadline.
+		return http.StatusGatewayTimeout, "budget_exhausted"
 	case errors.Is(err, context.DeadlineExceeded):
 		// The endpoint's deadline budget expired mid-computation.
 		return http.StatusGatewayTimeout, "deadline_exceeded"

@@ -21,6 +21,7 @@
 package treesketch
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -387,6 +388,17 @@ func (s *Synopsis) Estimate(q labeltree.Pattern) float64 {
 		total += float64(s.counts[c]) * perElement(c, 0)
 	}
 	return total
+}
+
+// EstimateContext is Estimate gated on ctx. One synopsis walk is
+// microseconds over a budget-bounded graph, so a single entry check is
+// the whole cooperative contract; multi-document callers poll between
+// documents.
+func (s *Synopsis) EstimateContext(ctx context.Context, q labeltree.Pattern) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return s.Estimate(q), nil
 }
 
 // String summarizes the synopsis.

@@ -1,0 +1,99 @@
+package twigjoin
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"treelattice/internal/labeltree"
+	"treelattice/internal/xmlparse"
+)
+
+func anchoredFixture(t *testing.T) (*Index, Query, *labeltree.Dict) {
+	t.Helper()
+	dict := labeltree.NewDict()
+	doc := `<r>` + strings.Repeat(`<a><b/><b/><c/></a>`, 6) + `<a><c/></a></r>`
+	tr, err := xmlparse.Parse(strings.NewReader(doc), dict, xmlparse.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewIndex(tr), MustParseQuery("//a(b,c)", dict), dict
+}
+
+// TestAnchoredCountsPartitionTotal: anchoring the root at each occurrence
+// of its label partitions the match set, so the anchored counts sum to
+// the unanchored Count.
+func TestAnchoredCountsPartitionTotal(t *testing.T) {
+	x, q, _ := anchoredFixture(t)
+	want := Count(x, q)
+	if want == 0 {
+		t.Fatal("fixture query should match")
+	}
+	var got int64
+	for _, root := range x.Stream(q.Pattern.Label(0)) {
+		n, err := CountAnchoredContext(context.Background(), x, q, root, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got += n
+	}
+	if got != want {
+		t.Fatalf("anchored sum %d != Count %d", got, want)
+	}
+}
+
+// TestAnchoredRootLabelMismatch: anchoring at a node of the wrong label
+// counts zero without consuming any budget.
+func TestAnchoredRootLabelMismatch(t *testing.T) {
+	x, q, dict := anchoredFixture(t)
+	b, _ := dict.Lookup("b")
+	budget := int64(1)
+	n, err := CountAnchoredContext(context.Background(), x, q, x.Stream(b)[0], &budget)
+	if err != nil || n != 0 {
+		t.Fatalf("got (%d, %v), want (0, nil)", n, err)
+	}
+	if budget != 1 {
+		t.Fatalf("mismatched root consumed budget: %d left", budget)
+	}
+}
+
+// TestAnchoredBudgetShared: the budget pointer is decremented across
+// calls, and an exhausted budget stops the execution with ErrNodeBudget.
+func TestAnchoredBudgetShared(t *testing.T) {
+	x, q, _ := anchoredFixture(t)
+	roots := x.Stream(q.Pattern.Label(0))
+	budget := int64(4)
+	if _, err := CountAnchoredContext(context.Background(), x, q, roots[0], &budget); err != nil {
+		t.Fatal(err)
+	}
+	if budget >= 4 {
+		t.Fatalf("first call consumed no budget: %d left", budget)
+	}
+	// Drain the remainder: eventually a call must fail with ErrNodeBudget.
+	var sawExhausted bool
+	for _, root := range roots {
+		if _, err := CountAnchoredContext(context.Background(), x, q, root, &budget); err != nil {
+			if !errors.Is(err, ErrNodeBudget) {
+				t.Fatalf("unexpected error %v", err)
+			}
+			sawExhausted = true
+			break
+		}
+	}
+	if !sawExhausted {
+		t.Fatal("4-node budget survived every probe of a query needing 3+ visits each")
+	}
+}
+
+// TestAnchoredCancellation: a canceled context fails fast, before any
+// execution work.
+func TestAnchoredCancellation(t *testing.T) {
+	x, q, _ := anchoredFixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	root := x.Stream(q.Pattern.Label(0))[0]
+	if _, err := CountAnchoredContext(ctx, x, q, root, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}

@@ -1,6 +1,16 @@
 package twigjoin
 
-import "treelattice/internal/labeltree"
+import (
+	"context"
+	"errors"
+
+	"treelattice/internal/labeltree"
+)
+
+// ErrNodeBudget reports an execution stopped because it exhausted its
+// candidate-visit budget. Sampling estimators branch on it with errors.Is
+// to distinguish "ran out of budget" from "the context was canceled".
+var ErrNodeBudget = errors.New("twigjoin: node budget exhausted")
 
 // Match is one query answer: Match[i] is the data node bound to query
 // node i. The slice passed to emit callbacks is reused between calls;
@@ -39,6 +49,42 @@ func Count(x *Index, q Query) int64 {
 	return st.Matches
 }
 
+// budgetPollInterval is how many candidate visits pass between context
+// polls in budgeted executions. Each visit does at worst a map probe and
+// a recursion step, so 256 visits bound the post-cancellation overrun to
+// well under a millisecond.
+const budgetPollInterval = 256
+
+// CountAnchoredContext counts the matches of q whose root binds exactly
+// to the data node root, under a cooperative budget: the execution polls
+// ctx every budgetPollInterval candidate visits, and when nodeBudget is
+// non-nil it is decremented per candidate visit and the execution stops
+// with ErrNodeBudget once it reaches zero. The budget is shared across
+// calls through the pointer, so a sampler can spread one budget over many
+// probes. A root whose label does not match q's root counts zero matches
+// without consuming budget.
+func CountAnchoredContext(ctx context.Context, x *Index, q Query, root int32, nodeBudget *int64) (int64, error) {
+	// Fail fast: the periodic poll below only fires every
+	// budgetPollInterval visits.
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	if x.tree.Label(root) != q.Pattern.Label(0) {
+		return 0, nil
+	}
+	bindOrder := make([]int32, q.Pattern.Size())
+	for i := range bindOrder {
+		bindOrder[i] = int32(i)
+	}
+	e := executor{x: x, q: q, order: validateOrder(q.Pattern, bindOrder), ctx: ctx, budget: nodeBudget}
+	e.assigned = make([]int32, q.Pattern.Size())
+	e.used = make(map[int32]bool, q.Pattern.Size())
+	e.assigned[0] = root
+	e.used[root] = true
+	e.run(1, func(Match) bool { return true })
+	return e.stats.Matches, e.err
+}
+
 // validateOrder checks that order is a permutation binding parents before
 // children and returns it.
 func validateOrder(p labeltree.Pattern, order []int32) []int32 {
@@ -71,6 +117,13 @@ type executor struct {
 	used     map[int32]bool
 	stats    Stats
 	stopped  bool
+
+	// ctx and budget, when set, make the execution cooperative: ctx is
+	// polled every budgetPollInterval candidate visits, and budget is
+	// decremented per visit. err latches the stop reason.
+	ctx    context.Context
+	budget *int64
+	err    error
 }
 
 func (e *executor) run(depth int, emit func(Match) bool) {
@@ -106,6 +159,21 @@ func (e *executor) run(depth int, emit func(Match) bool) {
 	}
 	for _, v := range candidates {
 		e.stats.Candidates++
+		if e.budget != nil {
+			if *e.budget <= 0 {
+				e.err = ErrNodeBudget
+				e.stopped = true
+				return
+			}
+			*e.budget--
+		}
+		if e.ctx != nil && e.stats.Candidates%budgetPollInterval == 0 {
+			if err := e.ctx.Err(); err != nil {
+				e.err = err
+				e.stopped = true
+				return
+			}
+		}
 		if e.used[v] {
 			continue
 		}
