@@ -15,7 +15,8 @@ FUZZ_TARGETS = \
 	./internal/xmlparse:FuzzParse \
 	./internal/labeltree:FuzzQuerySyntax \
 	./internal/labeltree:FuzzKeyDecode \
-	./internal/lattice:FuzzFrozenLoad
+	./internal/lattice:FuzzFrozenLoad \
+	./internal/fleet:FuzzTenantName
 
 .PHONY: check vet build test race fuzz fuzz-short bench benchcore microbench
 
@@ -32,7 +33,7 @@ fuzz:
 # generation): fast enough for the check gate, still catches regressions
 # on every previously interesting input checked into testdata.
 fuzz-short:
-	$(GO) test -run='^Fuzz' ./internal/xmlparse ./internal/labeltree ./internal/lattice
+	$(GO) test -run='^Fuzz' ./internal/xmlparse ./internal/labeltree ./internal/lattice ./internal/fleet
 
 vet:
 	$(GO) vet ./...
@@ -53,11 +54,16 @@ race:
 # QPS, p50/p95/p99, server-side metrics, batched vs single throughput).
 # -methods all additionally sweeps every registered estimator in-process,
 # adding the accuracy×latency matrix (q-error vs exact counts, per-method
-# throughput, ensemble divergence counts) to the report. The report
-# schema is regression-tested in cmd/treelattice/loadbench_test.go.
+# throughput, ensemble divergence counts) to the report. -replicas adds
+# the 1→N shard-replica scaling matrix (capacity-bounded replicas, one
+# per shard, driven round-robin; linear_fraction ≈ 1.0 is perfect fleet
+# scaling) and -tenants drives the workload through the multi-tenant
+# /v1/t routes. The report schema is regression-tested in
+# cmd/treelattice/loadbench_test.go.
 bench:
 	$(GO) run ./cmd/treelattice loadbench -gen xmark -scale 20000 \
 		-duration 3s -warmup 500ms -seed 1 -batch 32 -methods all \
+		-replicas 1,2,4 -tenants 2 \
 		-out BENCH_serve.json
 
 # benchcore is the build/estimate-path counterpart of `make bench`: it

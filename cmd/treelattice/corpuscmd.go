@@ -18,6 +18,7 @@ import (
 
 	"treelattice/internal/core"
 	"treelattice/internal/corpus"
+	"treelattice/internal/fleet"
 	"treelattice/internal/labeltree"
 	"treelattice/internal/obs"
 	"treelattice/internal/serve"
@@ -242,6 +243,8 @@ func registerResilienceFlags(fs *flag.FlagSet, r *serve.ResilienceOptions) {
 	fs.DurationVar(&r.ExactBudget, "exact-budget", 0, "deadline for /v1/exact (0 = none)")
 	fs.DurationVar(&r.BuildBudget, "build-budget", 0, "deadline for document uploads (0 = none)")
 	fs.BoolVar(&r.DisableFallback, "no-degrade", false, "return 504 instead of degrading estimates to a cheaper method on blown budgets")
+	fs.IntVar(&r.TenantQuota, "tenant-quota", 0, "max concurrent estimates per tenant on the /v1/t routes; excess sheds with 429 (0 = unlimited)")
+	fs.DurationVar(&r.ShardTimeout, "shard-timeout", 0, "per-shard responsiveness deadline on sharded tenants; a shard missing it is excluded and the answer degrades (0 = request deadline only)")
 }
 
 // runServe serves a corpus over HTTP until the process receives SIGINT or
@@ -253,6 +256,8 @@ func runServe(args []string, stdout io.Writer) error {
 	workers := fs.Int("workers", 0, "upload mining parallelism (0 = all CPUs)")
 	frozen := fs.Bool("frozen", false, "serve a read-only replica: load the summary in the frozen representation (zero-allocation lookups; document mutations answer 409)")
 	debugAddr := fs.String("debug-addr", "", "separate listen address for pprof/expvar/metrics (off when empty)")
+	fleetRoot := fs.String("fleet", "", "fleet root directory holding tenant snapshot subdirectories; enables /v1/t/{tenant} routes beyond the default tenant")
+	maxResident := fs.Int("max-resident", 0, "max lazily-loaded tenants resident at once (0 = default)")
 	tune := defaultTuning()
 	tune.register(fs)
 	var res serve.ResilienceOptions
@@ -269,9 +274,19 @@ func runServe(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	sopts := serve.Options{Workers: *workers, Resilience: res}
+	if *fleetRoot != "" {
+		sopts.Fleet = fleet.NewRegistry(fleet.RegistryOptions{
+			Root:        *fleetRoot,
+			MaxResident: *maxResident,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(stdout, format+"\n", args...)
+			},
+		})
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	return serveCorpus(ctx, c, *addr, *debugAddr, serve.Options{Workers: *workers, Resilience: res}, tune, stdout)
+	return serveCorpus(ctx, c, *addr, *debugAddr, sopts, tune, stdout)
 }
 
 // shutdownTimeout bounds the graceful drain: in-flight estimates are

@@ -17,6 +17,7 @@ import (
 	"treelattice/internal/core"
 	"treelattice/internal/corpus"
 	"treelattice/internal/datagen"
+	"treelattice/internal/fleet"
 	"treelattice/internal/labeltree"
 	"treelattice/internal/loadgen"
 	"treelattice/internal/obs"
@@ -38,8 +39,18 @@ type benchReport struct {
 	// Methods is the accuracy×latency matrix from a -methods sweep: every
 	// requested estimator driven in-process over the same workload, scored
 	// against exact counts on a subsample.
-	Methods       []methodReport `json:"methods,omitempty"`
-	ServerMetrics *obs.Snapshot  `json:"server_metrics,omitempty"`
+	Methods []methodReport `json:"methods,omitempty"`
+	// ShardScaling is the 1→N shard-replica matrix from a -replicas
+	// sweep: the corpus sharded N ways, each shard served by its own
+	// capacity-bounded replica, driven round-robin. LinearFraction is
+	// throughput relative to perfectly linear scaling from the first row.
+	ShardScaling []replicaScaleRow `json:"shard_scaling,omitempty"`
+	// TenantResult is the multi-tenant mix run (-tenants N): the same
+	// workload driven round-robin across N tenants' /v1/t routes, so the
+	// registry, per-tenant quotas, and per-tenant metrics sit on the
+	// measured path.
+	TenantResult  *loadgen.Result `json:"tenant_result,omitempty"`
+	ServerMetrics *obs.Snapshot   `json:"server_metrics,omitempty"`
 }
 
 // methodReport is one row of the accuracy×latency matrix.
@@ -72,6 +83,9 @@ type benchConfig struct {
 	Requests    int     `json:"requests,omitempty"`
 	WarmupSec   float64 `json:"warmup_seconds,omitempty"`
 	OpenLoopQPS float64 `json:"open_loop_qps,omitempty"`
+	Replicas    []int   `json:"replicas,omitempty"`
+	ServiceMs   float64 `json:"service_floor_ms,omitempty"`
+	Tenants     int     `json:"tenants,omitempty"`
 }
 
 type workloadSummary struct {
@@ -102,6 +116,10 @@ func runLoadbench(args []string, stdout io.Writer) error {
 	neg := fs.Float64("neg", 0.25, "target fraction of zero-selectivity queries in the mix")
 	seed := fs.Int64("seed", 1, "workload generation seed (same seed = same mix)")
 	methodsSpec := fs.String("methods", "", `sweep these estimation methods in-process ("all" or a comma list), adding a per-method accuracy×latency matrix to the report`)
+	replicasSpec := fs.String("replicas", "", `shard-replica scaling sweep ("1,2,4"): shard the corpus N ways per point, serve each shard from a capacity-bounded replica, and add the 1→N scaling matrix to the report`)
+	service := fs.Duration("service", 5*time.Millisecond, "modeled per-request service floor of each -replicas replica (bounds replica capacity so the sweep measures fleet scaling, not single-host CPU)")
+	scaleDur := fs.Duration("scaledur", 2*time.Second, "measured duration of each -replicas point")
+	tenants := fs.Int("tenants", 0, "also drive the workload round-robin across this many tenants' /v1/t/{tenant}/estimate routes (default in-process server only)")
 	accQueries := fs.Int("accqueries", 60, "queries scored against exact counts per swept method (-methods)")
 	sweepRequests := fs.Int("sweeprequests", 300, "timed requests per swept method (-methods)")
 	out := fs.String("out", "BENCH_serve.json", "report output path")
@@ -165,6 +183,7 @@ func runLoadbench(args []string, stdout io.Writer) error {
 	// without requiring a separate process.
 	var target loadgen.Target
 	var batchTarget loadgen.BatchTarget
+	var tenantTargets []loadgen.Target
 	var scrapeMetrics func() (*obs.Snapshot, error)
 	switch {
 	case *liveURL != "":
@@ -179,7 +198,26 @@ func runLoadbench(args []string, stdout io.Writer) error {
 		}
 		target = t
 	default:
-		handler := serve.NewHandler(c)
+		var sopts serve.Options
+		// -tenants: materialize a throwaway fleet root of N tenants, each
+		// holding the corpus summary as a frozen snapshot, so the tenant
+		// routes resolve through the real registry load path.
+		var tenantNames []string
+		if *tenants > 0 {
+			fleetRoot, err := os.MkdirTemp("", "loadbench-fleet-*")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(fleetRoot)
+			tenantNames, err = writeTenantFleet(fleetRoot, c.Summary(), *tenants)
+			if err != nil {
+				return err
+			}
+			sopts.Fleet = fleet.NewRegistry(fleet.RegistryOptions{
+				Root: fleetRoot, MaxResident: *tenants,
+			})
+		}
+		handler := serve.NewHandlerOptions(c, sopts)
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			return err
@@ -195,6 +233,11 @@ func runLoadbench(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "in-process server on %s\n", base)
 		target = loadgen.NewHTTPTarget(base, core.Method(*method), nil)
 		batchTarget = loadgen.NewHTTPBatchTarget(base, core.Method(*method), nil)
+		for _, name := range tenantNames {
+			tenantTargets = append(tenantTargets,
+				loadgen.NewHTTPTarget(base, core.Method(*method), nil).
+					WithPath("/v1/t/"+name+"/estimate"))
+		}
 		scrapeMetrics = func() (*obs.Snapshot, error) {
 			s := handler.Metrics().Snapshot()
 			return &s, nil
@@ -202,6 +245,9 @@ func runLoadbench(args []string, stdout io.Writer) error {
 	}
 	if *batch > 1 && batchTarget == nil {
 		return fmt.Errorf("loadbench: -batch requires an HTTP target (drop -inproc)")
+	}
+	if *tenants > 0 && len(tenantTargets) == 0 {
+		return fmt.Errorf("loadbench: -tenants requires the default in-process server (drop -inproc and -url)")
 	}
 
 	opts := loadgen.Options{
@@ -237,6 +283,22 @@ func runLoadbench(args []string, stdout io.Writer) error {
 		}
 	}
 
+	// Multi-tenant mix: the same workload and stopping rule, driven
+	// round-robin across the tenant routes, so the registry lookup,
+	// per-tenant quota check, and per-tenant metrics are on the path.
+	var tenantRes *loadgen.Result
+	if len(tenantTargets) > 0 {
+		cfg.Tenants = *tenants
+		tenantRes, err = loadgen.Run(context.Background(),
+			loadgen.RoundRobin(tenantTargets...), w, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "tenants ×%d: %.0f req/s over %.2fs (%d issued, %d errors)\n",
+			*tenants, tenantRes.AchievedQPS, tenantRes.ElapsedSeconds,
+			tenantRes.Issued, tenantRes.Errors)
+	}
+
 	// Method sweep: every requested estimator in-process over the same
 	// workload, timed and scored, so one report answers "which method, at
 	// what cost, for what accuracy" side by side.
@@ -249,14 +311,32 @@ func runLoadbench(args []string, stdout io.Writer) error {
 		}
 	}
 
+	// Shard-replica scaling sweep: the fleet-scaling headline number.
+	var scaleRows []replicaScaleRow
+	if *replicasSpec != "" {
+		counts, err := parseIntList(*replicasSpec, "-replicas")
+		if err != nil {
+			return err
+		}
+		cfg.Replicas = counts
+		cfg.ServiceMs = float64(*service) / 1e6
+		scaleRows, err = runShardScaling(context.Background(), c, w,
+			counts, *service, *scaleDur, core.Method(*method), stdout)
+		if err != nil {
+			return err
+		}
+	}
+
 	report := benchReport{
 		Config: cfg,
 		Workload: workloadSummary{
 			Queries: len(w.Items), Positives: w.Positives, Negatives: w.Negatives,
 		},
-		Result:      res,
-		BatchResult: batchRes,
-		Methods:     methodRows,
+		Result:       res,
+		BatchResult:  batchRes,
+		Methods:      methodRows,
+		ShardScaling: scaleRows,
+		TenantResult: tenantRes,
 	}
 	if scrapeMetrics != nil {
 		snap, err := scrapeMetrics()
@@ -364,13 +444,16 @@ func sweepMethods(ctx context.Context, c *corpus.Corpus, trees []*labeltree.Tree
 }
 
 // parseSizes parses "3,4,5".
-func parseSizes(s string) ([]int, error) {
+func parseSizes(s string) ([]int, error) { return parseIntList(s, "-sizes") }
+
+// parseIntList parses a comma-separated list of positive integers.
+func parseIntList(s, flagName string) ([]int, error) {
 	parts := strings.Split(s, ",")
 	out := make([]int, 0, len(parts))
 	for _, p := range parts {
 		n, err := strconv.Atoi(strings.TrimSpace(p))
 		if err != nil || n < 1 {
-			return nil, fmt.Errorf("loadbench: invalid -sizes entry %q", p)
+			return nil, fmt.Errorf("loadbench: invalid %s entry %q", flagName, p)
 		}
 		out = append(out, n)
 	}

@@ -112,6 +112,80 @@ func TestLoadbenchInprocAndSeed(t *testing.T) {
 	}
 }
 
+// TestLoadbenchShardScalingAndTenants covers the fleet additions to the
+// report schema: the -replicas 1→N shard-scaling matrix and the -tenants
+// round-robin mix over the /v1/t routes, including the per-tenant
+// counters the server publishes.
+func TestLoadbenchShardScalingAndTenants(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	var buf bytes.Buffer
+	err := runLoadbench([]string{
+		"-gen", "psd", "-scale", "1500", "-k", "3",
+		"-requests", "60", "-warmup", "0s", "-concurrency", "2",
+		"-sizes", "3", "-persize", "8", "-seed", "5",
+		"-replicas", "1,2", "-service", "2ms", "-scaledur", "400ms",
+		"-tenants", "2",
+		"-out", out,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := readReport(t, out)
+
+	if len(r.ShardScaling) != 2 {
+		t.Fatalf("shard_scaling rows = %d, want 2\n%s", len(r.ShardScaling), buf.String())
+	}
+	for i, row := range r.ShardScaling {
+		if row.Replicas != []int{1, 2}[i] {
+			t.Errorf("row %d replicas = %d", i, row.Replicas)
+		}
+		if row.AchievedQPS <= 0 || row.DeadlineMs <= 0 {
+			t.Errorf("row %d not measured: %+v", i, row)
+		}
+		if row.P99ms < row.P50ms {
+			t.Errorf("row %d quantiles not ordered: %+v", i, row)
+		}
+		if row.Errors != 0 {
+			t.Errorf("row %d had %d errors", i, row.Errors)
+		}
+	}
+	// The first row is its own baseline by construction; later rows are
+	// only sanity-bounded here (the acceptance threshold is checked on
+	// real `make bench` runs, not under test-runner contention).
+	if lf := r.ShardScaling[0].LinearFraction; lf != 1 {
+		t.Errorf("baseline linear_fraction = %v, want 1", lf)
+	}
+	if lf := r.ShardScaling[1].LinearFraction; lf <= 0.3 {
+		t.Errorf("2-replica linear_fraction = %v, want > 0.3", lf)
+	}
+	if r.Config.Replicas[0] != 1 || r.Config.Replicas[1] != 2 || r.Config.ServiceMs != 2 {
+		t.Errorf("scaling config not recorded: %+v", r.Config)
+	}
+
+	if r.TenantResult == nil {
+		t.Fatal("report missing tenant_result")
+	}
+	if r.TenantResult.Issued != 60 || r.TenantResult.Errors != 0 {
+		t.Errorf("tenant run: %+v", r.TenantResult)
+	}
+	if !strings.HasPrefix(r.TenantResult.Target, "roundrobin(2)") {
+		t.Errorf("tenant target = %q", r.TenantResult.Target)
+	}
+	if r.Config.Tenants != 2 {
+		t.Errorf("tenants config not recorded: %+v", r.Config)
+	}
+	// The tenant mix ran through the real registry: per-tenant counters
+	// account for every request, split across both tenants.
+	if r.ServerMetrics == nil {
+		t.Fatal("report missing server metrics")
+	}
+	t0 := r.ServerMetrics.Counters["tenant.t0.requests"]
+	t1 := r.ServerMetrics.Counters["tenant.t1.requests"]
+	if t0+t1 != 60 || t0 == 0 || t1 == 0 {
+		t.Errorf("per-tenant requests t0=%d t1=%d, want a 60-request split", t0, t1)
+	}
+}
+
 func TestLoadbenchFlagValidation(t *testing.T) {
 	var buf bytes.Buffer
 	if err := runLoadbench([]string{"-requests", "5"}, &buf); err == nil {
@@ -122,6 +196,10 @@ func TestLoadbenchFlagValidation(t *testing.T) {
 	}
 	if err := runLoadbench([]string{"-gen", "nasa", "-sizes", "0,x"}, &buf); err == nil {
 		t.Error("bad sizes accepted")
+	}
+	if err := runLoadbench([]string{"-gen", "nasa", "-scale", "500", "-requests", "5",
+		"-inproc", "-tenants", "2"}, &buf); err == nil {
+		t.Error("-tenants with -inproc accepted")
 	}
 }
 

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"treelattice/internal/corpus"
+	"treelattice/internal/fleet"
+)
+
+// runShard splits a corpus into N shard summaries and writes one frozen
+// snapshot file per shard into a tenant directory, ready for the fleet
+// registry (`treelattice serve -fleet`). Document→shard assignment is
+// deterministic (FNV over the document name), so re-sharding the same
+// corpus at the same N reproduces the same files, and the shards
+// combined by the scatter-gather front end answer bit-identically to
+// the corpus's own merged summary.
+func runShard(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("shard", flag.ExitOnError)
+	dir := fs.String("corpus", "", "corpus directory to shard")
+	out := fs.String("out", "", "output tenant directory (one snapshot file per shard)")
+	n := fs.Int("n", 4, "number of shards")
+	workers := fs.Int("workers", 0, "build parallelism (0 = all CPUs)")
+	fs.Parse(args)
+	if *dir == "" || *out == "" {
+		return fmt.Errorf("shard: -corpus and -out are required")
+	}
+	if err := fleet.ValidateName(filepath.Base(*out)); err != nil {
+		return fmt.Errorf("shard: output directory name must be a valid tenant name: %w", err)
+	}
+	c, err := corpus.Open(*dir)
+	if err != nil {
+		return err
+	}
+	sums, err := c.BuildShardSummaries(context.Background(), *n, *workers)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	for i, sum := range sums {
+		name := fleet.ShardFile(i)
+		if *n == 1 {
+			name = fleet.SummaryFile
+		}
+		f, err := os.Create(filepath.Join(*out, name))
+		if err != nil {
+			return err
+		}
+		if _, err := sum.WriteTo(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s (patterns=%d bytes=%d)\n", name, sum.Patterns(), sum.SizeBytes())
+	}
+	fmt.Fprintf(stdout, "sharded %d documents into %d shards in %s\n", len(c.Docs()), *n, *out)
+	return nil
+}

@@ -1,0 +1,216 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"treelattice/internal/core"
+	"treelattice/internal/corpus"
+	"treelattice/internal/fleet"
+	"treelattice/internal/labeltree"
+	"treelattice/internal/loadgen"
+	"treelattice/internal/metrics"
+	"treelattice/internal/serve"
+)
+
+// replicaScaleRow is one point of the 1→N shard-replica scaling matrix.
+type replicaScaleRow struct {
+	Replicas    int     `json:"replicas"`
+	AchievedQPS float64 `json:"achieved_qps"`
+	P50ms       float64 `json:"p50_ms"`
+	P99ms       float64 `json:"p99_ms"`
+	// DeadlineMs is each replica's estimate budget — the envelope the
+	// row's p99 is expected to sit inside.
+	DeadlineMs float64 `json:"deadline_ms"`
+	Errors     uint64  `json:"errors,omitempty"`
+	// LinearFraction is AchievedQPS / (Replicas × per-replica baseline
+	// QPS from the sweep's first row); 1.0 is perfectly linear scaling.
+	LinearFraction float64 `json:"linear_fraction"`
+}
+
+// shardBackend adapts a single shard snapshot to the serve.Backend
+// surface: a read-only replica with no resident documents, exactly what a
+// fleet backend loaded from a frozen shard file looks like. Mutating and
+// document-scanning operations answer with an error rather than
+// pretending to hold the corpus.
+type shardBackend struct {
+	sum *core.Summary
+}
+
+func (b *shardBackend) Summary() *core.Summary               { return b.sum }
+func (b *shardBackend) Docs() []string                       { return nil }
+func (b *shardBackend) Workers() int                         { return 1 }
+func (b *shardBackend) SetWorkers(int)                       {}
+func (b *shardBackend) BuildTimings() *metrics.BuildTimings  { return nil }
+func (b *shardBackend) Remove(string) error                  { return fmt.Errorf("shard replica is read-only") }
+func (b *shardBackend) AddXMLContext(context.Context, string, io.Reader) error {
+	return fmt.Errorf("shard replica is read-only")
+}
+func (b *shardBackend) ExactCountContext(context.Context, labeltree.Pattern) (int64, error) {
+	return 0, fmt.Errorf("shard replica holds no documents")
+}
+
+// capacityGate models a replica's bounded capacity: one request slot and
+// a fixed per-request service floor. On a single benchmark host the
+// replicas share CPUs, so raw estimate throughput cannot demonstrate
+// fleet scaling; the gate makes each replica's capacity the modeled
+// service time (the store/network-bound cost a real shard backend pays),
+// which the floors of independent replicas pay concurrently. The sweep
+// then measures what sharding buys: whether the front end's aggregate
+// throughput tracks replica count, not whether one machine got faster.
+type capacityGate struct {
+	inner http.Handler
+	slots chan struct{}
+	floor time.Duration
+}
+
+func (g *capacityGate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	g.slots <- struct{}{}
+	defer func() { <-g.slots }()
+	if g.floor > 0 {
+		time.Sleep(g.floor)
+	}
+	g.inner.ServeHTTP(w, r)
+}
+
+// refreezeSummary round-trips a summary through the snapshot format into
+// the frozen representation — the same bytes and read path a fleet
+// backend serves after `treelattice shard`.
+func refreezeSummary(sum *core.Summary) (*core.Summary, error) {
+	var buf bytes.Buffer
+	if _, err := sum.WriteTo(&buf); err != nil {
+		return nil, err
+	}
+	return core.ReadFrozen(bytes.NewReader(buf.Bytes()), labeltree.NewDict())
+}
+
+// runShardScaling measures the 1→N shard-replica scaling matrix: for
+// each fleet size, shard the corpus that many ways, serve every shard
+// from its own capacity-bounded in-process replica (frozen snapshot,
+// estimate deadline, single-slot service gate), and drive the workload
+// round-robin closed-loop with one worker per replica. The first row is
+// the baseline; LinearFraction reports each row's throughput against
+// perfectly linear scaling from it.
+func runShardScaling(ctx context.Context, c *corpus.Corpus, w *loadgen.Workload, counts []int, service, dur time.Duration, method core.Method, stdout io.Writer) ([]replicaScaleRow, error) {
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("loadbench: -replicas list is empty")
+	}
+	for _, n := range counts {
+		if n < 1 || n > fleet.MaxShards {
+			return nil, fmt.Errorf("loadbench: -replicas entry %d out of range [1,%d]", n, fleet.MaxShards)
+		}
+	}
+	// The deadline envelope leaves room for the queueing the saturated
+	// closed loop deliberately induces (up to ~3 service times end to
+	// end) plus estimation work; p99 is expected to sit inside it.
+	envelope := 8 * service
+	if envelope <= 0 {
+		envelope = 50 * time.Millisecond
+	}
+	rows := make([]replicaScaleRow, 0, len(counts))
+	var basePerReplica float64
+	for _, n := range counts {
+		res, err := runReplicaPoint(ctx, c, w, n, service, envelope, dur, method)
+		if err != nil {
+			return nil, err
+		}
+		row := replicaScaleRow{
+			Replicas:    n,
+			AchievedQPS: res.AchievedQPS,
+			P50ms:       res.Latency.P50 * 1e3,
+			P99ms:       res.Latency.P99 * 1e3,
+			DeadlineMs:  float64(envelope) / 1e6,
+			Errors:      res.Errors,
+		}
+		if basePerReplica == 0 && n > 0 {
+			basePerReplica = res.AchievedQPS / float64(n)
+		}
+		if basePerReplica > 0 {
+			row.LinearFraction = res.AchievedQPS / (float64(n) * basePerReplica)
+		}
+		fmt.Fprintf(stdout, "replicas=%d: %.0f req/s  p50=%.2fms p99=%.2fms  linear=%.2f× (deadline %.0fms, %d errors)\n",
+			n, row.AchievedQPS, row.P50ms, row.P99ms, row.LinearFraction, row.DeadlineMs, row.Errors)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// runReplicaPoint shards the corpus n ways, serves each shard from its
+// own gated replica server, and runs one closed-loop measurement.
+func runReplicaPoint(ctx context.Context, c *corpus.Corpus, w *loadgen.Workload, n int, service, envelope, dur time.Duration, method core.Method) (*loadgen.Result, error) {
+	shards, err := c.BuildShardSummaries(ctx, n, 0)
+	if err != nil {
+		return nil, err
+	}
+	servers := make([]*http.Server, 0, n)
+	defer func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		for _, srv := range servers {
+			srv.Shutdown(sctx)
+		}
+	}()
+	targets := make([]loadgen.Target, 0, n)
+	for _, sum := range shards {
+		frozen, err := refreezeSummary(sum)
+		if err != nil {
+			return nil, err
+		}
+		handler := serve.NewHandlerOptions(&shardBackend{sum: frozen}, serve.Options{
+			Resilience: serve.ResilienceOptions{EstimateBudget: envelope},
+		})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		srv := defaultTuning().server(&capacityGate{
+			inner: handler, slots: make(chan struct{}, 1), floor: service,
+		})
+		go srv.Serve(ln)
+		servers = append(servers, srv)
+		targets = append(targets, loadgen.NewHTTPTarget("http://"+ln.Addr().String(), method, nil))
+	}
+	// Two workers per replica slot keep one request queued behind the one
+	// in service, so every point measures saturated replica capacity
+	// (1/service-time each) rather than driver-side scheduling slack —
+	// the closed-loop equivalent of benchmarking at 100% utilization.
+	return loadgen.Run(ctx, loadgen.RoundRobin(targets...), w, loadgen.Options{
+		Concurrency: 2 * n,
+		Duration:    dur,
+		Warmup:      dur / 4,
+	})
+}
+
+// writeTenantFleet materializes n tenants under root, each holding the
+// summary as a frozen snapshot, and returns their names — a fleet root
+// the serve registry can lazily load from.
+func writeTenantFleet(root string, sum *core.Summary, n int) ([]string, error) {
+	names := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("t%d", i)
+		dir := filepath.Join(root, name)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+		f, err := os.Create(filepath.Join(dir, fleet.SummaryFile))
+		if err != nil {
+			return nil, err
+		}
+		if _, err := sum.WriteTo(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+		names = append(names, name)
+	}
+	return names, nil
+}

@@ -84,6 +84,7 @@ type EstimateObserver func(method Method, d time.Duration)
 type Summary struct {
 	lat    *lattice.Summary // nil when loaded frozen-only
 	frozen *lattice.Frozen  // nil until Freeze or ReadFrozen
+	multi  estimate.Store   // set by FromShards: summing view over shard stores
 	dict   *labeltree.Dict
 	// observe, when non-nil, is called with the latency of every estimate
 	// issued through Estimator or EstimateWithTrace. Set once via
@@ -242,13 +243,24 @@ func FromLattice(lat *lattice.Summary) *Summary {
 	return &Summary{lat: lat, dict: lat.Dict()}
 }
 
-// store returns the backend estimates read from: the frozen snapshot
-// when installed, else the map-backed lattice.
+// store returns the backend estimates read from: the shard-combining
+// view when built with FromShards, else the frozen snapshot when
+// installed, else the map-backed lattice.
 func (s *Summary) store() estimate.Store {
+	if s.multi != nil {
+		return s.multi
+	}
 	if s.frozen != nil {
 		return s.frozen
 	}
 	return s.lat
+}
+
+// sized is implemented by every store backend that can report its
+// accounted storage size and entry count (all three can).
+type sized interface {
+	SizeBytes() int
+	Len() int
 }
 
 // Freeze installs (or refreshes) a read-optimized snapshot of the
@@ -332,12 +344,7 @@ func (s *Summary) invalidateDerived() {
 }
 
 // K returns the lattice level.
-func (s *Summary) K() int {
-	if s.frozen != nil {
-		return s.frozen.K()
-	}
-	return s.lat.K()
-}
+func (s *Summary) K() int { return s.store().K() }
 
 // Dict returns the label dictionary queries must be parsed against.
 func (s *Summary) Dict() *labeltree.Dict { return s.dict }
@@ -348,18 +355,20 @@ func (s *Summary) Lattice() *lattice.Summary { return s.lat }
 
 // SizeBytes is the accounted storage size of the summary.
 func (s *Summary) SizeBytes() int {
-	if s.frozen != nil {
-		return s.frozen.SizeBytes()
+	if sz, ok := s.store().(sized); ok {
+		return sz.SizeBytes()
 	}
-	return s.lat.SizeBytes()
+	return 0
 }
 
-// Patterns reports the number of stored patterns.
+// Patterns reports the number of stored pattern entries. For a
+// shard-combined summary this sums per-shard entries, so a pattern held
+// by several shards counts once per shard.
 func (s *Summary) Patterns() int {
-	if s.frozen != nil {
-		return s.frozen.Len()
+	if sz, ok := s.store().(sized); ok {
+		return sz.Len()
 	}
-	return s.lat.Len()
+	return 0
 }
 
 // Estimator returns an estimator handle for method over this summary,

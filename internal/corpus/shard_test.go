@@ -1,0 +1,64 @@
+package corpus
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"treelattice/internal/core"
+)
+
+// TestBuildShardSummaries: sharding the corpus and recombining through
+// core.FromShards answers bit-identically to the corpus's own summary,
+// and empty shards come back positional.
+func TestBuildShardSummaries(t *testing.T) {
+	c, err := Create(t.TempDir(), Options{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		doc := fmt.Sprintf(
+			"<a><b><c/><d/></b><b><c/></b><e>%s</e></a>",
+			strings.Repeat("<c/>", i+1))
+		if err := c.AddXML(fmt.Sprintf("doc%d", i), strings.NewReader(doc)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const n = 4
+	shards, err := c.BuildShardSummaries(context.Background(), n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != n {
+		t.Fatalf("want %d positional shards, got %d", n, len(shards))
+	}
+	combined, err := core.FromShards(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := c.Summary()
+	for _, qs := range []string{"a(b(c))", "b(c,d)", "e(c)", "a(b,e)"} {
+		q, err := single.ParseQuery(qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range core.Methods() {
+			want, err := single.Estimate(q, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := combined.Estimate(q, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("%s/%s: sharded %v != corpus %v", qs, m, got, want)
+			}
+		}
+	}
+
+	if _, err := c.BuildShardSummaries(context.Background(), 0, 0); err == nil {
+		t.Fatal("want error for n=0")
+	}
+}

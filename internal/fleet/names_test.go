@@ -1,0 +1,71 @@
+package fleet_test
+
+import (
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"treelattice/internal/fleet"
+)
+
+func TestValidateName(t *testing.T) {
+	valid := []string{
+		"a", "acme", "tenant-1", "t.one", "a_b-c.d", "0", "x0",
+		strings.Repeat("a", fleet.MaxNameLen),
+	}
+	for _, name := range valid {
+		if err := fleet.ValidateName(name); err != nil {
+			t.Errorf("ValidateName(%q) = %v, want nil", name, err)
+		}
+	}
+	invalid := []string{
+		"", ".", "..", "a..b", "../etc", "a/b", `a\b`, "a b", "Acme",
+		"-lead", "trail-", ".hidden", "dot.", "_x", "x_",
+		"a\x00b", "naïve", "a\nb",
+		strings.Repeat("a", fleet.MaxNameLen+1),
+	}
+	for _, name := range invalid {
+		if err := fleet.ValidateName(name); !errors.Is(err, fleet.ErrBadName) {
+			t.Errorf("ValidateName(%q) = %v, want ErrBadName", name, err)
+		}
+	}
+}
+
+// FuzzTenantName holds the safety property the validator exists for:
+// any accepted name is a single well-behaved path component — cleaning
+// it changes nothing, it never escapes its directory, and it stays
+// within the documented grammar.
+func FuzzTenantName(f *testing.F) {
+	for _, seed := range []string{
+		"", "a", "acme", "..", "../../etc/passwd", "a/b", `a\b`,
+		"tenant-1", "t.one", ".", "-", "_", "a..b", "A", "a\x00",
+		strings.Repeat("x", 100),
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, name string) {
+		if err := fleet.ValidateName(name); err != nil {
+			return
+		}
+		if len(name) == 0 || len(name) > fleet.MaxNameLen {
+			t.Fatalf("accepted name %q has length %d", name, len(name))
+		}
+		if strings.ContainsAny(name, "/\\") || strings.Contains(name, "..") {
+			t.Fatalf("accepted name %q can traverse paths", name)
+		}
+		if filepath.Clean(name) != name || filepath.IsAbs(name) {
+			t.Fatalf("accepted name %q is not a clean relative path component", name)
+		}
+		if filepath.Join("root", name) != "root"+string(filepath.Separator)+name {
+			t.Fatalf("accepted name %q does not join as a plain component", name)
+		}
+		for i := 0; i < len(name); i++ {
+			c := name[i]
+			ok := c >= 'a' && c <= 'z' || c >= '0' && c <= '9' || c == '.' || c == '_' || c == '-'
+			if !ok {
+				t.Fatalf("accepted name %q contains byte %q outside the grammar", name, c)
+			}
+		}
+	})
+}

@@ -1,0 +1,226 @@
+package fleet
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// ErrUnknownTenant reports a tenant name with no directory (or no
+// snapshots) under the fleet root.
+var ErrUnknownTenant = errors.New("fleet: unknown tenant")
+
+// RegistryOptions configures a tenant registry.
+type RegistryOptions struct {
+	// Root is the directory holding one subdirectory per tenant (see
+	// LoadTenant for the layout). Empty means no disk-backed tenants:
+	// only Install'ed ones resolve.
+	Root string
+	// MaxResident bounds how many disk-loaded tenants stay resident at
+	// once (default 8). Install'ed tenants are pinned and do not count.
+	// Evicting a tenant drops the registry's reference; summaries are
+	// immutable, so estimates already holding one are unaffected.
+	MaxResident int
+	// Logf receives load/evict log lines; nil means no logging.
+	Logf func(format string, args ...any)
+}
+
+// Registry resolves tenant names to resident tenants, loading frozen
+// snapshots lazily and keeping an LRU of resident disk-loaded tenants.
+// Loads are single-flight: concurrent Acquires of a cold tenant share
+// one load.
+type Registry struct {
+	opts RegistryOptions
+
+	mu       sync.Mutex
+	resident map[string]*slot
+	lru      *list.List // unpinned loaded slots, front = most recent
+
+	loads     int64
+	evictions int64
+}
+
+// slot tracks one tenant through loading and residence. ready closes
+// when the load completes; elem is the slot's LRU position (nil while
+// loading or pinned).
+type slot struct {
+	name   string
+	pinned bool
+	ready  chan struct{}
+	tenant *Tenant
+	err    error
+	elem   *list.Element
+}
+
+// NewRegistry returns an empty registry over opts.Root.
+func NewRegistry(opts RegistryOptions) *Registry {
+	if opts.MaxResident <= 0 {
+		opts.MaxResident = 8
+	}
+	return &Registry{
+		opts:     opts,
+		resident: make(map[string]*slot),
+		lru:      list.New(),
+	}
+}
+
+// Install pins a preloaded tenant into the registry — the path by which
+// the default tenant (the live corpus behind the legacy routes) becomes
+// addressable by name. Pinned tenants never age out of the LRU. The
+// tenant's name must validate.
+func (r *Registry) Install(t *Tenant) error {
+	if err := ValidateName(t.Name); err != nil {
+		return err
+	}
+	ready := make(chan struct{})
+	close(ready)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old, ok := r.resident[t.Name]; ok && old.elem != nil {
+		r.lru.Remove(old.elem)
+	}
+	r.resident[t.Name] = &slot{name: t.Name, pinned: true, ready: ready, tenant: t}
+	return nil
+}
+
+// Acquire resolves name to a resident tenant, loading its snapshots on
+// first use. The returned tenant stays valid for the caller's whole
+// request even if the registry evicts it concurrently (tenants are
+// immutable; eviction only drops the registry's reference). Unknown
+// names fail with ErrUnknownTenant, invalid ones with ErrBadName.
+func (r *Registry) Acquire(ctx context.Context, name string) (*Tenant, error) {
+	if err := ValidateName(name); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	if s, ok := r.resident[name]; ok {
+		if s.elem != nil {
+			r.lru.MoveToFront(s.elem)
+		}
+		r.mu.Unlock()
+		select {
+		case <-s.ready:
+			return s.tenant, s.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if r.opts.Root == "" {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrUnknownTenant, name)
+	}
+	s := &slot{name: name, ready: make(chan struct{})}
+	r.resident[name] = s
+	r.loads++
+	r.mu.Unlock()
+
+	t, err := LoadTenant(r.tenantDir(name), name)
+	r.mu.Lock()
+	s.tenant, s.err = t, err
+	if err != nil {
+		// Failed loads do not stay resident: the next Acquire retries
+		// (the tenant may appear on disk later).
+		delete(r.resident, name)
+	} else {
+		s.elem = r.lru.PushFront(s)
+		r.evictLocked()
+		r.logf("fleet: loaded tenant %q (%d shards)", name, t.Shards)
+	}
+	r.mu.Unlock()
+	close(s.ready)
+	return t, err
+}
+
+func (r *Registry) tenantDir(name string) string {
+	return filepath.Join(r.opts.Root, name)
+}
+
+// evictLocked drops least-recently-used unpinned tenants beyond
+// MaxResident. Caller holds r.mu.
+func (r *Registry) evictLocked() {
+	for r.lru.Len() > r.opts.MaxResident {
+		e := r.lru.Back()
+		s := e.Value.(*slot)
+		r.lru.Remove(e)
+		delete(r.resident, s.name)
+		r.evictions++
+		r.logf("fleet: evicted tenant %q", s.name)
+	}
+}
+
+func (r *Registry) logf(format string, args ...any) {
+	if r.opts.Logf != nil {
+		r.opts.Logf(format, args...)
+	}
+}
+
+// Peek returns a resident, fully loaded tenant without triggering a
+// load or touching LRU order — the observability path's read.
+func (r *Registry) Peek(name string) (*Tenant, bool) {
+	r.mu.Lock()
+	s, ok := r.resident[name]
+	r.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	select {
+	case <-s.ready:
+		return s.tenant, s.err == nil
+	default:
+		return nil, false
+	}
+}
+
+// Loaded reports whether name is resident and loaded (not mid-load) —
+// the readiness probe's question about the default tenant.
+func (r *Registry) Loaded(name string) bool {
+	r.mu.Lock()
+	s, ok := r.resident[name]
+	r.mu.Unlock()
+	if !ok {
+		return false
+	}
+	select {
+	case <-s.ready:
+		return s.err == nil
+	default:
+		return false
+	}
+}
+
+// Resident lists the resident tenant names, sorted.
+func (r *Registry) Resident() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.resident))
+	for name := range r.resident {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RegistryStats is the registry's /v1/stats section.
+type RegistryStats struct {
+	Resident  int   `json:"resident"`
+	Pinned    int   `json:"pinned"`
+	Loads     int64 `json:"loads"`
+	Evictions int64 `json:"evictions"`
+}
+
+// Stats snapshots residence and churn counters.
+func (r *Registry) Stats() RegistryStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := RegistryStats{Resident: len(r.resident), Loads: r.loads, Evictions: r.evictions}
+	for _, s := range r.resident {
+		if s.pinned {
+			st.Pinned++
+		}
+	}
+	return st
+}

@@ -1,0 +1,182 @@
+package fleet_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"treelattice/internal/core"
+	"treelattice/internal/fleet"
+)
+
+// writeTenantDir materializes a tenant under root: a single summary.tlat
+// when shards == 1, else one shard snapshot per non-empty shard group.
+func writeTenantDir(t *testing.T, root, name string, seed int64, shards int) {
+	t.Helper()
+	dir := filepath.Join(root, name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	_, trees, names := testCorpus(t, seed, 6, 16)
+	opts := core.BuildOptions{K: 3}
+	write := func(path string, sum *core.Summary) {
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if _, err := sum.WriteTo(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if shards == 1 {
+		sum, err := core.BuildForestContext(context.Background(), trees, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		write(filepath.Join(dir, fleet.SummaryFile), sum)
+		return
+	}
+	for i, sum := range buildShards(t, trees, names, shards, opts) {
+		write(filepath.Join(dir, fleet.ShardFile(i)), sum)
+	}
+}
+
+func TestLoadTenantSharded(t *testing.T) {
+	root := t.TempDir()
+	writeTenantDir(t, root, "acme", 21, 3)
+	tn, err := fleet.LoadTenant(filepath.Join(root, "acme"), "acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tn.Shards < 2 || tn.Gather == nil {
+		t.Fatalf("want a sharded tenant, got %d shards (gather %v)", tn.Shards, tn.Gather)
+	}
+	q, err := tn.Summary.ParseQuery("l0(l1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tn.Estimate(context.Background(), q, core.MethodFixSized, fleet.EstimateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ShardsAnswered != tn.Shards || res.Partial {
+		t.Fatalf("healthy sharded tenant answered %+v", res)
+	}
+	if tn.Summary.Mutable() {
+		t.Fatal("loaded tenant should be frozen read-only")
+	}
+}
+
+func TestRegistryLoadEvictPin(t *testing.T) {
+	root := t.TempDir()
+	for i := 0; i < 5; i++ {
+		writeTenantDir(t, root, fmt.Sprintf("t%d", i), int64(i), 1)
+	}
+	r := fleet.NewRegistry(fleet.RegistryOptions{Root: root, MaxResident: 2})
+
+	// A pinned install never ages out.
+	def := fleet.NewTenant("default", mustSummary(t, 99))
+	if err := r.Install(def); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		name := fmt.Sprintf("t%d", i)
+		tn, err := r.Acquire(ctx, name)
+		if err != nil {
+			t.Fatalf("Acquire(%s): %v", name, err)
+		}
+		if tn.Name != name {
+			t.Fatalf("Acquire(%s) returned %q", name, tn.Name)
+		}
+	}
+	st := r.Stats()
+	if st.Loads != 5 || st.Evictions != 3 {
+		t.Fatalf("want 5 loads, 3 evictions, got %+v", st)
+	}
+	if st.Resident != 3 || st.Pinned != 1 { // 2 LRU slots + pinned default
+		t.Fatalf("want 3 resident (1 pinned), got %+v", st)
+	}
+	if !r.Loaded("default") {
+		t.Fatal("pinned default evicted")
+	}
+	// Re-acquiring an evicted tenant reloads it.
+	if _, err := r.Acquire(ctx, "t0"); err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats().Loads != 6 {
+		t.Fatalf("re-acquire did not reload: %+v", r.Stats())
+	}
+
+	if _, err := r.Acquire(ctx, "nosuch"); !errors.Is(err, fleet.ErrUnknownTenant) {
+		t.Fatalf("want ErrUnknownTenant, got %v", err)
+	}
+	if _, err := r.Acquire(ctx, "../escape"); !errors.Is(err, fleet.ErrBadName) {
+		t.Fatalf("want ErrBadName, got %v", err)
+	}
+	if r.Loaded("nosuch") {
+		t.Fatal("failed load left a resident slot")
+	}
+}
+
+func mustSummary(t *testing.T, seed int64) *core.Summary {
+	t.Helper()
+	_, trees, _ := testCorpus(t, seed, 4, 12)
+	sum, err := core.BuildForestContext(context.Background(), trees, core.BuildOptions{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sum
+}
+
+// TestRegistryConcurrent hammers a small-LRU registry with concurrent
+// acquires and estimates: tenants load, evict, and reload under traffic
+// while in-flight requests keep using the references they hold. Run
+// under -race by make check.
+func TestRegistryConcurrent(t *testing.T) {
+	root := t.TempDir()
+	const tenants = 6
+	for i := 0; i < tenants; i++ {
+		shards := 1 + i%3
+		writeTenantDir(t, root, fmt.Sprintf("t%d", i), int64(i), shards)
+	}
+	r := fleet.NewRegistry(fleet.RegistryOptions{Root: root, MaxResident: 2})
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 40; i++ {
+				name := fmt.Sprintf("t%d", rng.Intn(tenants))
+				tn, err := r.Acquire(ctx, name)
+				if err != nil {
+					t.Errorf("Acquire(%s): %v", name, err)
+					return
+				}
+				q, err := tn.Summary.ParseQuery("l0(l1)")
+				if err != nil {
+					t.Errorf("parse on %s: %v", name, err)
+					return
+				}
+				if _, err := tn.Estimate(ctx, q, core.MethodFixSized, fleet.EstimateOptions{}); err != nil {
+					t.Errorf("estimate on %s: %v", name, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if st := r.Stats(); st.Resident > 2 {
+		t.Fatalf("resident count %d exceeds MaxResident", st.Resident)
+	}
+}

@@ -1,0 +1,54 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// MaxShards bounds the shard count of one tenant. Gather caches combined
+// summaries per responder set, encoded as a bitmask in a uint64.
+const MaxShards = 64
+
+// SummaryFile is the snapshot filename of an unsharded tenant.
+const SummaryFile = "summary.tlat"
+
+// AssignShard deterministically maps a document name to one of n shards
+// using FNV-1a over the name. Every builder that agrees on n places every
+// document identically — shard builds are reproducible and can run
+// independently on disjoint corpus slices.
+func AssignShard(doc string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(doc); i++ {
+		h ^= uint64(doc[i])
+		h *= prime64
+	}
+	return int(h % uint64(n))
+}
+
+// ShardFile names shard i's snapshot file ("shard-0003.tlat"). The
+// fixed-width index keeps lexicographic and numeric order identical, so
+// a sorted directory listing is the shard order.
+func ShardFile(i int) string {
+	return fmt.Sprintf("shard-%04d.tlat", i)
+}
+
+// shardFiles filters and sorts a directory listing down to shard
+// snapshot files.
+func shardFiles(names []string) []string {
+	var out []string
+	for _, n := range names {
+		if strings.HasPrefix(n, "shard-") && strings.HasSuffix(n, ".tlat") {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -409,6 +409,33 @@ func (t *HTTPBatchTarget) IssueBatch(items []Item) error {
 // Name identifies the target in reports.
 func (t *HTTPBatchTarget) Name() string { return "http-batch:" + t.base }
 
+// RoundRobin fans Issue calls across targets in rotation, so one driver
+// measures a fleet of replicas as a unit: the dispatch order is a global
+// atomic counter, which spreads closed-loop workers evenly across the
+// replicas regardless of which worker issues next.
+func RoundRobin(targets ...Target) Target {
+	if len(targets) == 1 {
+		return targets[0]
+	}
+	return &roundRobinTarget{targets: targets}
+}
+
+type roundRobinTarget struct {
+	targets []Target
+	next    atomic.Uint64
+}
+
+// Issue dispatches to the next target in rotation.
+func (t *roundRobinTarget) Issue(it Item) error {
+	n := t.next.Add(1) - 1
+	return t.targets[n%uint64(len(t.targets))].Issue(it)
+}
+
+// Name identifies the fleet in reports.
+func (t *roundRobinTarget) Name() string {
+	return fmt.Sprintf("roundrobin(%d):%s", len(t.targets), t.targets[0].Name())
+}
+
 // Options configures a load run.
 type Options struct {
 	// Concurrency is the worker count (closed loop) or the in-flight

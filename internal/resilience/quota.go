@@ -1,0 +1,83 @@
+package resilience
+
+import (
+	"sync"
+
+	"treelattice/internal/obs"
+)
+
+// QuotaSet bounds concurrent in-flight work per key (per tenant, in the
+// fleet's case), on top of the global Limiter: admission control decides
+// whether the server has capacity at all, the quota decides whether this
+// tenant may use it. Quota rejections shed immediately — there is no
+// per-tenant queue, so one tenant's burst cannot build up latency for
+// the others. Safe for concurrent use; keys are created on first use.
+type QuotaSet struct {
+	limit int
+
+	mu       sync.Mutex
+	inFlight map[string]int
+
+	shed *obs.Counter
+}
+
+// NewQuotaSet builds a quota of limit concurrent requests per key. A
+// non-positive limit disables quotas: Acquire always admits.
+func NewQuotaSet(limit int) *QuotaSet {
+	return &QuotaSet{limit: limit, inFlight: make(map[string]int), shed: &obs.Counter{}}
+}
+
+// Instrument registers the quota-shed counter in reg as <prefix>.shed.
+// Call before the set sees traffic.
+func (q *QuotaSet) Instrument(reg *obs.Registry, prefix string) {
+	q.shed = reg.Counter(prefix + ".shed")
+}
+
+// Acquire admits one request for key, or reports false when key is at
+// its quota (pair a true return with Release).
+func (q *QuotaSet) Acquire(key string) bool {
+	if q == nil || q.limit <= 0 {
+		return true
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.inFlight[key] >= q.limit {
+		q.shed.Inc()
+		return false
+	}
+	q.inFlight[key]++
+	return true
+}
+
+// Release returns key's slot. Must be called exactly once per successful
+// Acquire.
+func (q *QuotaSet) Release(key string) {
+	if q == nil || q.limit <= 0 {
+		return
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if n := q.inFlight[key]; n <= 1 {
+		delete(q.inFlight, key)
+	} else {
+		q.inFlight[key] = n - 1
+	}
+}
+
+// Shed reports how many requests quotas have rejected.
+func (q *QuotaSet) Shed() uint64 {
+	if q == nil {
+		return 0
+	}
+	return q.shed.Value()
+}
+
+// InFlight reports key's current concurrency.
+func (q *QuotaSet) InFlight(key string) int {
+	if q == nil || q.limit <= 0 {
+		return 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.inFlight[key]
+}

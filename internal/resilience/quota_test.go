@@ -1,0 +1,102 @@
+package resilience
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestQuotaSetPerKey(t *testing.T) {
+	q := NewQuotaSet(2)
+	if !q.Acquire("a") || !q.Acquire("a") {
+		t.Fatal("first two acquires for a key must admit")
+	}
+	if q.Acquire("a") {
+		t.Fatal("third concurrent acquire must shed")
+	}
+	// Quotas are per key: another tenant is unaffected.
+	if !q.Acquire("b") {
+		t.Fatal("other key must admit")
+	}
+	q.Release("a")
+	if !q.Acquire("a") {
+		t.Fatal("released slot must readmit")
+	}
+	if got := q.Shed(); got != 1 {
+		t.Fatalf("shed count %d, want 1", got)
+	}
+	if got := q.InFlight("a"); got != 2 {
+		t.Fatalf("in-flight %d, want 2", got)
+	}
+}
+
+func TestQuotaSetDisabled(t *testing.T) {
+	for _, q := range []*QuotaSet{nil, NewQuotaSet(0)} {
+		for i := 0; i < 100; i++ {
+			if !q.Acquire("a") {
+				t.Fatal("disabled quota must always admit")
+			}
+		}
+		q.Release("a")
+		if q.Shed() != 0 || q.InFlight("a") != 0 {
+			t.Fatal("disabled quota must report zeros")
+		}
+	}
+}
+
+func TestQuotaSetConcurrent(t *testing.T) {
+	q := NewQuotaSet(4)
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if q.Acquire("k") {
+					if n := q.InFlight("k"); n > 4 {
+						t.Errorf("in-flight %d exceeds quota", n)
+					}
+					q.Release("k")
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := q.InFlight("k"); got != 0 {
+		t.Fatalf("leaked %d in-flight slots", got)
+	}
+}
+
+func TestLimiterSaturated(t *testing.T) {
+	var nilL *Limiter
+	if nilL.Saturated() {
+		t.Fatal("nil limiter must never be saturated")
+	}
+	l := NewLimiter(LimiterOptions{Limit: 1, Queue: 1, QueueWait: time.Millisecond})
+	if l.Saturated() {
+		t.Fatal("idle limiter must not be saturated")
+	}
+	if err := l.Acquire(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	// Occupy the queue slot: a second caller waits in the queue until
+	// its short QueueWait expires, during which the limiter is full.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = l.Acquire(t.Context())
+	}()
+	saturated := false
+	for i := 0; i < 1000 && !saturated; i++ {
+		saturated = l.Saturated()
+		time.Sleep(10 * time.Microsecond)
+	}
+	<-done
+	if !saturated {
+		t.Fatal("limiter with full run and queue slots must report saturated")
+	}
+	l.Release()
+	if l.Saturated() {
+		t.Fatal("drained limiter must not be saturated")
+	}
+}

@@ -136,6 +136,17 @@ func (l *Limiter) Stats() (admitted, queued, shed uint64, inFlight int) {
 	return l.admitted.Value(), l.queued.Value(), l.shed.Value(), len(l.sem)
 }
 
+// Saturated reports whether the limiter is full: every run slot busy and
+// every queue slot taken, so a new arrival would be shed. The readiness
+// probe uses this to steer load-balancer traffic away before clients see
+// 429s. A nil limiter (admission control off) is never saturated.
+func (l *Limiter) Saturated() bool {
+	if l == nil {
+		return false
+	}
+	return len(l.sem) == cap(l.sem) && len(l.queue) == cap(l.queue)
+}
+
 // ErrorWriter renders an error response. The serving layer passes its JSON
 // envelope writer so shed and panic responses look like every other error.
 type ErrorWriter func(w http.ResponseWriter, status int, code, msg string)

@@ -11,6 +11,21 @@
 //	GET    /v1/stats                            summary and corpus statistics
 //	POST   /v1/docs/{name}                      add a document (XML body)
 //	DELETE /v1/docs/{name}                      remove a document
+//	GET    /v1/t/{tenant}/estimate              estimate against a named tenant
+//	GET    /v1/t/{tenant}/stats                 per-tenant statistics
+//	GET    /v1/tenants                          resident tenants + registry stats
+//	GET    /v1/healthz                          liveness probe
+//	GET    /v1/readyz                           readiness probe (503 when not ready)
+//
+// Multi-tenant serving (see internal/fleet): Options.Fleet supplies a
+// registry of named tenants loaded lazily from frozen snapshots; the
+// legacy routes answer as the default tenant. A sharded tenant scatters
+// each estimate across its shard summaries and gathers one combined
+// answer — bit-identical to a single merged summary when every shard
+// answers, and a degraded partial answer (shards_answered <
+// shards_total) when one misses its deadline. Tenant routes sit behind
+// per-tenant admission quotas (Resilience.TenantQuota) and skip the
+// tenant-agnostic whole-query cache.
 //
 // Queries use the twig syntax ("a(b,c(d))"). Estimation methods resolve
 // through the core registry (GET /v1/methods lists them): the paper's
@@ -26,7 +41,8 @@
 // with codes: bad_query, unknown_method, method_unavailable,
 // budget_exhausted, bad_document, too_large, batch_too_large, exists,
 // not_found, frozen, method_not_allowed, canceled, shed,
-// deadline_exceeded, internal.
+// deadline_exceeded, internal, bad_tenant, unknown_tenant, no_shards,
+// not_ready.
 //
 // POST /v1/estimate/batch accepts {"queries": [...], "method": <name>}
 // (up to MaxBatchQueries queries) and answers positionally with per-item
@@ -64,6 +80,7 @@ import (
 	"treelattice/internal/core"
 	"treelattice/internal/corpus"
 	"treelattice/internal/estimate"
+	"treelattice/internal/fleet"
 	"treelattice/internal/labeltree"
 	"treelattice/internal/metrics"
 	"treelattice/internal/obs"
@@ -120,6 +137,16 @@ type ResilienceOptions struct {
 	// blows its budget returns 504 instead of falling back to a cheaper
 	// method.
 	DisableFallback bool
+	// TenantQuota bounds concurrent in-flight estimates per tenant on
+	// the tenant routes, on top of the global admission limit: the
+	// limiter decides whether the server has capacity, the quota decides
+	// whether one tenant may monopolize it. Zero disables quotas.
+	TenantQuota int
+	// ShardTimeout bounds each shard's responsiveness probe on sharded
+	// tenants; a shard that misses it is excluded from that estimate and
+	// the answer degrades to the responders. Zero means probes run under
+	// the request deadline alone.
+	ShardTimeout time.Duration
 }
 
 // Options configures the handler.
@@ -136,6 +163,15 @@ type Options struct {
 	// Resilience configures admission control, deadlines, and
 	// degradation. Zero value: all off.
 	Resilience ResilienceOptions
+	// Fleet is the multi-tenant registry behind the /v1/t/{tenant}/*
+	// routes; nil serves only the default tenant (the corpus). The
+	// registry loads tenants lazily from frozen snapshots and keeps an
+	// LRU of resident ones.
+	Fleet *fleet.Registry
+	// DefaultTenant names the live corpus on the tenant routes — the
+	// legacy routes and /v1/t/<DefaultTenant>/estimate answer from the
+	// same summary. Empty means DefaultTenant ("default").
+	DefaultTenant string
 	// Logf receives panic-recovery log lines; nil means no logging.
 	Logf func(format string, args ...any)
 }
@@ -149,6 +185,12 @@ type Handler struct {
 	mux      *http.ServeMux
 	maxBytes int64
 	res      ResilienceOptions
+
+	flt           *fleet.Registry
+	defaultTenant string
+	quota         *resilience.QuotaSet
+	tenantMu      sync.Mutex
+	tenantStats   map[string]*tenantMetrics
 
 	reg               *obs.Registry
 	inFlight          *obs.Gauge
@@ -176,12 +218,20 @@ func NewHandlerOptions(c Backend, opts Options) *Handler {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
+	defTenant := opts.DefaultTenant
+	if defTenant == "" {
+		defTenant = DefaultTenant
+	}
 	h := &Handler{
-		c:        c,
-		cache:    qcache.New(4096),
-		maxBytes: opts.MaxDocumentBytes,
-		res:      opts.Resilience,
-		reg:      reg,
+		c:             c,
+		cache:         qcache.New(4096),
+		maxBytes:      opts.MaxDocumentBytes,
+		res:           opts.Resilience,
+		flt:           opts.Fleet,
+		defaultTenant: defTenant,
+		quota:         resilience.NewQuotaSet(opts.Resilience.TenantQuota),
+		tenantStats:   make(map[string]*tenantMetrics),
+		reg:           reg,
 		inFlight: reg.Gauge("http.in_flight"),
 		routes:   make(map[string]*routeMetrics),
 		panics:   reg.Counter("http.panics"),
@@ -203,6 +253,7 @@ func NewHandlerOptions(c Backend, opts Options) *Handler {
 		})
 		h.limiter.Instrument(reg, "resilience")
 	}
+	h.quota.Instrument(reg, "resilience.tenant_quota")
 	h.instrumentCorpus()
 
 	// Middleware assembly, innermost first: the deadline budget must be on
@@ -225,6 +276,17 @@ func NewHandlerOptions(c Backend, opts Options) *Handler {
 	mux.HandleFunc("GET /v1/metrics", h.instrument("metrics", recov(h.metricsEndpoint)))
 	mux.HandleFunc("POST /v1/docs/{name}", h.instrument("doc_add", guarded(h.res.BuildBudget, h.addDoc)))
 	mux.HandleFunc("DELETE /v1/docs/{name}", h.instrument("doc_remove", guarded(0, h.removeDoc)))
+	// Multi-tenant routes: the same estimate pipeline, routed by tenant,
+	// through the fleet registry and (for sharded tenants) the
+	// scatter-gather front end.
+	mux.HandleFunc("GET /v1/t/{tenant}/estimate", h.instrument("tenant_estimate", guarded(h.res.EstimateBudget, h.tenantEstimate)))
+	mux.HandleFunc("GET /v1/t/{tenant}/stats", h.instrument("tenant_stats", recov(h.tenantStatsEndpoint)))
+	mux.HandleFunc("GET /v1/tenants", h.instrument("tenants", recov(h.tenantsEndpoint)))
+	// Health probes stay outside admission control: a load balancer must
+	// be able to ask an overloaded replica how it is doing — readyz
+	// reports the saturation instead of queueing behind it.
+	mux.HandleFunc("GET /v1/healthz", h.instrument("healthz", recov(h.healthz)))
+	mux.HandleFunc("GET /v1/readyz", h.instrument("readyz", recov(h.readyz)))
 	// Method-less fallbacks: a matching path with the wrong verb gets the
 	// JSON envelope instead of the mux's plain-text 405. They share one
 	// "other" metric with the 404 fallback: per-endpoint histograms are
@@ -238,6 +300,11 @@ func NewHandlerOptions(c Backend, opts Options) *Handler {
 	mux.HandleFunc("/v1/stats", other(methodNotAllowed("GET")))
 	mux.HandleFunc("/v1/metrics", other(methodNotAllowed("GET")))
 	mux.HandleFunc("/v1/docs/{name}", other(methodNotAllowed("POST, DELETE")))
+	mux.HandleFunc("/v1/t/{tenant}/estimate", other(methodNotAllowed("GET")))
+	mux.HandleFunc("/v1/t/{tenant}/stats", other(methodNotAllowed("GET")))
+	mux.HandleFunc("/v1/tenants", other(methodNotAllowed("GET")))
+	mux.HandleFunc("/v1/healthz", other(methodNotAllowed("GET")))
+	mux.HandleFunc("/v1/readyz", other(methodNotAllowed("GET")))
 	mux.HandleFunc("/", other(func(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "not_found", "no such endpoint")
 	}))
@@ -475,6 +542,12 @@ func (h *Handler) stats(w http.ResponseWriter, _ *http.Request) {
 		},
 		// Batch endpoint traffic shape: are clients batching, and how big?
 		"batch": h.batchSummary(),
+		// Per-tenant traffic split (requests, shed, subcache hit ratio);
+		// the flat totals above are unchanged and fleet-wide.
+		"tenants": h.tenantsSummary(),
+	}
+	if h.flt != nil {
+		resp["fleet"] = h.flt.Stats()
 	}
 	if t := h.c.BuildTimings(); t != nil {
 		resp["last_build_ms"] = t.Millis()
