@@ -16,6 +16,7 @@ FUZZ_TARGETS = \
 	./internal/labeltree:FuzzQuerySyntax \
 	./internal/labeltree:FuzzKeyDecode \
 	./internal/lattice:FuzzFrozenLoad \
+	./internal/lattice:FuzzCompressedLoad \
 	./internal/fleet:FuzzTenantName
 
 .PHONY: check vet build test race fuzz fuzz-short bench benchcore microbench
@@ -58,12 +59,14 @@ race:
 # the 1→N shard-replica scaling matrix (capacity-bounded replicas, one
 # per shard, driven round-robin; linear_fraction ≈ 1.0 is perfect fleet
 # scaling) and -tenants drives the workload through the multi-tenant
-# /v1/t routes. The report schema is regression-tested in
+# /v1/t routes. -backends reloads the summary through both snapshot
+# forms (frozen TLAT, compressed TLCZ) and adds the size×throughput
+# comparison. The report schema is regression-tested in
 # cmd/treelattice/loadbench_test.go.
 bench:
 	$(GO) run ./cmd/treelattice loadbench -gen xmark -scale 20000 \
 		-duration 3s -warmup 500ms -seed 1 -batch 32 -methods all \
-		-replicas 1,2,4 -tenants 2 \
+		-replicas 1,2,4 -tenants 2 -backends \
 		-out BENCH_serve.json
 
 # benchcore is the build/estimate-path counterpart of `make bench`: it

@@ -287,6 +287,47 @@ func BenchmarkFrozenLookup(b *testing.B) {
 	})
 }
 
+// BenchmarkCompressedLookup compares point lookups across all three
+// store backends per dataset: the map-backed summary, the frozen
+// open-addressing store, and the compressed front-coded store. The
+// compressed rows also report the resident footprint and the
+// frozen/compressed compression ratio — the space×time trade the
+// compressed backend exists for. Both immutable stores must do zero
+// allocations per lookup.
+func BenchmarkCompressedLookup(b *testing.B) {
+	for _, p := range datagen.AllProfiles() {
+		b.Run(string(p), func(b *testing.B) {
+			e := benchEnv(b, p)
+			lat := e.Summary.Lattice()
+			frozen := lattice.Freeze(lat)
+			comp := lattice.Compress(lat)
+			keys := make([]labeltree.Key, 0, lat.Len())
+			for _, entry := range lat.Entries(0) {
+				keys = append(keys, entry.Pattern.Key())
+			}
+			b.Run("frozen", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, ok := frozen.CountKey(keys[i%len(keys)]); !ok {
+						b.Fatal("miss")
+					}
+				}
+				b.ReportMetric(float64(frozen.ResidentBytes()), "resident-bytes")
+			})
+			b.Run("compressed", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, ok := comp.CountKey(keys[i%len(keys)]); !ok {
+						b.Fatal("miss")
+					}
+				}
+				b.ReportMetric(float64(comp.ResidentBytes()), "resident-bytes")
+				b.ReportMetric(float64(frozen.ResidentBytes())/float64(comp.ResidentBytes()), "compression-ratio")
+			})
+		})
+	}
+}
+
 // BenchmarkFigure9ResponseTimeFrozen is Figure 9 over the frozen store
 // with a warm shared sub-estimate cache per method — the serving-replica
 // configuration. Estimates are bit-identical to the map-backed rows (see
@@ -298,6 +339,41 @@ func BenchmarkFigure9ResponseTimeFrozen(b *testing.B) {
 		"recursive":        (&estimate.Recursive{Sum: frozen, Cache: estimate.NewSubCache(0)}).Estimate,
 		"recursive-voting": (&estimate.Recursive{Sum: frozen, Voting: true, Cache: estimate.NewSubCache(0)}).Estimate,
 		"fix-sized":        (&estimate.FixSized{Sum: frozen, Cache: estimate.NewSubCache(0)}).Estimate,
+	}
+	for _, name := range []string{"recursive", "recursive-voting", "fix-sized"} {
+		fn := ests[name]
+		for _, size := range []int{4, 6, 8} {
+			qs := e.Positive[size]
+			if len(qs) == 0 {
+				continue
+			}
+			// Warm the shared cache the way sustained serving traffic would.
+			for _, q := range qs {
+				fn(q.Pattern)
+			}
+			b.Run(fmt.Sprintf("%s/size%d", name, size), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					fn(qs[i%len(qs)].Pattern)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFigure9ResponseTimeCompressed is Figure 9 over the compressed
+// store with a warm shared sub-estimate cache per method — the
+// byte-budgeted serving-replica configuration. Estimates stay
+// bit-identical to the map-backed and frozen rows (see the differential
+// tests); the compressed rows trade some lookup time for a 3×+ smaller
+// resident summary.
+func BenchmarkFigure9ResponseTimeCompressed(b *testing.B) {
+	e := benchEnv(b, datagen.XMark)
+	comp := lattice.Compress(e.Summary.Lattice())
+	ests := map[string]func(labeltree.Pattern) float64{
+		"recursive":        (&estimate.Recursive{Sum: comp, Cache: estimate.NewSubCache(0)}).Estimate,
+		"recursive-voting": (&estimate.Recursive{Sum: comp, Voting: true, Cache: estimate.NewSubCache(0)}).Estimate,
+		"fix-sized":        (&estimate.FixSized{Sum: comp, Cache: estimate.NewSubCache(0)}).Estimate,
 	}
 	for _, name := range []string{"recursive", "recursive-voting", "fix-sized"} {
 		fn := ests[name]

@@ -258,6 +258,7 @@ func runServe(args []string, stdout io.Writer) error {
 	debugAddr := fs.String("debug-addr", "", "separate listen address for pprof/expvar/metrics (off when empty)")
 	fleetRoot := fs.String("fleet", "", "fleet root directory holding tenant snapshot subdirectories; enables /v1/t/{tenant} routes beyond the default tenant")
 	maxResident := fs.Int("max-resident", 0, "max lazily-loaded tenants resident at once (0 = default)")
+	maxResidentBytes := fs.Int64("max-resident-bytes", 0, "byte budget for lazily-loaded tenants; least-recently-used tenants are evicted past it (0 = unlimited)")
 	tune := defaultTuning()
 	tune.register(fs)
 	var res serve.ResilienceOptions
@@ -277,8 +278,9 @@ func runServe(args []string, stdout io.Writer) error {
 	sopts := serve.Options{Workers: *workers, Resilience: res}
 	if *fleetRoot != "" {
 		sopts.Fleet = fleet.NewRegistry(fleet.RegistryOptions{
-			Root:        *fleetRoot,
-			MaxResident: *maxResident,
+			Root:             *fleetRoot,
+			MaxResident:      *maxResident,
+			MaxResidentBytes: *maxResidentBytes,
 			Logf: func(format string, args ...any) {
 				fmt.Fprintf(stdout, format+"\n", args...)
 			},

@@ -10,6 +10,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -49,8 +50,25 @@ type benchReport struct {
 	// workload driven round-robin across N tenants' /v1/t routes, so the
 	// registry, per-tenant quotas, and per-tenant metrics sit on the
 	// measured path.
-	TenantResult  *loadgen.Result `json:"tenant_result,omitempty"`
+	TenantResult *loadgen.Result `json:"tenant_result,omitempty"`
+	// Backends is the -backends comparison: the corpus summary snapshotted
+	// in each on-disk form, reloaded through the serving path, and driven
+	// in-process over the same workload — snapshot size, resident bytes,
+	// and lookup throughput side by side.
+	Backends      []backendReport `json:"backends,omitempty"`
 	ServerMetrics *obs.Snapshot   `json:"server_metrics,omitempty"`
+}
+
+// backendReport is one row of the frozen-vs-compressed backend matrix.
+type backendReport struct {
+	Backend       string  `json:"backend"`
+	SnapshotBytes int64   `json:"snapshot_bytes"`
+	ResidentBytes int     `json:"resident_bytes"`
+	AchievedQPS   float64 `json:"achieved_qps"`
+	P50ms         float64 `json:"p50_ms"`
+	P95ms         float64 `json:"p95_ms"`
+	P99ms         float64 `json:"p99_ms"`
+	Errors        uint64  `json:"errors,omitempty"`
 }
 
 // methodReport is one row of the accuracy×latency matrix.
@@ -120,6 +138,7 @@ func runLoadbench(args []string, stdout io.Writer) error {
 	service := fs.Duration("service", 5*time.Millisecond, "modeled per-request service floor of each -replicas replica (bounds replica capacity so the sweep measures fleet scaling, not single-host CPU)")
 	scaleDur := fs.Duration("scaledur", 2*time.Second, "measured duration of each -replicas point")
 	tenants := fs.Int("tenants", 0, "also drive the workload round-robin across this many tenants' /v1/t/{tenant}/estimate routes (default in-process server only)")
+	backends := fs.Bool("backends", false, "also compare the frozen and compressed snapshot backends in-process over the same workload, adding a size×throughput matrix to the report")
 	accQueries := fs.Int("accqueries", 60, "queries scored against exact counts per swept method (-methods)")
 	sweepRequests := fs.Int("sweeprequests", 300, "timed requests per swept method (-methods)")
 	out := fs.String("out", "BENCH_serve.json", "report output path")
@@ -311,6 +330,17 @@ func runLoadbench(args []string, stdout io.Writer) error {
 		}
 	}
 
+	// Backend comparison: one row per snapshot form, reloaded through the
+	// format-sniffing serving path and driven in-process.
+	var backendRows []backendReport
+	if *backends {
+		backendRows, err = sweepBackends(context.Background(), c, w,
+			core.Method(*method), *concurrency, *sweepRequests, stdout)
+		if err != nil {
+			return err
+		}
+	}
+
 	// Shard-replica scaling sweep: the fleet-scaling headline number.
 	var scaleRows []replicaScaleRow
 	if *replicasSpec != "" {
@@ -337,6 +367,7 @@ func runLoadbench(args []string, stdout io.Writer) error {
 		Methods:      methodRows,
 		ShardScaling: scaleRows,
 		TenantResult: tenantRes,
+		Backends:     backendRows,
 	}
 	if scrapeMetrics != nil {
 		snap, err := scrapeMetrics()
@@ -438,6 +469,75 @@ func sweepMethods(ctx context.Context, c *corpus.Corpus, trees []*labeltree.Tree
 			line += fmt.Sprintf("  divergent %d/%d", acc.Divergent, acc.Checked)
 		}
 		fmt.Fprintln(stdout, line)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// sweepBackends snapshots the corpus summary in each on-disk form (TLAT
+// frozen, TLCZ compressed), reloads it through core.OpenSnapshotFile —
+// the same magic-sniffing path serving replicas use — and drives the
+// workload in-process against each, producing the report's backend
+// matrix. Snapshots load against the corpus dictionary so the workload's
+// already-parsed queries stay valid.
+func sweepBackends(ctx context.Context, c *corpus.Corpus, w *loadgen.Workload, method core.Method, concurrency, requests int, stdout io.Writer) ([]backendReport, error) {
+	tmp, err := os.MkdirTemp("", "loadbench-backend-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmp)
+	sum := c.Summary()
+	kinds := []struct {
+		name  string
+		write func(io.Writer) (int64, error)
+	}{
+		{"frozen", sum.WriteTo},
+		{"compressed", sum.WriteCompressed},
+	}
+	rows := make([]backendReport, 0, len(kinds))
+	for _, kind := range kinds {
+		path := filepath.Join(tmp, "summary-"+kind.name+".tlat")
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := kind.write(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+		info, err := os.Stat(path)
+		if err != nil {
+			return nil, err
+		}
+		loaded, err := core.OpenSnapshotFile(path, c.Dict())
+		if err != nil {
+			return nil, fmt.Errorf("loadbench: reloading %s snapshot: %w", kind.name, err)
+		}
+		target, err := loadgen.NewEstimatorTarget(loaded, method)
+		if err != nil {
+			return nil, err
+		}
+		res, err := loadgen.Run(ctx, target, w, loadgen.Options{
+			Concurrency: concurrency, Requests: requests,
+		})
+		if err != nil {
+			return nil, err
+		}
+		row := backendReport{
+			Backend:       loaded.StoreKind(),
+			SnapshotBytes: info.Size(),
+			ResidentBytes: loaded.ResidentBytes(),
+			AchievedQPS:   res.AchievedQPS,
+			P50ms:         res.Latency.P50 * 1e3,
+			P95ms:         res.Latency.P95 * 1e3,
+			P99ms:         res.Latency.P99 * 1e3,
+			Errors:        res.Errors,
+		}
+		fmt.Fprintf(stdout, "backend %-10s %9.0f req/s  p50=%.3fms p95=%.3fms  snapshot=%dB resident=%dB\n",
+			row.Backend, row.AchievedQPS, row.P50ms, row.P95ms, row.SnapshotBytes, row.ResidentBytes)
 		rows = append(rows, row)
 	}
 	return rows, nil

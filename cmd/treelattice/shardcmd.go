@@ -25,6 +25,8 @@ func runShard(args []string, stdout io.Writer) error {
 	out := fs.String("out", "", "output tenant directory (one snapshot file per shard)")
 	n := fs.Int("n", 4, "number of shards")
 	workers := fs.Int("workers", 0, "build parallelism (0 = all CPUs)")
+	compress := fs.Bool("compress", false,
+		"write compressed (TLCZ) snapshots instead of frozen (TLAT); loaders detect the format by magic")
 	fs.Parse(args)
 	if *dir == "" || *out == "" {
 		return fmt.Errorf("shard: -corpus and -out are required")
@@ -52,7 +54,11 @@ func runShard(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if _, err := sum.WriteTo(f); err != nil {
+		write := sum.WriteTo
+		if *compress {
+			write = sum.WriteCompressed
+		}
+		if _, err := write(f); err != nil {
 			f.Close()
 			return err
 		}

@@ -74,17 +74,20 @@ type EstimateObserver func(method Method, d time.Duration)
 
 // Summary is a TreeLattice summary of one or more documents.
 //
-// A summary has one or two backends: the map-backed lattice (mutable;
-// built by mining) and an optional frozen snapshot (immutable, flat
-// arena + open addressing; see lattice.Frozen). Freeze installs the
+// A summary has up to three backends: the map-backed lattice (mutable;
+// built by mining), an optional frozen snapshot (immutable, flat
+// arena + open addressing; see lattice.Frozen), and an optional
+// compressed snapshot (immutable, front-coded sorted blocks; see
+// lattice.Compressed). Freeze or Compress installs the respective
 // snapshot and routes all estimates through it; a summary loaded with
-// ReadFrozen has only the snapshot and rejects every mutation with
-// ErrFrozenSummary. Both backends answer identically, so switching is
-// purely a performance decision.
+// ReadFrozen or ReadCompressed has only that snapshot and rejects every
+// mutation with ErrFrozenSummary. All backends answer identically, so
+// switching is purely a space/speed decision.
 type Summary struct {
-	lat    *lattice.Summary // nil when loaded frozen-only
-	frozen *lattice.Frozen  // nil until Freeze or ReadFrozen
-	multi  estimate.Store   // set by FromShards: summing view over shard stores
+	lat    *lattice.Summary    // nil when loaded snapshot-only
+	frozen *lattice.Frozen     // nil until Freeze or ReadFrozen
+	comp   *lattice.Compressed // nil until Compress or ReadCompressed
+	multi  estimate.Store      // set by FromShards: summing view over shard stores
 	dict   *labeltree.Dict
 	// observe, when non-nil, is called with the latency of every estimate
 	// issued through Estimator or EstimateWithTrace. Set once via
@@ -244,11 +247,14 @@ func FromLattice(lat *lattice.Summary) *Summary {
 }
 
 // store returns the backend estimates read from: the shard-combining
-// view when built with FromShards, else the frozen snapshot when
-// installed, else the map-backed lattice.
+// view when built with FromShards, else the compressed snapshot, else
+// the frozen snapshot, else the map-backed lattice.
 func (s *Summary) store() estimate.Store {
 	if s.multi != nil {
 		return s.multi
+	}
+	if s.comp != nil {
+		return s.comp
 	}
 	if s.frozen != nil {
 		return s.frozen
@@ -275,13 +281,25 @@ func (s *Summary) Freeze() {
 	}
 }
 
+// Compress installs (or refreshes) a compressed read-only snapshot of
+// the summary and routes subsequent estimates through it. The summary
+// stays mutable; mutations refresh the snapshot automatically.
+// Compressing a snapshot-only summary is a no-op.
+func (s *Summary) Compress() {
+	if s.lat != nil {
+		s.comp = lattice.Compress(s.lat)
+		s.invalidatePrepared()
+	}
+}
+
 // Mutable reports whether the summary can accept mutations (AddTree,
-// RemoveTree, MergeSummary). Summaries loaded with ReadFrozen are not
-// mutable.
+// RemoveTree, MergeSummary). Summaries loaded with ReadFrozen or
+// ReadCompressed are not mutable.
 func (s *Summary) Mutable() bool { return s.lat != nil }
 
-// FrozenStore reports whether estimates run against the frozen snapshot.
-func (s *Summary) FrozenStore() bool { return s.frozen != nil }
+// FrozenStore reports whether estimates run against an immutable
+// snapshot (frozen or compressed) rather than the map-backed lattice.
+func (s *Summary) FrozenStore() bool { return s.frozen != nil || s.comp != nil }
 
 // SubCache returns the shared sub-estimate cache for method, creating it
 // on first use. Safe for concurrent use; the cache is dedicated to this
@@ -339,6 +357,9 @@ func (s *Summary) invalidateDerived() {
 	s.cacheMu.Unlock()
 	if s.frozen != nil && s.lat != nil {
 		s.frozen = lattice.Freeze(s.lat)
+	}
+	if s.comp != nil && s.lat != nil {
+		s.comp = lattice.Compress(s.lat)
 	}
 	s.invalidatePrepared()
 }

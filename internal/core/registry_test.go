@@ -3,6 +3,9 @@ package core
 import (
 	"context"
 	"errors"
+	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -91,16 +94,22 @@ func directEstimate(t *testing.T, sum *Summary, tr *labeltree.Tree, m Method, q 
 
 // TestRegistryDifferentialIdentity: routing through the registry must be
 // a pure refactor — bit-identical to direct estimator calls for every
-// method, on both the map backend and the frozen backend.
+// method, on the map, frozen, and compressed backends alike.
 func TestRegistryDifferentialIdentity(t *testing.T) {
 	methods := []Method{
 		MethodRecursive, MethodRecursiveVoting, MethodFixSized,
 		MethodMarkov, MethodTreeSketch, MethodSampling,
 	}
-	for _, backend := range []string{"map", "frozen"} {
+	for _, backend := range []string{"map", "frozen", "compressed"} {
 		sum, tr, queries := registrySample(t)
-		if backend == "frozen" {
+		switch backend {
+		case "frozen":
 			sum.Freeze()
+		case "compressed":
+			sum.Compress()
+		}
+		if got := sum.StoreKind(); got != backend {
+			t.Fatalf("StoreKind() = %q, want %q", got, backend)
 		}
 		for _, m := range methods {
 			for _, q := range queries {
@@ -111,6 +120,84 @@ func TestRegistryDifferentialIdentity(t *testing.T) {
 				}
 				if got != want {
 					t.Errorf("%s/%s query %v: registry %v != direct %v", backend, m, q, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestRegistryDifferentialSnapshotFiles: a summary round-tripped through
+// each on-disk snapshot form and reloaded by the magic-sniffing
+// OpenSnapshotFile — fresh dictionary, exactly the serving path,
+// memory-mapped for TLCZ where the platform supports it — must answer
+// every decomposition method bit-identically to the original map-backed
+// summary. (Document-driven methods never read the store; the in-memory
+// backend loop above covers them.)
+func TestRegistryDifferentialSnapshotFiles(t *testing.T) {
+	sum, _, _ := registrySample(t)
+	queryStrings := []string{
+		"person(name)",
+		"person(name,address(city))",
+		"person(address(city,zip),watch)",
+		"item(name,price)",
+		"item(desc(par))",
+		"site(people(person(name)),items(item))",
+	}
+	methods := []Method{MethodRecursive, MethodRecursiveVoting, MethodFixSized}
+
+	dir := t.TempDir()
+	files := []struct {
+		kind  string
+		write func(io.Writer) (int64, error)
+	}{
+		{"frozen", sum.WriteTo},
+		{"compressed", sum.WriteCompressed},
+	}
+	for _, fc := range files {
+		path := filepath.Join(dir, fc.kind+".tlat")
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fc.write(f); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := OpenSnapshotFile(path, labeltree.NewDict())
+		if err != nil {
+			t.Fatalf("OpenSnapshotFile(%s): %v", fc.kind, err)
+		}
+		if got := loaded.StoreKind(); got != fc.kind {
+			t.Fatalf("loaded %s snapshot: StoreKind() = %q", fc.kind, got)
+		}
+		if loaded.Mutable() {
+			t.Fatalf("loaded %s snapshot must not be mutable", fc.kind)
+		}
+		if loaded.ResidentBytes() <= 0 {
+			t.Fatalf("loaded %s snapshot: ResidentBytes() = %d", fc.kind, loaded.ResidentBytes())
+		}
+		for _, qs := range queryStrings {
+			origQ, err := sum.ParseQuery(qs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			loadedQ, err := loaded.ParseQuery(qs)
+			if err != nil {
+				t.Fatalf("%s: parse %q against loaded dict: %v", fc.kind, qs, err)
+			}
+			for _, m := range methods {
+				want, err := sum.EstimateContext(context.Background(), origQ, m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := loaded.EstimateContext(context.Background(), loadedQ, m)
+				if err != nil {
+					t.Fatalf("%s/%s: %v", fc.kind, m, err)
+				}
+				if got != want {
+					t.Errorf("%s/%s query %q: loaded %v != original %v", fc.kind, m, qs, got, want)
 				}
 			}
 		}

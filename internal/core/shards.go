@@ -99,6 +99,21 @@ func (m *shardStore) SizeBytes() int {
 	return total
 }
 
+// ResidentBytes sums the resident bytes of the shard stores, falling
+// back to accounted storage for backends that cannot report residency.
+func (m *shardStore) ResidentBytes() int {
+	total := 0
+	for _, st := range m.stores {
+		switch sz := st.(type) {
+		case residentSized:
+			total += sz.ResidentBytes()
+		case sized:
+			total += sz.SizeBytes()
+		}
+	}
+	return total
+}
+
 // Len sums per-shard entry counts. A pattern present in several shards is
 // counted once per shard — the figure reports stored entries, not
 // distinct patterns.

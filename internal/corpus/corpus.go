@@ -148,21 +148,34 @@ func Create(dir string, opts Options) (*Corpus, error) {
 	return c, nil
 }
 
-// Open loads an existing corpus.
+// Open loads an existing corpus with a mutable summary. The summary
+// file must be in the TLAT form (the form writeSummary maintains);
+// compressed snapshots carry no mutable backend and are rejected here —
+// load those with OpenReadOnly.
 func Open(dir string) (*Corpus, error) {
-	return open(dir, core.Read)
+	return open(dir, func(path string, dict *labeltree.Dict) (*core.Summary, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: opening summary: %w", err)
+		}
+		defer f.Close()
+		return core.Read(f, dict)
+	})
 }
 
-// OpenReadOnly loads an existing corpus with its summary in the frozen
-// read-optimized representation: the map backend is never materialized,
-// estimate lookups are allocation-free, and every mutating operation
-// fails with core.ErrFrozenSummary. The load path for read-only serving
-// replicas.
+// OpenReadOnly loads an existing corpus with its summary in an
+// immutable read-optimized representation, detected from the summary
+// file's magic: frozen (flat arena + open addressing) for TLAT
+// snapshots, compressed (front-coded blocks, memory-mapped where the
+// platform supports it) for TLCZ snapshots. The map backend is never
+// materialized, estimate lookups are allocation-free, and every
+// mutating operation fails with core.ErrFrozenSummary. The load path
+// for read-only serving replicas.
 func OpenReadOnly(dir string) (*Corpus, error) {
-	return open(dir, core.ReadFrozen)
+	return open(dir, core.OpenSnapshotFile)
 }
 
-func open(dir string, readSummary func(io.Reader, *labeltree.Dict) (*core.Summary, error)) (*Corpus, error) {
+func open(dir string, loadSummary func(path string, dict *labeltree.Dict) (*core.Summary, error)) (*Corpus, error) {
 	opts, err := readMeta(metaPath(dir))
 	if err != nil {
 		return nil, err
@@ -173,12 +186,7 @@ func open(dir string, readSummary func(io.Reader, *labeltree.Dict) (*core.Summar
 		dict: labeltree.NewDict(),
 		docs: make(map[string]*labeltree.Tree),
 	}
-	f, err := os.Open(summaryPath(dir))
-	if err != nil {
-		return nil, fmt.Errorf("corpus: opening summary: %w", err)
-	}
-	defer f.Close()
-	c.summary, err = readSummary(f, c.dict)
+	c.summary, err = loadSummary(summaryPath(dir), c.dict)
 	if err != nil {
 		return nil, fmt.Errorf("corpus: loading summary: %w", err)
 	}

@@ -25,6 +25,13 @@ type RegistryOptions struct {
 	// Evicting a tenant drops the registry's reference; summaries are
 	// immutable, so estimates already holding one are unaffected.
 	MaxResident int
+	// MaxResidentBytes additionally bounds the summed ResidentBytes of
+	// disk-loaded tenants (0 = no byte budget). When a load pushes the
+	// total past the budget, least-recently-used tenants are evicted
+	// until it fits — except the newest load itself, which always stays:
+	// a single tenant larger than the budget still serves, it just
+	// evicts everything else.
+	MaxResidentBytes int64
 	// Logf receives load/evict log lines; nil means no logging.
 	Logf func(format string, args ...any)
 }
@@ -40,13 +47,15 @@ type Registry struct {
 	resident map[string]*slot
 	lru      *list.List // unpinned loaded slots, front = most recent
 
-	loads     int64
-	evictions int64
+	loads      int64
+	evictions  int64
+	totalBytes int64 // summed bytes of lru-listed (unpinned, loaded) slots
 }
 
 // slot tracks one tenant through loading and residence. ready closes
 // when the load completes; elem is the slot's LRU position (nil while
-// loading or pinned).
+// loading or pinned); bytes is the tenant's resident footprint,
+// recorded at load so eviction accounting needs no re-measuring.
 type slot struct {
 	name   string
 	pinned bool
@@ -54,6 +63,7 @@ type slot struct {
 	tenant *Tenant
 	err    error
 	elem   *list.Element
+	bytes  int64
 }
 
 // NewRegistry returns an empty registry over opts.Root.
@@ -82,8 +92,12 @@ func (r *Registry) Install(t *Tenant) error {
 	defer r.mu.Unlock()
 	if old, ok := r.resident[t.Name]; ok && old.elem != nil {
 		r.lru.Remove(old.elem)
+		r.totalBytes -= old.bytes
 	}
-	r.resident[t.Name] = &slot{name: t.Name, pinned: true, ready: ready, tenant: t}
+	r.resident[t.Name] = &slot{
+		name: t.Name, pinned: true, ready: ready, tenant: t,
+		bytes: int64(t.ResidentBytes()),
+	}
 	return nil
 }
 
@@ -126,9 +140,12 @@ func (r *Registry) Acquire(ctx context.Context, name string) (*Tenant, error) {
 		// (the tenant may appear on disk later).
 		delete(r.resident, name)
 	} else {
+		s.bytes = int64(t.ResidentBytes())
+		r.totalBytes += s.bytes
 		s.elem = r.lru.PushFront(s)
 		r.evictLocked()
-		r.logf("fleet: loaded tenant %q (%d shards)", name, t.Shards)
+		r.logf("fleet: loaded tenant %q (%d shards, %s backend, %d resident bytes)",
+			name, t.Shards, t.StoreKind(), s.bytes)
 	}
 	r.mu.Unlock()
 	close(s.ready)
@@ -139,16 +156,22 @@ func (r *Registry) tenantDir(name string) string {
 	return filepath.Join(r.opts.Root, name)
 }
 
-// evictLocked drops least-recently-used unpinned tenants beyond
-// MaxResident. Caller holds r.mu.
+// evictLocked drops least-recently-used unpinned tenants while the
+// count exceeds MaxResident or the summed resident bytes exceed
+// MaxResidentBytes — but never the sole remaining one, so an oversized
+// tenant still serves. Caller holds r.mu.
 func (r *Registry) evictLocked() {
-	for r.lru.Len() > r.opts.MaxResident {
+	overBudget := func() bool {
+		return r.opts.MaxResidentBytes > 0 && r.totalBytes > r.opts.MaxResidentBytes
+	}
+	for r.lru.Len() > r.opts.MaxResident || (overBudget() && r.lru.Len() > 1) {
 		e := r.lru.Back()
 		s := e.Value.(*slot)
 		r.lru.Remove(e)
 		delete(r.resident, s.name)
+		r.totalBytes -= s.bytes
 		r.evictions++
-		r.logf("fleet: evicted tenant %q", s.name)
+		r.logf("fleet: evicted tenant %q (%d resident bytes)", s.name, s.bytes)
 	}
 }
 
@@ -204,23 +227,32 @@ func (r *Registry) Resident() []string {
 	return out
 }
 
-// RegistryStats is the registry's /v1/stats section.
+// RegistryStats is the registry's /v1/stats section. ResidentBytes
+// sums the footprint of every loaded tenant, pinned included;
+// MaxResidentBytes echoes the configured budget (0 = unlimited), which
+// meters only the unpinned, disk-loaded portion.
 type RegistryStats struct {
-	Resident  int   `json:"resident"`
-	Pinned    int   `json:"pinned"`
-	Loads     int64 `json:"loads"`
-	Evictions int64 `json:"evictions"`
+	Resident         int   `json:"resident"`
+	Pinned           int   `json:"pinned"`
+	Loads            int64 `json:"loads"`
+	Evictions        int64 `json:"evictions"`
+	ResidentBytes    int64 `json:"resident_bytes"`
+	MaxResidentBytes int64 `json:"max_resident_bytes,omitempty"`
 }
 
 // Stats snapshots residence and churn counters.
 func (r *Registry) Stats() RegistryStats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	st := RegistryStats{Resident: len(r.resident), Loads: r.loads, Evictions: r.evictions}
+	st := RegistryStats{
+		Resident: len(r.resident), Loads: r.loads, Evictions: r.evictions,
+		MaxResidentBytes: r.opts.MaxResidentBytes,
+	}
 	for _, s := range r.resident {
 		if s.pinned {
 			st.Pinned++
 		}
+		st.ResidentBytes += s.bytes
 	}
 	return st
 }

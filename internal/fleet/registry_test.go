@@ -126,6 +126,155 @@ func TestRegistryLoadEvictPin(t *testing.T) {
 	}
 }
 
+// writeCompressedTenantDir is writeTenantDir with every snapshot in the
+// compressed TLCZ form — same .tlat filenames, loaders detect by magic.
+func writeCompressedTenantDir(t *testing.T, root, name string, seed int64, shards int) {
+	t.Helper()
+	dir := filepath.Join(root, name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	_, trees, names := testCorpus(t, seed, 6, 16)
+	opts := core.BuildOptions{K: 3}
+	write := func(path string, sum *core.Summary) {
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if _, err := sum.WriteCompressed(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if shards == 1 {
+		sum, err := core.BuildForestContext(context.Background(), trees, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		write(filepath.Join(dir, fleet.SummaryFile), sum)
+		return
+	}
+	for i, sum := range buildShards(t, trees, names, shards, opts) {
+		write(filepath.Join(dir, fleet.ShardFile(i)), sum)
+	}
+}
+
+// TestLoadTenantCompressed: LoadTenant must detect compressed snapshots
+// by magic — same filenames as frozen ones — and answer estimates
+// bit-identically to the frozen-loaded twin of the same tenant, at a
+// smaller resident footprint.
+func TestLoadTenantCompressed(t *testing.T) {
+	root := t.TempDir()
+	for _, shards := range []int{1, 3} {
+		frozenName := fmt.Sprintf("froz%d", shards)
+		compName := fmt.Sprintf("comp%d", shards)
+		writeTenantDir(t, root, frozenName, 33, shards)
+		writeCompressedTenantDir(t, root, compName, 33, shards)
+		froz, err := fleet.LoadTenant(filepath.Join(root, frozenName), frozenName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		comp, err := fleet.LoadTenant(filepath.Join(root, compName), compName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if comp.Shards != shards || comp.Shards != froz.Shards {
+			t.Fatalf("shards=%d: loaded %d compressed / %d frozen shards",
+				shards, comp.Shards, froz.Shards)
+		}
+		if shards == 1 {
+			if got := comp.StoreKind(); got != "compressed" {
+				t.Fatalf("compressed tenant StoreKind() = %q", got)
+			}
+			if got := froz.StoreKind(); got != "frozen" {
+				t.Fatalf("frozen tenant StoreKind() = %q", got)
+			}
+		}
+		if comp.Summary.Mutable() {
+			t.Fatal("compressed tenant must be read-only")
+		}
+		if cb, fb := comp.ResidentBytes(), froz.ResidentBytes(); cb <= 0 || cb >= fb {
+			t.Fatalf("shards=%d: compressed resident %d vs frozen %d", shards, cb, fb)
+		}
+		for _, qs := range []string{"l0(l1)", "l1(l2,l3)", "l0(l1(l2))"} {
+			fq, err := froz.Summary.ParseQuery(qs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cq, err := comp.Summary.ParseQuery(qs)
+			if err != nil {
+				t.Fatalf("parse %q against compressed tenant: %v", qs, err)
+			}
+			fr, err := froz.Estimate(context.Background(), fq, core.MethodRecursiveVoting, fleet.EstimateOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cr, err := comp.Estimate(context.Background(), cq, core.MethodRecursiveVoting, fleet.EstimateOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cr.Estimate != fr.Estimate {
+				t.Errorf("shards=%d query %q: compressed %v != frozen %v",
+					shards, qs, cr.Estimate, fr.Estimate)
+			}
+		}
+	}
+}
+
+// TestRegistryByteBudget: MaxResidentBytes must evict LRU tenants once
+// the summed footprint passes the budget — but never the newest load
+// itself, so an oversized tenant still serves.
+func TestRegistryByteBudget(t *testing.T) {
+	root := t.TempDir()
+	for i := 0; i < 3; i++ {
+		writeTenantDir(t, root, fmt.Sprintf("t%d", i), int64(i), 1)
+	}
+	probe := fleet.NewRegistry(fleet.RegistryOptions{Root: root})
+	ctx := context.Background()
+	tn, err := probe.Acquire(ctx, "t0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := int64(tn.ResidentBytes())
+	if one <= 0 {
+		t.Fatalf("tenant resident bytes = %d", one)
+	}
+
+	// Budget below a single tenant: each load evicts the previous one,
+	// but the tenant just loaded always stays resident.
+	r := fleet.NewRegistry(fleet.RegistryOptions{Root: root, MaxResidentBytes: one / 2})
+	for i := 0; i < 3; i++ {
+		if _, err := r.Acquire(ctx, fmt.Sprintf("t%d", i)); err != nil {
+			t.Fatal(err)
+		}
+		if st := r.Stats(); st.Resident != 1 {
+			t.Fatalf("after load %d: %d resident under tiny budget", i, st.Resident)
+		}
+	}
+	st := r.Stats()
+	if st.Evictions != 2 {
+		t.Fatalf("want 2 byte-budget evictions, got %+v", st)
+	}
+	if st.ResidentBytes <= 0 || st.MaxResidentBytes != one/2 {
+		t.Fatalf("stats bytes not reported: %+v", st)
+	}
+
+	// Budget fitting roughly two tenants: the third load evicts only the
+	// least recently used one.
+	r2 := fleet.NewRegistry(fleet.RegistryOptions{Root: root, MaxResidentBytes: 2*one + one/2})
+	for i := 0; i < 3; i++ {
+		if _, err := r2.Acquire(ctx, fmt.Sprintf("t%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := r2.Stats(); st.Resident != 2 || st.Evictions != 1 {
+		t.Fatalf("two-tenant budget: %+v", st)
+	}
+	if r2.Loaded("t0") {
+		t.Fatal("LRU tenant t0 survived the byte budget")
+	}
+}
+
 func mustSummary(t *testing.T, seed int64) *core.Summary {
 	t.Helper()
 	_, trees, _ := testCorpus(t, seed, 4, 12)

@@ -64,23 +64,24 @@ func NewShardedTenant(name string, shards []Shard) (*Tenant, error) {
 	return &Tenant{Name: name, Summary: sum, Gather: g, Shards: len(shards)}, nil
 }
 
-// LoadTenant loads a tenant's frozen snapshots from its directory under
-// the fleet root. The layout is one of:
+// LoadTenant loads a tenant's read-only snapshots from its directory
+// under the fleet root. The layout is one of:
 //
 //	<dir>/summary.tlat        single summary
 //	<dir>/shard-NNNN.tlat...  one snapshot per shard (sharded tenant)
 //
-// Every snapshot loads through core.ReadFrozen — the zero-copy read-only
-// path — and all shards of a tenant intern labels into one shared
+// Every snapshot loads through core.OpenSnapshotFile, which detects the
+// format by magic: frozen for TLAT files, compressed (memory-mapped
+// where supported) for TLCZ files — the shard writer keeps the .tlat
+// name either way. All shards of a tenant intern labels into one shared
 // dictionary, so canonical keys agree across shard stores and the
 // combined view sums them correctly.
 func LoadTenant(dir, name string) (*Tenant, error) {
 	if err := ValidateName(name); err != nil {
 		return nil, err
 	}
-	if f, err := os.Open(filepath.Join(dir, SummaryFile)); err == nil {
-		defer f.Close()
-		sum, err := readFrozenFile(f, labeltree.NewDict())
+	if sumPath := filepath.Join(dir, SummaryFile); fileExists(sumPath) {
+		sum, err := core.OpenSnapshotFile(sumPath, labeltree.NewDict())
 		if err != nil {
 			return nil, fmt.Errorf("fleet: tenant %q: %w", name, err)
 		}
@@ -103,12 +104,7 @@ func LoadTenant(dir, name string) (*Tenant, error) {
 	dict := labeltree.NewDict()
 	shards := make([]Shard, len(files))
 	for i, fn := range files {
-		f, err := os.Open(filepath.Join(dir, fn))
-		if err != nil {
-			return nil, fmt.Errorf("fleet: tenant %q: %w", name, err)
-		}
-		sum, err := readFrozenFile(f, dict)
-		f.Close()
+		sum, err := core.OpenSnapshotFile(filepath.Join(dir, fn), dict)
 		if err != nil {
 			return nil, fmt.Errorf("fleet: tenant %q shard %s: %w", name, fn, err)
 		}
@@ -117,8 +113,25 @@ func LoadTenant(dir, name string) (*Tenant, error) {
 	return NewShardedTenant(name, shards)
 }
 
-// readFrozenFile loads one snapshot into the read-optimized frozen
-// representation, interning labels into dict.
-func readFrozenFile(f *os.File, dict *labeltree.Dict) (*core.Summary, error) {
-	return core.ReadFrozen(f, dict)
+func fileExists(path string) bool {
+	info, err := os.Stat(path)
+	return err == nil && !info.IsDir()
+}
+
+// ResidentBytes reports the bytes the tenant's backend keeps resident —
+// the figure the registry's byte-budget admission meters.
+func (t *Tenant) ResidentBytes() int {
+	if t.Summary == nil {
+		return 0
+	}
+	return t.Summary.ResidentBytes()
+}
+
+// StoreKind names the tenant's backing store ("shards", "compressed",
+// "frozen", or "map").
+func (t *Tenant) StoreKind() string {
+	if t.Summary == nil {
+		return ""
+	}
+	return t.Summary.StoreKind()
 }

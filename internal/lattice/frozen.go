@@ -2,6 +2,7 @@ package lattice
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -9,6 +10,16 @@ import (
 
 	"treelattice/internal/labeltree"
 )
+
+// ErrSnapshotTooLarge reports a snapshot whose flat storage would exceed
+// what the u32 offset layouts (frozen arena, compressed block section)
+// can address. Match it with errors.Is.
+var ErrSnapshotTooLarge = errors.New("lattice: snapshot exceeds 4GiB addressable layout")
+
+// frozenArenaLimit bounds the key arena ReadFrozen may assemble. A
+// variable only so tests can lower it and cover the guard without
+// materializing 4GiB of keys.
+var frozenArenaLimit = math.MaxUint32
 
 // Frozen is an immutable, read-optimized snapshot of a K-lattice. All
 // canonical key bytes live in one flat arena addressed by an
@@ -51,6 +62,12 @@ func (f *Frozen) Len() int { return len(f.counts) }
 // SizeBytes returns the accounted storage size (8 bytes of count plus 5
 // bytes per node, the same accounting as Summary.SizeBytes).
 func (f *Frozen) SizeBytes() int { return f.sizeBytes }
+
+// ResidentBytes reports the actual bytes the snapshot keeps resident:
+// arena, offsets, counts, and the open-addressing table.
+func (f *Frozen) ResidentBytes() int {
+	return len(f.arena) + 4*len(f.offs) + 8*len(f.counts) + 4*len(f.table)
+}
 
 // Count returns the stored count for p and whether p is present.
 func (f *Frozen) Count(p labeltree.Pattern) (int64, bool) {
@@ -143,8 +160,8 @@ func ReadFrozen(r io.Reader, dict *labeltree.Dict) (*Frozen, error) {
 			return nil, err
 		}
 		keyBuf = p.AppendKey(keyBuf[:0])
-		if len(f.arena)+len(keyBuf) > math.MaxUint32 {
-			return nil, fmt.Errorf("lattice: frozen arena exceeds 4GiB")
+		if len(f.arena)+len(keyBuf) > frozenArenaLimit {
+			return nil, fmt.Errorf("lattice: frozen arena at entry %d: %w", e, ErrSnapshotTooLarge)
 		}
 		f.add(keyBuf, count, p.Size())
 	}

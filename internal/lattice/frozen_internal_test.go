@@ -1,0 +1,39 @@
+package lattice
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"treelattice/internal/labeltree"
+)
+
+// TestReadFrozenArenaGuard covers the 4GiB arena guard by lowering the
+// limit: ReadFrozen must refuse to assemble an arena past it and report
+// the typed sentinel, not a bare error.
+func TestReadFrozenArenaGuard(t *testing.T) {
+	d := labeltree.NewDict()
+	s := New(3, d)
+	for _, name := range []string{"aaa", "bbb", "ccc"} {
+		if err := s.Add(labeltree.SingleNode(d.Intern(name)), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	old := frozenArenaLimit
+	frozenArenaLimit = 4 // three 2-byte keys: the second entry trips the guard
+	defer func() { frozenArenaLimit = old }()
+	if _, err := ReadFrozen(bytes.NewReader(data), labeltree.NewDict()); !errors.Is(err, ErrSnapshotTooLarge) {
+		t.Fatalf("ReadFrozen past the arena limit: err = %v, want ErrSnapshotTooLarge", err)
+	}
+
+	frozenArenaLimit = old
+	if _, err := ReadFrozen(bytes.NewReader(data), labeltree.NewDict()); err != nil {
+		t.Fatalf("ReadFrozen under the real limit: %v", err)
+	}
+}

@@ -201,3 +201,17 @@ func (s *Summary) SizeBytes() int {
 	}
 	return total
 }
+
+// ResidentBytes estimates the bytes the map-backed summary actually
+// keeps resident: key string, pattern slices, count, and Go map bucket
+// overhead per entry. An estimate, not an exact heap measurement — its
+// job is comparable residency accounting across the three backends.
+func (s *Summary) ResidentBytes() int {
+	total := 0
+	for k, e := range s.entries {
+		// key bytes + string header, labels (4B) + parents (4B) + three
+		// slice/struct headers, count, and ~1/2 bucket of map overhead.
+		total += len(k) + 16 + 8*e.Pattern.Size() + 48 + 8 + 16
+	}
+	return total
+}

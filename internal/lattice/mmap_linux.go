@@ -1,0 +1,30 @@
+//go:build linux
+
+package lattice
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps f read-only and shared, so every process serving the
+// same snapshot file shares one page-cache copy and opening costs no
+// heap. The returned release function unmaps; it must not run while the
+// bytes are still referenced. Empty, oversized, or unmappable files
+// (some filesystems refuse mmap) fall back to a plain read, signalled by
+// a nil release function.
+func mmapFile(f *os.File) ([]byte, func() error, error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := fi.Size()
+	if size <= 0 || size != int64(int(size)) {
+		return readAllFile(f, size)
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return readAllFile(f, size)
+	}
+	return b, func() error { return syscall.Munmap(b) }, nil
+}

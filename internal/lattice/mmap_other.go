@@ -1,0 +1,16 @@
+//go:build !linux
+
+package lattice
+
+import "os"
+
+// mmapFile on platforms without a wired-up mmap path reads the whole
+// snapshot onto the heap; the nil release function tells callers there
+// is no mapping to manage.
+func mmapFile(f *os.File) ([]byte, func() error, error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	return readAllFile(f, fi.Size())
+}

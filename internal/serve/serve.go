@@ -516,6 +516,8 @@ func (h *Handler) stats(w http.ResponseWriter, _ *http.Request) {
 		"k":               s.K(),
 		"patterns":        s.Patterns(),
 		"bytes":           s.SizeBytes(),
+		"backend":         s.StoreKind(),
+		"resident_bytes":  s.ResidentBytes(),
 		"documents":       h.c.Docs(),
 		"cache_hits":      hits,
 		"cache_misses":    misses,

@@ -152,29 +152,53 @@ func (h *Handler) tenantStatsEndpoint(w http.ResponseWriter, r *http.Request) {
 	}
 	tm := h.tenantMetricsFor(name)
 	writeJSON(w, map[string]any{
-		"tenant":    name,
-		"shards":    tn.Shards,
-		"k":         tn.Summary.K(),
-		"patterns":  tn.Summary.Patterns(),
-		"bytes":     tn.Summary.SizeBytes(),
-		"requests":  tm.requests.Value(),
-		"shed":      tm.shed.Value(),
-		"in_flight": h.quota.InFlight(name),
-		"subcache":  h.subcacheSummary(tn.Summary),
+		"tenant":         name,
+		"shards":         tn.Shards,
+		"k":              tn.Summary.K(),
+		"patterns":       tn.Summary.Patterns(),
+		"bytes":          tn.Summary.SizeBytes(),
+		"backend":        tn.StoreKind(),
+		"resident_bytes": tn.ResidentBytes(),
+		"requests":       tm.requests.Value(),
+		"shed":           tm.shed.Value(),
+		"in_flight":      h.quota.InFlight(name),
+		"subcache":       h.subcacheSummary(tn.Summary),
 	})
 }
 
 // tenantsEndpoint serves GET /v1/tenants: residence and churn of the
-// fleet registry, plus the always-resident default tenant.
+// fleet registry, plus per-tenant backend kind and resident footprint
+// for every loaded tenant (and always the default tenant).
 func (h *Handler) tenantsEndpoint(w http.ResponseWriter, _ *http.Request) {
 	resp := map[string]any{"default": h.defaultTenant}
+	tenants := map[string]any{}
 	if h.flt != nil {
-		resp["resident"] = h.flt.Resident()
+		names := h.flt.Resident()
+		resp["resident"] = names
 		resp["registry"] = h.flt.Stats()
+		for _, name := range names {
+			if tn, ok := h.flt.Peek(name); ok {
+				tenants[name] = tenantShape(tn)
+			}
+		}
 	} else {
 		resp["resident"] = []string{h.defaultTenant}
 	}
+	if _, ok := tenants[h.defaultTenant]; !ok {
+		tenants[h.defaultTenant] = tenantShape(fleet.NewTenant(h.defaultTenant, h.c.Summary()))
+	}
+	resp["tenants"] = tenants
 	writeJSON(w, resp)
+}
+
+// tenantShape is the /v1/tenants per-tenant entry: which backend the
+// tenant's summary runs on and how many bytes it keeps resident.
+func tenantShape(tn *fleet.Tenant) map[string]any {
+	return map[string]any{
+		"backend":        tn.StoreKind(),
+		"shards":         tn.Shards,
+		"resident_bytes": tn.ResidentBytes(),
+	}
 }
 
 // healthz serves GET /v1/healthz — pure liveness: the process answers.
@@ -234,6 +258,8 @@ func (h *Handler) tenantsSummary() map[string]any {
 				ratio = float64(st.Hits) / float64(st.Hits+st.Misses)
 			}
 			entry["subcache_hit_ratio"] = ratio
+			entry["backend"] = sum.StoreKind()
+			entry["resident_bytes"] = sum.ResidentBytes()
 		}
 		out[name] = entry
 	}

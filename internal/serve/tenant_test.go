@@ -189,6 +189,9 @@ func TestTenantRoutes(t *testing.T) {
 	if code != http.StatusOK || out["shards"] != 2.0 || out["requests"].(float64) < 1 {
 		t.Fatalf("acme stats: %d %v", code, out)
 	}
+	if out["backend"] != "shards" || out["resident_bytes"].(float64) <= 0 {
+		t.Fatalf("acme stats backend accounting: %v", out)
+	}
 	code, out = do(t, "GET", srv.URL+"/v1/tenants", "")
 	if code != http.StatusOK || out["default"] != DefaultTenant {
 		t.Fatalf("tenants: %d %v", code, out)
@@ -196,6 +199,18 @@ func TestTenantRoutes(t *testing.T) {
 	resident, ok := out["resident"].([]any)
 	if !ok || len(resident) < 2 {
 		t.Fatalf("resident listing: %v", out)
+	}
+	shapes, ok := out["tenants"].(map[string]any)
+	if !ok {
+		t.Fatalf("tenants listing has no per-tenant shapes: %v", out)
+	}
+	acmeShape, ok := shapes["acme"].(map[string]any)
+	if !ok || acmeShape["backend"] != "shards" || acmeShape["resident_bytes"].(float64) <= 0 {
+		t.Fatalf("acme shape: %v", shapes)
+	}
+	defShape, ok := shapes[DefaultTenant].(map[string]any)
+	if !ok || defShape["backend"] != "map" {
+		t.Fatalf("default tenant shape: %v", shapes)
 	}
 
 	// /v1/stats gains the per-tenant section without touching the flat
@@ -216,6 +231,13 @@ func TestTenantRoutes(t *testing.T) {
 	acme, ok := tenants["acme"].(map[string]any)
 	if !ok || acme["requests"].(float64) < 1 {
 		t.Fatalf("tenants section: %v", tenants)
+	}
+	if acme["backend"] != "shards" || acme["resident_bytes"].(float64) <= 0 {
+		t.Fatalf("tenants section backend accounting: %v", acme)
+	}
+	if out["backend"] != "map" || out["resident_bytes"].(float64) <= 0 {
+		t.Fatalf("stats backend accounting: backend=%v resident_bytes=%v",
+			out["backend"], out["resident_bytes"])
 	}
 	if _, ok := out["fleet"]; !ok {
 		t.Fatalf("stats has no fleet registry section")
