@@ -17,6 +17,7 @@ FUZZ_TARGETS = \
 	./internal/labeltree:FuzzKeyDecode \
 	./internal/lattice:FuzzFrozenLoad \
 	./internal/lattice:FuzzCompressedLoad \
+	./internal/lattice:FuzzDeltaMerge \
 	./internal/fleet:FuzzTenantName
 
 .PHONY: check vet build test race fuzz fuzz-short bench benchcore microbench
@@ -61,12 +62,15 @@ race:
 # scaling) and -tenants drives the workload through the multi-tenant
 # /v1/t routes. -backends reloads the summary through both snapshot
 # forms (frozen TLAT, compressed TLCZ) and adds the size×throughput
-# comparison. The report schema is regression-tested in
+# comparison. -ingest runs a mixed read/write pass — readers estimating
+# while a writer streams documents through the zero-downtime ingest
+# pipeline with sub-second refreezes — and adds its read latency and
+# write/backpressure counts. The report schema is regression-tested in
 # cmd/treelattice/loadbench_test.go.
 bench:
 	$(GO) run ./cmd/treelattice loadbench -gen xmark -scale 20000 \
 		-duration 3s -warmup 500ms -seed 1 -batch 32 -methods all \
-		-replicas 1,2,4 -tenants 2 -backends \
+		-replicas 1,2,4 -tenants 2 -backends -ingest \
 		-out BENCH_serve.json
 
 # benchcore is the build/estimate-path counterpart of `make bench`: it

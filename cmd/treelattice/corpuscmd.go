@@ -259,6 +259,13 @@ func runServe(args []string, stdout io.Writer) error {
 	fleetRoot := fs.String("fleet", "", "fleet root directory holding tenant snapshot subdirectories; enables /v1/t/{tenant} routes beyond the default tenant")
 	maxResident := fs.Int("max-resident", 0, "max lazily-loaded tenants resident at once (0 = default)")
 	maxResidentBytes := fs.Int64("max-resident-bytes", 0, "byte budget for lazily-loaded tenants; least-recently-used tenants are evicted past it (0 = unlimited)")
+	ingest := fs.Bool("ingest", false, "enable zero-downtime ingest: document adds land in a delta overlay served via RCU epochs, and a background refreezer folds them into crash-safe snapshots (works with -frozen)")
+	refreezeInterval := fs.Duration("refreeze-interval", 30*time.Second, "background refreeze cadence; watermark crossings also trigger one (0 = watermark-only)")
+	deltaMaxBytes := fs.Int("delta-max-bytes", 0, "delta size watermark that kicks an early refreeze (0 = 4MiB)")
+	deltaMaxDocs := fs.Int("delta-max-docs", 0, "delta document-count watermark that kicks an early refreeze (0 = 256)")
+	deltaMaxAge := fs.Duration("delta-max-age", 0, "oldest-unfolded-document watermark that kicks an early refreeze (0 = 5m)")
+	deltaHardBytes := fs.Int("delta-hard-bytes", 0, "hard delta size limit past which ingest answers 429 until a refreeze catches up (0 = 4x -delta-max-bytes)")
+	ingestCompress := fs.Bool("ingest-compress", false, "refreeze into compressed (TLCZ) snapshots instead of plain TLAT")
 	tune := defaultTuning()
 	tune.register(fs)
 	var res serve.ResilienceOptions
@@ -274,6 +281,30 @@ func runServe(args []string, stdout io.Writer) error {
 	c, err := open(*dir)
 	if err != nil {
 		return err
+	}
+	if *ingest {
+		err := c.EnableIngest(corpus.IngestOptions{
+			RefreezeInterval: *refreezeInterval,
+			MaxDeltaBytes:    *deltaMaxBytes,
+			MaxDeltaDocs:     *deltaMaxDocs,
+			MaxDeltaAge:      *deltaMaxAge,
+			HardDeltaBytes:   *deltaHardBytes,
+			Compress:         *ingestCompress,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(stdout, format+"\n", args...)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		defer func() {
+			// Fold the remaining delta into a final snapshot on the way
+			// out; a failure is non-fatal (the manifest protocol recovers
+			// unfolded documents on the next open).
+			if err := c.DisableIngest(); err != nil {
+				fmt.Fprintf(stdout, "serve: final refreeze: %v\n", err)
+			}
+		}()
 	}
 	sopts := serve.Options{Workers: *workers, Resilience: res}
 	if *fleetRoot != "" {

@@ -55,8 +55,25 @@ type benchReport struct {
 	// in each on-disk form, reloaded through the serving path, and driven
 	// in-process over the same workload — snapshot size, resident bytes,
 	// and lookup throughput side by side.
-	Backends      []backendReport `json:"backends,omitempty"`
-	ServerMetrics *obs.Snapshot   `json:"server_metrics,omitempty"`
+	Backends []backendReport `json:"backends,omitempty"`
+	// Ingest is the -ingest mixed read/write run: the same estimate
+	// workload driven against an ingest-enabled copy of the corpus while
+	// a writer streams document uploads through the delta/epoch pipeline,
+	// so read latency under continuous ingest (and refreeze churn) is on
+	// the record next to the read-only numbers.
+	Ingest        *ingestReport `json:"ingest,omitempty"`
+	ServerMetrics *obs.Snapshot `json:"server_metrics,omitempty"`
+}
+
+// ingestReport is the -ingest row: read-side throughput/latency measured
+// while writes flowed, the write-side outcome tally, and the pipeline's
+// final counters (epoch reached, refreezes, backpressure).
+type ingestReport struct {
+	ReadResult    *loadgen.Result  `json:"read_result"`
+	DocsAdded     int              `json:"docs_added"`
+	WriteErrors   int              `json:"write_errors"`
+	Backpressured int              `json:"backpressured_429"`
+	Stats         core.IngestStats `json:"stats"`
 }
 
 // backendReport is one row of the frozen-vs-compressed backend matrix.
@@ -139,6 +156,8 @@ func runLoadbench(args []string, stdout io.Writer) error {
 	scaleDur := fs.Duration("scaledur", 2*time.Second, "measured duration of each -replicas point")
 	tenants := fs.Int("tenants", 0, "also drive the workload round-robin across this many tenants' /v1/t/{tenant}/estimate routes (default in-process server only)")
 	backends := fs.Bool("backends", false, "also compare the frozen and compressed snapshot backends in-process over the same workload, adding a size×throughput matrix to the report")
+	ingestMix := fs.Bool("ingest", false, "also run a mixed read/write pass: enable zero-downtime ingest on a throwaway copy of the corpus and measure estimate latency while a writer streams document uploads through the delta/epoch pipeline")
+	ingestDur := fs.Duration("ingestdur", 3*time.Second, "measured duration of the -ingest mixed pass")
 	accQueries := fs.Int("accqueries", 60, "queries scored against exact counts per swept method (-methods)")
 	sweepRequests := fs.Int("sweeprequests", 300, "timed requests per swept method (-methods)")
 	out := fs.String("out", "BENCH_serve.json", "report output path")
@@ -155,6 +174,7 @@ func runLoadbench(args []string, stdout io.Writer) error {
 	// Resolve the corpus: open an existing one or generate a synthetic
 	// document into a throwaway corpus directory.
 	var c *corpus.Corpus
+	var corpusDir string
 	cfg := benchConfig{
 		Method: *method, Sizes: sizeList, PerSize: *perSize,
 		NegFraction: *neg, Seed: *seed, Concurrency: *concurrency,
@@ -166,6 +186,7 @@ func runLoadbench(args []string, stdout io.Writer) error {
 		}
 		cfg.Corpus = *dir
 		cfg.K = c.Options().K
+		corpusDir = *dir
 	} else {
 		tmp, err := os.MkdirTemp("", "loadbench-corpus-*")
 		if err != nil {
@@ -177,6 +198,7 @@ func runLoadbench(args []string, stdout io.Writer) error {
 			return err
 		}
 		cfg.Generated, cfg.Scale, cfg.K = *gen, *scale, *k
+		corpusDir = tmp
 	}
 	if len(c.Docs()) == 0 {
 		return fmt.Errorf("loadbench: corpus has no documents to sample queries from")
@@ -341,6 +363,17 @@ func runLoadbench(args []string, stdout io.Writer) error {
 		}
 	}
 
+	// Mixed read/write pass: ingest-enabled copy of the corpus, estimates
+	// and document uploads concurrently through the full HTTP path.
+	var ingestRep *ingestReport
+	if *ingestMix {
+		ingestRep, err = runIngestMix(context.Background(), corpusDir, w,
+			core.Method(*method), *concurrency, *ingestDur, stdout)
+		if err != nil {
+			return err
+		}
+	}
+
 	// Shard-replica scaling sweep: the fleet-scaling headline number.
 	var scaleRows []replicaScaleRow
 	if *replicasSpec != "" {
@@ -368,6 +401,7 @@ func runLoadbench(args []string, stdout io.Writer) error {
 		ShardScaling: scaleRows,
 		TenantResult: tenantRes,
 		Backends:     backendRows,
+		Ingest:       ingestRep,
 	}
 	if scrapeMetrics != nil {
 		snap, err := scrapeMetrics()
@@ -541,6 +575,153 @@ func sweepBackends(ctx context.Context, c *corpus.Corpus, w *loadgen.Workload, m
 		rows = append(rows, row)
 	}
 	return rows, nil
+}
+
+// runIngestMix measures read latency under continuous ingest: it copies
+// the corpus into a throwaway directory (the pipeline writes snapshots
+// and delta documents; the benchmarked corpus must stay untouched),
+// enables zero-downtime ingest with an aggressive refreeze cadence, and
+// drives the estimate workload over HTTP while a writer goroutine
+// streams small generated documents through POST /v1/docs. Reads and
+// writes share the full serving path, so the row reflects epoch swaps,
+// refreeze churn, and (if the writer outruns the refreezer) 429
+// backpressure.
+func runIngestMix(ctx context.Context, srcDir string, w *loadgen.Workload, method core.Method, concurrency int, dur time.Duration, stdout io.Writer) (*ingestReport, error) {
+	tmp, err := os.MkdirTemp("", "loadbench-ingest-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmp)
+	if err := copyDirTree(srcDir, tmp); err != nil {
+		return nil, err
+	}
+	c, err := corpus.Open(tmp)
+	if err != nil {
+		return nil, err
+	}
+	err = c.EnableIngest(corpus.IngestOptions{
+		RefreezeInterval: 500 * time.Millisecond,
+		MaxDeltaDocs:     16,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer c.DisableIngest()
+
+	handler := serve.NewHandlerOptions(c, serve.Options{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := defaultTuning().server(handler)
+	go srv.Serve(ln)
+	defer func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(sctx)
+	}()
+	base := "http://" + ln.Addr().String()
+
+	wctx, cancelWrites := context.WithCancel(ctx)
+	defer cancelWrites()
+	var docsAdded, writeErrs, backpressured int
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		dict := labeltree.NewDict()
+		tick := time.NewTicker(25 * time.Millisecond)
+		defer tick.Stop()
+		for i := 0; ; i++ {
+			select {
+			case <-wctx.Done():
+				return
+			case <-tick.C:
+			}
+			tree, err := datagen.Generate(datagen.Config{
+				Profile: datagen.Profile("xmark"), Scale: 300, Seed: int64(i) + 1,
+			}, dict)
+			if err != nil {
+				writeErrs++
+				continue
+			}
+			var b strings.Builder
+			writeTreeXML(&b, tree, 0)
+			url := fmt.Sprintf("%s/v1/docs/ingest-%05d", base, i)
+			req, err := http.NewRequestWithContext(wctx, http.MethodPost, url, strings.NewReader(b.String()))
+			if err != nil {
+				writeErrs++
+				continue
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				if wctx.Err() != nil {
+					return
+				}
+				writeErrs++
+				continue
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusCreated:
+				docsAdded++
+			case http.StatusTooManyRequests:
+				backpressured++ // delta over its hard limit; refreezer catching up
+			default:
+				writeErrs++
+			}
+		}
+	}()
+
+	target := loadgen.NewHTTPTarget(base, method, nil)
+	res, err := loadgen.Run(ctx, target, w, loadgen.Options{
+		Concurrency: concurrency, Duration: dur, Warmup: dur / 8,
+	})
+	cancelWrites()
+	<-writerDone
+	if err != nil {
+		return nil, err
+	}
+	rep := &ingestReport{
+		ReadResult:    res,
+		DocsAdded:     docsAdded,
+		WriteErrors:   writeErrs,
+		Backpressured: backpressured,
+		Stats:         c.IngestStats(),
+	}
+	fmt.Fprintf(stdout, "ingest mix: %.0f reads/s  p50=%.3fms p99=%.3fms  |  %d docs added, %d backpressured, epoch %d, %d refreezes\n",
+		res.AchievedQPS, res.Latency.P50*1e3, res.Latency.P99*1e3,
+		rep.DocsAdded, rep.Backpressured, rep.Stats.Epoch, rep.Stats.Refreezes)
+	return rep, nil
+}
+
+// copyDirTree copies a directory recursively (regular files only — the
+// corpus layout holds nothing else).
+func copyDirTree(src, dst string) error {
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		s, d := filepath.Join(src, e.Name()), filepath.Join(dst, e.Name())
+		if e.IsDir() {
+			if err := os.MkdirAll(d, 0o755); err != nil {
+				return err
+			}
+			if err := copyDirTree(s, d); err != nil {
+				return err
+			}
+			continue
+		}
+		data, err := os.ReadFile(s)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(d, data, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // parseSizes parses "3,4,5".

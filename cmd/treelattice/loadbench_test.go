@@ -213,6 +213,43 @@ func TestLoadbenchShardScalingAndTenants(t *testing.T) {
 	}
 }
 
+// TestLoadbenchIngestMix covers the -ingest report row: the mixed
+// read/write pass must record read-side latency, documents streamed
+// through the delta/epoch pipeline, and the final ingest stats.
+func TestLoadbenchIngestMix(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	var buf bytes.Buffer
+	err := runLoadbench([]string{
+		"-gen", "xmark", "-scale", "1500", "-k", "3",
+		"-requests", "40", "-warmup", "0s", "-concurrency", "2",
+		"-sizes", "3", "-persize", "8", "-seed", "5",
+		"-ingest", "-ingestdur", "300ms",
+		"-out", out,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := readReport(t, out)
+	if r.Ingest == nil {
+		t.Fatal("report missing ingest row")
+	}
+	if r.Ingest.ReadResult == nil || r.Ingest.ReadResult.Issued == 0 {
+		t.Fatalf("ingest read result empty: %+v", r.Ingest.ReadResult)
+	}
+	if r.Ingest.ReadResult.Errors != 0 {
+		t.Errorf("reads failed during ingest: %d", r.Ingest.ReadResult.Errors)
+	}
+	if r.Ingest.DocsAdded == 0 {
+		t.Error("ingest writer added no documents")
+	}
+	if r.Ingest.WriteErrors != 0 {
+		t.Errorf("ingest write errors: %d", r.Ingest.WriteErrors)
+	}
+	if r.Ingest.Stats.Epoch == 0 {
+		t.Errorf("ingest stats did not advance the epoch: %+v", r.Ingest.Stats)
+	}
+}
+
 func TestLoadbenchFlagValidation(t *testing.T) {
 	var buf bytes.Buffer
 	if err := runLoadbench([]string{"-requests", "5"}, &buf); err == nil {

@@ -18,6 +18,7 @@ import (
 
 	"treelattice"
 	"treelattice/internal/core"
+	"treelattice/internal/fsx"
 	"treelattice/internal/labeltree"
 )
 
@@ -95,16 +96,13 @@ func runBuild(args []string, stdout io.Writer) error {
 		sum = sum.Prune(*prune)
 		fmt.Fprintf(stdout, "pruned delta=%.2f: %d -> %d bytes\n", *prune, before, sum.SizeBytes())
 	}
-	f, err := os.Create(*out)
+	var n int64
+	err = fsx.WriteFileAtomic(*out, func(w io.Writer) error {
+		var werr error
+		n, werr = sum.WriteTo(w)
+		return werr
+	})
 	if err != nil {
-		return err
-	}
-	defer f.Close()
-	n, err := sum.WriteTo(f)
-	if err != nil {
-		return err
-	}
-	if err := f.Close(); err != nil {
 		return err
 	}
 	fmt.Fprintf(stdout, "summary: %d patterns (K=%d), %d bytes on disk\n", sum.Patterns(), sum.K(), n)

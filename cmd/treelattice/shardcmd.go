@@ -10,6 +10,7 @@ import (
 
 	"treelattice/internal/corpus"
 	"treelattice/internal/fleet"
+	"treelattice/internal/fsx"
 )
 
 // runShard splits a corpus into N shard summaries and writes one frozen
@@ -50,19 +51,15 @@ func runShard(args []string, stdout io.Writer) error {
 		if *n == 1 {
 			name = fleet.SummaryFile
 		}
-		f, err := os.Create(filepath.Join(*out, name))
-		if err != nil {
-			return err
-		}
 		write := sum.WriteTo
 		if *compress {
 			write = sum.WriteCompressed
 		}
-		if _, err := write(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
+		err := fsx.WriteFileAtomic(filepath.Join(*out, name), func(w io.Writer) error {
+			_, werr := write(w)
+			return werr
+		})
+		if err != nil {
 			return err
 		}
 		fmt.Fprintf(stdout, "wrote %s (patterns=%d bytes=%d)\n", name, sum.Patterns(), sum.SizeBytes())

@@ -44,18 +44,20 @@ type shardBackend struct {
 	sum *core.Summary
 }
 
-func (b *shardBackend) Summary() *core.Summary               { return b.sum }
-func (b *shardBackend) Docs() []string                       { return nil }
-func (b *shardBackend) Workers() int                         { return 1 }
-func (b *shardBackend) SetWorkers(int)                       {}
-func (b *shardBackend) BuildTimings() *metrics.BuildTimings  { return nil }
-func (b *shardBackend) Remove(string) error                  { return fmt.Errorf("shard replica is read-only") }
+func (b *shardBackend) Summary() *core.Summary              { return b.sum }
+func (b *shardBackend) Docs() []string                      { return nil }
+func (b *shardBackend) Workers() int                        { return 1 }
+func (b *shardBackend) SetWorkers(int)                      {}
+func (b *shardBackend) BuildTimings() *metrics.BuildTimings { return nil }
+func (b *shardBackend) Remove(string) error                 { return fmt.Errorf("shard replica is read-only") }
 func (b *shardBackend) AddXMLContext(context.Context, string, io.Reader) error {
 	return fmt.Errorf("shard replica is read-only")
 }
 func (b *shardBackend) ExactCountContext(context.Context, labeltree.Pattern) (int64, error) {
 	return 0, fmt.Errorf("shard replica holds no documents")
 }
+func (b *shardBackend) Ingesting() bool               { return false }
+func (b *shardBackend) IngestStats() core.IngestStats { return core.IngestStats{} }
 
 // capacityGate models a replica's bounded capacity: one request slot and
 // a fixed per-request service floor. On a single benchmark host the

@@ -101,6 +101,10 @@ type Summary struct {
 	cacheMu     sync.Mutex
 	subCaches   map[Method]*estimate.SubCache
 	subCacheCap int // entries per cache; 0 = estimate's default
+	// subCacheNew, when non-nil, runs for each per-method cache as it is
+	// created — the serving layer's way to instrument caches on epoch
+	// summaries it never saw at construction time.
+	subCacheNew func(Method, *estimate.SubCache)
 
 	// registry resolves methods to backends (nil = DefaultRegistry).
 	registry *Registry
@@ -315,8 +319,27 @@ func (s *Summary) SubCache(method Method) *estimate.SubCache {
 		}
 		c = estimate.NewSubCache(s.subCacheCap)
 		s.subCaches[method] = c
+		if s.subCacheNew != nil {
+			s.subCacheNew(method, c)
+		}
 	}
 	return c
+}
+
+// OnSubCacheCreate registers fn to run for every per-method
+// sub-estimate cache, existing ones immediately and future ones as they
+// are created. Epoch publication carries the hook forward, so a serving
+// layer that instruments caches here keeps its metrics flowing through
+// every epoch swap. Call before the summary sees concurrent traffic.
+func (s *Summary) OnSubCacheCreate(fn func(Method, *estimate.SubCache)) {
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
+	s.subCacheNew = fn
+	if fn != nil {
+		for m, c := range s.subCaches {
+			fn(m, c)
+		}
+	}
 }
 
 // SetSubCacheCapacity bounds each per-method sub-estimate cache to

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"treelattice/internal/estimate"
+	"treelattice/internal/labeltree"
+	"treelattice/internal/lattice"
+)
+
+// This file is the RCU epoch seam of the zero-downtime ingest pipeline.
+// An Epoch is one immutable serving state: a base summary (frozen,
+// compressed, or map-backed), the delta overlay of documents ingested
+// since the base was cut, and the document snapshot backing
+// document-driven estimators. Writers publish a fresh Epoch per change
+// through an atomic pointer swap; readers load the pointer once per
+// request and finish against that epoch even if a dozen more are
+// published meanwhile. Nothing in an epoch ever mutates, so there is no
+// read-side locking anywhere — and because every epoch carries a fresh
+// merged Summary, its sub-estimate and prepared-backend caches are
+// per-epoch by construction: publishing a new epoch is the cache
+// invalidation.
+
+// Epoch is one immutable serving state. Estimates run against Summary;
+// Docs/Names are the sorted document snapshot the summary's
+// document-driven backends (markov, treesketch, sampling) prepare from.
+type Epoch struct {
+	// ID is the monotonically increasing epoch number (1 = first publish).
+	ID uint64
+	// Summary is the merged (base + delta) read view for this epoch.
+	Summary *Summary
+	// Docs holds the document trees, sorted by name (stable order keeps
+	// sampling probe selection deterministic).
+	Docs []*labeltree.Tree
+	// Names holds the document names, positionally aligned with Docs.
+	Names []string
+}
+
+// Trees implements TreeSource: the epoch's frozen document snapshot.
+func (e *Epoch) Trees() []*labeltree.Tree { return e.Docs }
+
+// HasDoc reports whether name is in the epoch's document snapshot.
+func (e *Epoch) HasDoc(name string) (int, bool) {
+	lo, hi := 0, len(e.Names)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if e.Names[mid] < name {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(e.Names) && e.Names[lo] == name
+}
+
+// EpochHandle is the atomic publication point readers and the ingest
+// writer share. Current never blocks; Publish is called by one writer
+// at a time (the ingest path serializes writers internally).
+type EpochHandle struct {
+	cur atomic.Pointer[Epoch]
+	seq atomic.Uint64
+}
+
+// Current returns the serving epoch, or nil before the first Publish.
+func (h *EpochHandle) Current() *Epoch { return h.cur.Load() }
+
+// Publish builds the next epoch over base merged with delta and swaps
+// it in. The serving configuration (instrumentation observer, private
+// registry, sub-cache capacity and creation hook) is inherited from the
+// base summary when set there, else from the previous epoch's summary —
+// so a handler that instrumented epoch 1 keeps its metrics flowing
+// through every later epoch. docs/names must be sorted by name and
+// positionally aligned; the new epoch's summary binds them as its
+// TreeSource.
+func (h *EpochHandle) Publish(base *Summary, delta estimate.Store, docs []*labeltree.Tree, names []string) *Epoch {
+	prev := h.cur.Load()
+	sum := &Summary{
+		multi:       &estimate.Merged{Base: base.store(), Delta: delta},
+		dict:        base.dict,
+		observe:     base.observe,
+		registry:    base.registry,
+		subCacheCap: base.subCacheCap,
+		subCacheNew: base.subCacheNew,
+	}
+	if prev != nil {
+		ps := prev.Summary
+		if sum.observe == nil {
+			sum.observe = ps.observe
+		}
+		if sum.registry == nil {
+			sum.registry = ps.registry
+		}
+		if sum.subCacheCap == 0 {
+			sum.subCacheCap = ps.subCacheCap
+		}
+		if sum.subCacheNew == nil {
+			sum.subCacheNew = ps.subCacheNew
+		}
+	}
+	e := &Epoch{ID: h.seq.Add(1), Summary: sum, Docs: docs, Names: names}
+	sum.BindSource(e)
+	h.cur.Store(e)
+	return e
+}
+
+// IngestStats is the observability snapshot of the zero-downtime ingest
+// pipeline, surfaced under /v1/stats.
+type IngestStats struct {
+	// Epoch is the serving epoch number (0 = ingest not enabled).
+	Epoch uint64 `json:"epoch"`
+	// DeltaDocs / DeltaBytes size the unfolded delta overlay.
+	DeltaDocs  int `json:"delta_docs"`
+	DeltaBytes int `json:"delta_bytes"`
+	// RefreezeAttempts counts refreeze tries, RefreezeFailures the ones
+	// that errored (each failure retries with jittered backoff), and
+	// Refreezes the snapshots successfully published.
+	RefreezeAttempts uint64 `json:"refreeze_attempts"`
+	RefreezeFailures uint64 `json:"refreeze_failures"`
+	Refreezes        uint64 `json:"refreezes"`
+	// LastRefreezeMS is the wall-clock duration of the last successful
+	// refreeze, in milliseconds.
+	LastRefreezeMS int64 `json:"refreeze_last_duration_ms"`
+	// Backpressured counts ingests rejected because the delta hit its
+	// hard size limit before the refreezer could catch up.
+	Backpressured uint64 `json:"backpressured"`
+}
+
+// entriesStore is the backend surface Materialize needs: every
+// single-store backend (map, frozen, compressed) can enumerate its
+// entries with decoded patterns.
+type entriesStore interface {
+	Entries(size int) []lattice.Entry
+	K() int
+	Pruned() bool
+}
+
+// Materialize returns a mutable map-backed copy of the summary's
+// counts — the refreeze path's way back from a frozen or compressed
+// base to a lattice it can fold a delta into. Shard-combined summaries
+// cannot materialize (shards are rebuilt, not edited), and pruned
+// summaries must not (missing patterns are derivable, not absent; a
+// fold would corrupt them).
+func (s *Summary) Materialize() (*lattice.Summary, error) {
+	if s.lat != nil {
+		if s.lat.Pruned() {
+			return nil, fmt.Errorf("%w: cannot materialize", ErrPrunedSummary)
+		}
+		return s.lat.Clone(), nil
+	}
+	st, ok := s.store().(entriesStore)
+	if !ok {
+		return nil, fmt.Errorf("core: %s summary cannot materialize", s.StoreKind())
+	}
+	if st.Pruned() {
+		return nil, fmt.Errorf("%w: cannot materialize", ErrPrunedSummary)
+	}
+	lat := lattice.New(st.K(), s.dict)
+	for _, e := range st.Entries(0) {
+		if err := lat.Add(e.Pattern, e.Count); err != nil {
+			return nil, err
+		}
+	}
+	return lat, nil
+}

@@ -65,11 +65,19 @@ func OpenSnapshotFile(path string, dict *labeltree.Dict) (*Summary, error) {
 	return ReadFrozen(f, dict)
 }
 
+// kinded is implemented by combining stores that name their own backend
+// kind (the delta-merged view); plain shard combination stays "shards".
+type kinded interface{ StoreKind() string }
+
 // StoreKind names the backend estimates currently read from: "shards",
-// "compressed", "frozen", or "map".
+// "delta" (epoch view: immutable base + ingest overlay), "compressed",
+// "frozen", or "map".
 func (s *Summary) StoreKind() string {
 	switch {
 	case s.multi != nil:
+		if k, ok := s.multi.(kinded); ok {
+			return k.StoreKind()
+		}
 		return "shards"
 	case s.comp != nil:
 		return "compressed"

@@ -33,6 +33,18 @@ func (c *Corpus) AddXMLBatch(ctx context.Context, docs []BatchDoc) error {
 	if len(docs) == 0 {
 		return nil
 	}
+	if st := c.ing.Load(); st != nil {
+		// Ingest mode: feed the delta overlay one document at a time so
+		// each add publishes its own epoch. Batch atomicity narrows to
+		// per-document (documents before a failure stay ingested — they
+		// are already durable and served).
+		for _, d := range docs {
+			if err := c.ingestAdd(ctx, st, d.Name, d.R); err != nil {
+				return fmt.Errorf("corpus: batch ingest %q: %w", d.Name, err)
+			}
+		}
+		return nil
+	}
 	batchNames := make(map[string]bool, len(docs))
 	for _, d := range docs {
 		if err := validName(d.Name); err != nil {
@@ -87,5 +99,5 @@ func (c *Corpus) AddXMLBatch(ctx context.Context, docs []BatchDoc) error {
 // EstimateQueryContext is EstimateQuery with cancellation; see
 // core.Summary.EstimateQueryContext for the error contract.
 func (c *Corpus) EstimateQueryContext(ctx context.Context, query string, method core.Method) (float64, error) {
-	return c.summary.EstimateQueryContext(ctx, query, method)
+	return c.Summary().EstimateQueryContext(ctx, query, method)
 }

@@ -24,8 +24,10 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"treelattice/internal/core"
+	"treelattice/internal/fsx"
 	"treelattice/internal/labeltree"
 	"treelattice/internal/lattice"
 	"treelattice/internal/match"
@@ -73,6 +75,13 @@ type Corpus struct {
 	// lastBuild holds the per-stage timings of the most recent mutation
 	// (add, batch add, remove).
 	lastBuild *metrics.BuildTimings
+	// ing, when non-nil, is the enabled zero-downtime ingest pipeline;
+	// readers route through its current epoch instead of the fields
+	// above (see ingest.go). Loaded atomically so readers never lock.
+	ing atomic.Pointer[ingestState]
+	// recovered carries ingest state reconstructed by a manifest-aware
+	// read-only open, consumed by the next EnableIngest.
+	recovered *ingestRecovery
 }
 
 var _ core.TreeSource = (*Corpus)(nil)
@@ -151,16 +160,13 @@ func Create(dir string, opts Options) (*Corpus, error) {
 // Open loads an existing corpus with a mutable summary. The summary
 // file must be in the TLAT form (the form writeSummary maintains);
 // compressed snapshots carry no mutable backend and are rejected here —
-// load those with OpenReadOnly.
+// load those with OpenReadOnly. A directory left behind by the
+// zero-downtime ingest pipeline (epoch manifests present) is recovered
+// and consolidated back to the legacy layout: the winning snapshot is
+// materialized, unfolded documents are re-mined, and summary.tlat is
+// rewritten to cover everything.
 func Open(dir string) (*Corpus, error) {
-	return open(dir, func(path string, dict *labeltree.Dict) (*core.Summary, error) {
-		f, err := os.Open(path)
-		if err != nil {
-			return nil, fmt.Errorf("corpus: opening summary: %w", err)
-		}
-		defer f.Close()
-		return core.Read(f, dict)
-	})
+	return open(dir, false)
 }
 
 // OpenReadOnly loads an existing corpus with its summary in an
@@ -170,12 +176,14 @@ func Open(dir string) (*Corpus, error) {
 // platform supports it) for TLCZ snapshots. The map backend is never
 // materialized, estimate lookups are allocation-free, and every
 // mutating operation fails with core.ErrFrozenSummary. The load path
-// for read-only serving replicas.
+// for read-only serving replicas. Ingest state left by a crashed or
+// stopped pipeline is recovered without writing: unfolded documents are
+// re-mined into a delta overlay and served merged with the snapshot.
 func OpenReadOnly(dir string) (*Corpus, error) {
-	return open(dir, core.OpenSnapshotFile)
+	return open(dir, true)
 }
 
-func open(dir string, loadSummary func(path string, dict *labeltree.Dict) (*core.Summary, error)) (*Corpus, error) {
+func open(dir string, readOnly bool) (*Corpus, error) {
 	opts, err := readMeta(metaPath(dir))
 	if err != nil {
 		return nil, err
@@ -186,24 +194,33 @@ func open(dir string, loadSummary func(path string, dict *labeltree.Dict) (*core
 		dict: labeltree.NewDict(),
 		docs: make(map[string]*labeltree.Tree),
 	}
-	c.summary, err = loadSummary(summaryPath(dir), c.dict)
-	if err != nil {
-		return nil, fmt.Errorf("corpus: loading summary: %w", err)
-	}
-	entries, err := os.ReadDir(filepath.Join(dir, "docs"))
+	mans, err := scanManifests(dir)
 	if err != nil {
 		return nil, err
 	}
-	for _, e := range entries {
-		name, ok := strings.CutSuffix(e.Name(), ".tltr")
-		if !ok {
-			continue
-		}
-		tree, err := c.readDoc(name)
-		if err != nil {
+	if len(mans) > 0 {
+		if err := c.openWithManifest(mans, readOnly); err != nil {
 			return nil, err
 		}
-		c.docs[name] = tree
+		return c, nil
+	}
+	if readOnly {
+		c.summary, err = core.OpenSnapshotFile(summaryPath(dir), c.dict)
+	} else {
+		c.summary, err = func() (*core.Summary, error) {
+			f, oerr := os.Open(summaryPath(dir))
+			if oerr != nil {
+				return nil, oerr
+			}
+			defer f.Close()
+			return core.Read(f, c.dict)
+		}()
+	}
+	if err != nil {
+		return nil, fmt.Errorf("corpus: loading summary: %w", err)
+	}
+	if err := c.loadDocs(); err != nil {
+		return nil, err
 	}
 	// The corpus itself is the summary's document source: sampling,
 	// markov, and treesketch backends prepare from the live doc set.
@@ -213,17 +230,48 @@ func open(dir string, loadSummary func(path string, dict *labeltree.Dict) (*core
 	return c, nil
 }
 
+// loadDocs reads every document tree under docs/ into the in-memory map.
+func (c *Corpus) loadDocs() error {
+	entries, err := os.ReadDir(filepath.Join(c.dir, "docs"))
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		name, ok := strings.CutSuffix(e.Name(), ".tltr")
+		if !ok {
+			continue
+		}
+		tree, err := c.readDoc(name)
+		if err != nil {
+			return err
+		}
+		c.docs[name] = tree
+	}
+	return nil
+}
+
 // Options returns the corpus configuration.
 func (c *Corpus) Options() Options { return c.opts }
 
 // Dict returns the corpus label dictionary (parse queries against it).
 func (c *Corpus) Dict() *labeltree.Dict { return c.dict }
 
-// Summary returns the live corpus summary.
-func (c *Corpus) Summary() *core.Summary { return c.summary }
+// Summary returns the live corpus summary. While ingest is enabled this
+// is the current epoch's merged (base + delta) view; callers that load
+// it once per request stay pinned to that epoch for the request's
+// lifetime even as later epochs are published.
+func (c *Corpus) Summary() *core.Summary {
+	if st := c.ing.Load(); st != nil {
+		return st.handle.Current().Summary
+	}
+	return c.summary
+}
 
 // Docs lists document names in sorted order.
 func (c *Corpus) Docs() []string {
+	if st := c.ing.Load(); st != nil {
+		return append([]string(nil), st.handle.Current().Names...)
+	}
 	out := make([]string, 0, len(c.docs))
 	for n := range c.docs {
 		out = append(out, n)
@@ -234,6 +282,13 @@ func (c *Corpus) Docs() []string {
 
 // Doc returns a loaded document tree by name.
 func (c *Corpus) Doc(name string) (*labeltree.Tree, bool) {
+	if st := c.ing.Load(); st != nil {
+		ep := st.handle.Current()
+		if i, ok := ep.HasDoc(name); ok {
+			return ep.Docs[i], true
+		}
+		return nil, false
+	}
 	t, ok := c.docs[name]
 	return t, ok
 }
@@ -243,6 +298,9 @@ func (c *Corpus) Doc(name string) (*labeltree.Tree, bool) {
 // deterministic). The slice reflects the live doc set; document mutations
 // invalidate prepared backends through the summary.
 func (c *Corpus) Trees() []*labeltree.Tree {
+	if st := c.ing.Load(); st != nil {
+		return st.handle.Current().Trees()
+	}
 	out := make([]*labeltree.Tree, 0, len(c.docs))
 	for _, name := range c.Docs() {
 		out = append(out, c.docs[name])
@@ -261,6 +319,9 @@ func (c *Corpus) AddXML(name string, r io.Reader) error {
 // and merged only on success, so a canceled upload leaves the summary and
 // the on-disk state untouched.
 func (c *Corpus) AddXMLContext(ctx context.Context, name string, r io.Reader) error {
+	if st := c.ing.Load(); st != nil {
+		return c.ingestAdd(ctx, st, name, r)
+	}
 	if err := validName(name); err != nil {
 		return err
 	}
@@ -291,8 +352,12 @@ func (c *Corpus) AddXMLContext(ctx context.Context, name string, r io.Reader) er
 }
 
 // Remove deletes a document and subtracts its counts. Unknown names wrap
-// ErrNoSuchDoc.
+// ErrNoSuchDoc. Removal is not supported while the ingest pipeline is
+// enabled (the delta overlay is add-only); disable ingest first.
 func (c *Corpus) Remove(name string) error {
+	if c.ing.Load() != nil {
+		return fmt.Errorf("%w: remove %q", ErrIngestActive, name)
+	}
 	tree, ok := c.docs[name]
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNoSuchDoc, name)
@@ -309,7 +374,7 @@ func (c *Corpus) Remove(name string) error {
 
 // EstimateQuery estimates a twig query's selectivity across the corpus.
 func (c *Corpus) EstimateQuery(query string, method core.Method) (float64, error) {
-	return c.summary.EstimateQuery(query, method)
+	return c.Summary().EstimateQuery(query, method)
 }
 
 // ExactCount counts a query's matches exactly by scanning every document.
@@ -324,8 +389,8 @@ func (c *Corpus) ExactCount(q labeltree.Pattern) int64 {
 // after it.
 func (c *Corpus) ExactCountContext(ctx context.Context, q labeltree.Pattern) (int64, error) {
 	var total int64
-	for _, name := range c.Docs() {
-		n, err := match.NewCounter(c.docs[name]).CountContext(ctx, q)
+	for _, tree := range c.Trees() {
+		n, err := match.NewCounter(tree).CountContext(ctx, q)
 		if err != nil {
 			return 0, err
 		}
@@ -354,7 +419,7 @@ func (c *Corpus) writeMeta() error {
 	var b strings.Builder
 	fmt.Fprintf(&b, "k=%d\nvaluebuckets=%d\nattributes=%v\n",
 		c.opts.K, c.opts.ValueBuckets, c.opts.Attributes)
-	return atomicWrite(metaPath(c.dir), func(w io.Writer) error {
+	return fsx.WriteFileAtomic(metaPath(c.dir), func(w io.Writer) error {
 		_, err := io.WriteString(w, b.String())
 		return err
 	})
@@ -401,14 +466,14 @@ func readMeta(path string) (Options, error) {
 }
 
 func (c *Corpus) writeSummary() error {
-	return atomicWrite(summaryPath(c.dir), func(w io.Writer) error {
+	return fsx.WriteFileAtomic(summaryPath(c.dir), func(w io.Writer) error {
 		_, err := c.summary.WriteTo(w)
 		return err
 	})
 }
 
 func (c *Corpus) writeDoc(name string, t *labeltree.Tree) error {
-	return atomicWrite(c.docPath(name), func(w io.Writer) error {
+	return fsx.WriteFileAtomic(c.docPath(name), func(w io.Writer) error {
 		_, err := labeltree.WriteTree(w, t)
 		return err
 	})
@@ -421,22 +486,4 @@ func (c *Corpus) readDoc(name string) (*labeltree.Tree, error) {
 	}
 	defer f.Close()
 	return labeltree.ReadTree(f, c.dict)
-}
-
-// atomicWrite writes via a temp file and rename, so crashes never leave a
-// half-written summary behind.
-func atomicWrite(path string, fill func(io.Writer) error) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name())
-	if err := fill(tmp); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
 }

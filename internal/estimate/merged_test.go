@@ -1,0 +1,78 @@
+package estimate
+
+import (
+	"testing"
+
+	"treelattice/internal/labeltree"
+	"treelattice/internal/lattice"
+)
+
+func TestMergedStoreSumsCounts(t *testing.T) {
+	dict := labeltree.NewDict()
+	base := lattice.New(4, dict)
+	delta := lattice.New(4, dict)
+	a := labeltree.MustParsePattern("a", dict)
+	b := labeltree.MustParsePattern("a(b)", dict)
+	c := labeltree.MustParsePattern("c", dict)
+	if err := base.Add(a, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := base.Add(b, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := delta.Add(a, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := delta.Add(c, 7); err != nil {
+		t.Fatal(err)
+	}
+	m := &Merged{Base: base, Delta: delta}
+	for _, tc := range []struct {
+		p    labeltree.Pattern
+		want int64
+		ok   bool
+	}{
+		{a, 13, true}, // both halves
+		{b, 4, true},  // base only
+		{c, 7, true},  // delta only
+		{labeltree.MustParsePattern("zzz", dict), 0, false},
+	} {
+		if got, ok := m.Count(tc.p); got != tc.want || ok != tc.ok {
+			t.Errorf("Count(%s) = %d,%v want %d,%v", tc.p.String(dict), got, ok, tc.want, tc.ok)
+		}
+		if got, ok := m.CountKey(tc.p.Key()); got != tc.want || ok != tc.ok {
+			t.Errorf("CountKey(%s) = %d,%v want %d,%v", tc.p.String(dict), got, ok, tc.want, tc.ok)
+		}
+	}
+	if m.K() != 4 {
+		t.Fatalf("K = %d", m.K())
+	}
+	if m.Pruned() {
+		t.Fatal("unpruned halves reported pruned")
+	}
+	if m.StoreKind() != "delta" {
+		t.Fatalf("StoreKind = %q", m.StoreKind())
+	}
+	if m.Len() != base.Len()+delta.Len() {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	if m.SizeBytes() != base.SizeBytes()+delta.SizeBytes() {
+		t.Fatalf("SizeBytes = %d", m.SizeBytes())
+	}
+	if m.ResidentBytes() != base.ResidentBytes()+delta.ResidentBytes() {
+		t.Fatalf("ResidentBytes = %d", m.ResidentBytes())
+	}
+}
+
+// TestMergedStorePrunedContagion: a pruned half makes the merge pruned —
+// missing patterns may be derivable, estimators must not treat them as
+// absent.
+func TestMergedStorePrunedContagion(t *testing.T) {
+	dict := labeltree.NewDict()
+	base := lattice.New(4, dict)
+	base.MarkPruned()
+	m := &Merged{Base: base, Delta: lattice.New(4, dict)}
+	if !m.Pruned() {
+		t.Fatal("pruned base did not propagate")
+	}
+}

@@ -166,6 +166,8 @@ type CorpusBackend interface {
 	ExactCountContext(ctx context.Context, q labeltree.Pattern) (int64, error)
 	AddXMLContext(ctx context.Context, name string, r io.Reader) error
 	Remove(name string) error
+	Ingesting() bool
+	IngestStats() core.IngestStats
 }
 
 // Corpus wraps a corpus backend with the injector on its expensive
@@ -222,3 +224,9 @@ func (c *Corpus) Remove(name string) error {
 	}
 	return c.inner.Remove(name)
 }
+
+// Ingesting passes through.
+func (c *Corpus) Ingesting() bool { return c.inner.Ingesting() }
+
+// IngestStats passes through.
+func (c *Corpus) IngestStats() core.IngestStats { return c.inner.IngestStats() }

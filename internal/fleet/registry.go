@@ -46,9 +46,11 @@ type Registry struct {
 	mu       sync.Mutex
 	resident map[string]*slot
 	lru      *list.List // unpinned loaded slots, front = most recent
+	gens     map[string]uint64
 
 	loads      int64
 	evictions  int64
+	reloads    int64
 	totalBytes int64 // summed bytes of lru-listed (unpinned, loaded) slots
 }
 
@@ -75,6 +77,7 @@ func NewRegistry(opts RegistryOptions) *Registry {
 		opts:     opts,
 		resident: make(map[string]*slot),
 		lru:      list.New(),
+		gens:     make(map[string]uint64),
 	}
 }
 
@@ -98,6 +101,7 @@ func (r *Registry) Install(t *Tenant) error {
 		name: t.Name, pinned: true, ready: ready, tenant: t,
 		bytes: int64(t.ResidentBytes()),
 	}
+	r.gens[t.Name]++
 	return nil
 }
 
@@ -137,12 +141,16 @@ func (r *Registry) Acquire(ctx context.Context, name string) (*Tenant, error) {
 	s.tenant, s.err = t, err
 	if err != nil {
 		// Failed loads do not stay resident: the next Acquire retries
-		// (the tenant may appear on disk later).
-		delete(r.resident, name)
+		// (the tenant may appear on disk later). Identity-checked so a
+		// concurrent Reload's fresh slot is never deleted by mistake.
+		if r.resident[name] == s {
+			delete(r.resident, name)
+		}
 	} else {
 		s.bytes = int64(t.ResidentBytes())
 		r.totalBytes += s.bytes
 		s.elem = r.lru.PushFront(s)
+		r.gens[name]++
 		r.evictLocked()
 		r.logf("fleet: loaded tenant %q (%d shards, %s backend, %d resident bytes)",
 			name, t.Shards, t.StoreKind(), s.bytes)
@@ -150,6 +158,88 @@ func (r *Registry) Acquire(ctx context.Context, name string) (*Tenant, error) {
 	r.mu.Unlock()
 	close(s.ready)
 	return t, err
+}
+
+// Reload replaces name's resident tenant with a fresh load of its
+// on-disk snapshots — the fleet half of zero-downtime ingest: a replica
+// refreezes and publishes new snapshot files, and the serving fleet
+// picks them up without evicting the serving copy. The load runs
+// outside the registry lock; the swap is a map-entry replacement, so
+// requests already holding the old tenant finish against it (tenants
+// are immutable) while new Acquires see the fresh one. The tenant's
+// generation counter advances on success.
+func (r *Registry) Reload(ctx context.Context, name string) (*Tenant, error) {
+	if err := ValidateName(name); err != nil {
+		return nil, err
+	}
+	if r.opts.Root == "" {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownTenant, name)
+	}
+	for {
+		r.mu.Lock()
+		s, ok := r.resident[name]
+		if ok && s.pinned {
+			r.mu.Unlock()
+			return nil, fmt.Errorf("fleet: tenant %q is pinned, cannot reload", name)
+		}
+		r.mu.Unlock()
+		if !ok {
+			break
+		}
+		// An in-flight load settles its own bookkeeping on this slot;
+		// wait it out rather than racing the swap.
+		select {
+		case <-s.ready:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		r.mu.Lock()
+		same := r.resident[name] == s
+		r.mu.Unlock()
+		if same {
+			break // load settled and the slot is still serving
+		}
+	}
+
+	t, err := LoadTenant(r.tenantDir(name), name)
+	if err != nil {
+		return nil, err
+	}
+	ready := make(chan struct{})
+	close(ready)
+	s := &slot{name: name, ready: ready, tenant: t, bytes: int64(t.ResidentBytes())}
+	r.mu.Lock()
+	if old, ok := r.resident[name]; ok {
+		if old.pinned {
+			r.mu.Unlock()
+			return nil, fmt.Errorf("fleet: tenant %q is pinned, cannot reload", name)
+		}
+		if old.elem != nil {
+			r.lru.Remove(old.elem)
+			r.totalBytes -= old.bytes
+		}
+	}
+	r.resident[name] = s
+	r.totalBytes += s.bytes
+	s.elem = r.lru.PushFront(s)
+	r.gens[name]++
+	r.reloads++
+	r.evictLocked()
+	r.logf("fleet: reloaded tenant %q (generation %d, %d shards, %s backend, %d resident bytes)",
+		name, r.gens[name], t.Shards, t.StoreKind(), s.bytes)
+	r.mu.Unlock()
+	return t, nil
+}
+
+// Generation reports how many times name has been installed, loaded, or
+// reloaded — the cache-scope discriminator for non-epoch tenants, and
+// the operator's way to confirm a reload took effect. Zero means never
+// loaded. Generations survive eviction: a tenant that ages out and
+// loads again continues its count.
+func (r *Registry) Generation(name string) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gens[name]
 }
 
 func (r *Registry) tenantDir(name string) string {
@@ -236,6 +326,7 @@ type RegistryStats struct {
 	Pinned           int   `json:"pinned"`
 	Loads            int64 `json:"loads"`
 	Evictions        int64 `json:"evictions"`
+	Reloads          int64 `json:"reloads"`
 	ResidentBytes    int64 `json:"resident_bytes"`
 	MaxResidentBytes int64 `json:"max_resident_bytes,omitempty"`
 }
@@ -246,7 +337,7 @@ func (r *Registry) Stats() RegistryStats {
 	defer r.mu.Unlock()
 	st := RegistryStats{
 		Resident: len(r.resident), Loads: r.loads, Evictions: r.evictions,
-		MaxResidentBytes: r.opts.MaxResidentBytes,
+		Reloads: r.reloads, MaxResidentBytes: r.opts.MaxResidentBytes,
 	}
 	for _, s := range r.resident {
 		if s.pinned {

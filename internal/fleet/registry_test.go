@@ -329,3 +329,67 @@ func TestRegistryConcurrent(t *testing.T) {
 		t.Fatalf("resident count %d exceeds MaxResident", st.Resident)
 	}
 }
+
+// TestRegistryReload: Reload swaps in freshly loaded snapshots without
+// evicting the serving copy — the old tenant keeps answering for
+// requests already holding it, the generation advances so epoch-less
+// cache scopes roll over, and pinned installs refuse to be reloaded.
+func TestRegistryReload(t *testing.T) {
+	root := t.TempDir()
+	writeTenantDir(t, root, "acme", 7, 1)
+	r := fleet.NewRegistry(fleet.RegistryOptions{Root: root, MaxResident: 2})
+	ctx := context.Background()
+
+	old, err := r.Acquire(ctx, "acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := r.Generation("acme")
+	if gen == 0 {
+		t.Fatal("generation still zero after load")
+	}
+
+	// New snapshots land on disk (a refrozen replica published them),
+	// then the fleet picks them up.
+	writeTenantDir(t, root, "acme", 8, 1)
+	fresh, err := r.Reload(ctx, "acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh == old {
+		t.Fatal("Reload returned the old tenant")
+	}
+	if g := r.Generation("acme"); g != gen+1 {
+		t.Fatalf("generation = %d, want %d", g, gen+1)
+	}
+	if st := r.Stats(); st.Reloads != 1 {
+		t.Fatalf("stats reloads = %d, want 1", st.Reloads)
+	}
+
+	// The displaced tenant is immutable and still serves.
+	q, err := old.Summary.ParseQuery("l0(l1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := old.Estimate(ctx, q, core.MethodFixSized, fleet.EstimateOptions{}); err != nil {
+		t.Fatalf("old tenant after reload: %v", err)
+	}
+	got, err := r.Acquire(ctx, "acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != fresh {
+		t.Fatal("Acquire after reload did not return the fresh tenant")
+	}
+
+	// Pinned tenants are operator-installed, not snapshot-backed.
+	if err := r.Install(fleet.NewTenant("default", mustSummary(t, 99))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Reload(ctx, "default"); err == nil {
+		t.Fatal("reloading a pinned tenant should fail")
+	}
+	if _, err := r.Reload(ctx, "nosuch"); !errors.Is(err, fleet.ErrUnknownTenant) {
+		t.Fatalf("want ErrUnknownTenant, got %v", err)
+	}
+}

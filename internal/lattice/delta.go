@@ -1,0 +1,94 @@
+package lattice
+
+import "treelattice/internal/labeltree"
+
+// Delta is a small mutable-by-replacement overlay over an immutable base
+// summary: the counts of documents ingested since the last refreeze.
+// A Delta value is itself immutable — Apply and Subtract return new
+// Deltas sharing nothing mutable with the old one — so readers may keep
+// using a Delta concurrently with writers publishing its successor.
+// That copy-on-write discipline is what lets the epoch-swap serving
+// path hand out (base + delta) views without any read-side locking;
+// the delta stays small (refreeze watermarks bound it), so the clone
+// per ingest is cheap.
+type Delta struct {
+	sum  *Summary
+	docs int
+}
+
+// NewDelta returns an empty delta at lattice level k over dict.
+func NewDelta(k int, dict *labeltree.Dict) *Delta {
+	return &Delta{sum: New(k, dict)}
+}
+
+// Apply folds one document's mined counts into the delta, returning the
+// successor delta. The receiver is unchanged and stays valid for
+// concurrent readers.
+func (d *Delta) Apply(inc *Summary) (*Delta, error) {
+	next := d.sum.Clone()
+	if err := next.Merge(inc); err != nil {
+		return nil, err
+	}
+	return &Delta{sum: next, docs: d.docs + 1}, nil
+}
+
+// Subtract removes a previously cut delta's counts — the refreeze path:
+// cut was folded into a new base, so the successor delta keeps only
+// what arrived after the cut. Counts going negative (cut was not a
+// prefix of d) are an error.
+func (d *Delta) Subtract(cut *Delta) (*Delta, error) {
+	next := d.sum.Clone()
+	for k, e := range cut.sum.entries {
+		if err := next.AddCountKeyed(k, e.Pattern, -e.Count); err != nil {
+			return nil, err
+		}
+	}
+	docs := d.docs - cut.docs
+	if docs < 0 {
+		docs = 0
+	}
+	return &Delta{sum: next, docs: docs}, nil
+}
+
+// Docs reports how many documents the delta holds.
+func (d *Delta) Docs() int { return d.docs }
+
+// Empty reports whether the delta holds no documents and no counts.
+func (d *Delta) Empty() bool { return d.docs == 0 && d.sum.Len() == 0 }
+
+// Len reports the number of distinct patterns in the delta.
+func (d *Delta) Len() int { return d.sum.Len() }
+
+// SizeBytes is the accounted storage size of the delta's counts — the
+// figure the ingest watermarks meter.
+func (d *Delta) SizeBytes() int { return d.sum.SizeBytes() }
+
+// Summary exposes the delta's counts as a read-only lattice summary
+// (callers must not mutate it).
+func (d *Delta) Summary() *Summary { return d.sum }
+
+// estimate.Store surface, by delegation: a Delta overlays a base store
+// through an additive merge at the count level.
+
+// Count returns the delta's stored count for p.
+func (d *Delta) Count(p labeltree.Pattern) (int64, bool) { return d.sum.Count(p) }
+
+// CountKey is Count for a precomputed canonical key.
+func (d *Delta) CountKey(key labeltree.Key) (int64, bool) { return d.sum.CountKey(key) }
+
+// K returns the lattice level.
+func (d *Delta) K() int { return d.sum.K() }
+
+// Pruned always reports false: deltas are mined complete, never pruned.
+func (d *Delta) Pruned() bool { return false }
+
+// Clone returns an independent copy of the summary: same counts, same
+// dictionary, separate storage. The pruned mark carries over.
+func (s *Summary) Clone() *Summary {
+	out := New(s.k, s.dict)
+	out.pruned = s.pruned
+	for k, e := range s.entries {
+		out.entries[k] = e
+	}
+	return out
+}

@@ -1,0 +1,187 @@
+package lattice
+
+import (
+	"testing"
+
+	"treelattice/internal/labeltree"
+)
+
+// incOf builds a one-document increment summary from (pattern, count)
+// pairs.
+func incOf(t *testing.T, d *labeltree.Dict, k int, pairs map[string]int64) *Summary {
+	t.Helper()
+	s := New(k, d)
+	for src, n := range pairs {
+		p := labeltree.MustParsePattern(src, d)
+		if err := s.Add(p, n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestDeltaApplyIsCopyOnWrite(t *testing.T) {
+	d := labeltree.NewDict()
+	d0 := NewDelta(4, d)
+	d1, err := d0.Apply(incOf(t, d, 4, map[string]int64{"a": 3, "a(b)": 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := d1.Apply(incOf(t, d, 4, map[string]int64{"a": 1, "c": 5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d0.Empty() || d0.Len() != 0 {
+		t.Fatal("Apply mutated the receiver")
+	}
+	if d1.Docs() != 1 || d2.Docs() != 2 {
+		t.Fatalf("docs = %d, %d", d1.Docs(), d2.Docs())
+	}
+	a := labeltree.MustParsePattern("a", d)
+	if got, _ := d1.Count(a); got != 3 {
+		t.Fatalf("d1 count(a) = %d", got)
+	}
+	if got, _ := d2.Count(a); got != 4 {
+		t.Fatalf("d2 count(a) = %d", got)
+	}
+	if got, ok := d2.CountKey(labeltree.MustParsePattern("c", d).Key()); !ok || got != 5 {
+		t.Fatalf("d2 count(c) = %d,%v", got, ok)
+	}
+}
+
+// TestDeltaSubtract: after a refreeze cut is folded into the base,
+// Subtract leaves exactly the post-cut counts; a full cut leaves an
+// empty delta.
+func TestDeltaSubtract(t *testing.T) {
+	d := labeltree.NewDict()
+	cur := NewDelta(4, d)
+	var err error
+	for _, inc := range []map[string]int64{
+		{"a": 3, "a(b)": 2},
+		{"a": 1, "c": 5},
+		{"c": 2},
+	} {
+		if cur, err = cur.Apply(incOf(t, d, 4, inc)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cut := NewDelta(4, d)
+	for _, inc := range []map[string]int64{
+		{"a": 3, "a(b)": 2},
+		{"a": 1, "c": 5},
+	} {
+		if cut, err = cut.Apply(incOf(t, d, 4, inc)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rest, err := cur.Subtract(cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rest.Docs() != 1 || rest.Len() != 1 {
+		t.Fatalf("rest docs=%d len=%d", rest.Docs(), rest.Len())
+	}
+	if got, _ := rest.Count(labeltree.MustParsePattern("c", d)); got != 2 {
+		t.Fatalf("rest count(c) = %d", got)
+	}
+	if _, ok := rest.Count(labeltree.MustParsePattern("a", d)); ok {
+		t.Fatal("fully folded count survived the subtract")
+	}
+	empty, err := rest.Subtract(rest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !empty.Empty() {
+		t.Fatal("subtracting a delta from itself is not empty")
+	}
+	// Subtracting something that was never applied must error, not go
+	// negative silently.
+	bogus, _ := NewDelta(4, d).Apply(incOf(t, d, 4, map[string]int64{"zzz": 99}))
+	if _, err := rest.Subtract(bogus); err == nil {
+		t.Fatal("negative subtract accepted")
+	}
+}
+
+func TestSummaryClone(t *testing.T) {
+	d := labeltree.NewDict()
+	s := incOf(t, d, 4, map[string]int64{"a": 1, "a(b,c)": 7})
+	c := s.Clone()
+	if c.K() != s.K() || c.Len() != s.Len() {
+		t.Fatalf("clone shape: K=%d len=%d", c.K(), c.Len())
+	}
+	if err := c.AddCount(labeltree.MustParsePattern("a", d), 10); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.Count(labeltree.MustParsePattern("a", d)); got != 1 {
+		t.Fatal("clone shares storage with the original")
+	}
+}
+
+// FuzzDeltaMerge drives a random op sequence through the copy-on-write
+// Delta chain and a plain reference map in lockstep: every byte pair of
+// the input is one document add (or, on the refreeze cadence, a cut +
+// subtract), and after the sequence the delta's counts must equal the
+// reference exactly.
+func FuzzDeltaMerge(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3})
+	f.Add([]byte{7, 7, 7, 7, 7, 7})
+	f.Add([]byte{0xff, 0x00, 0x10, 0x80, 0x3c})
+	f.Add([]byte("refreeze"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dict := labeltree.NewDict()
+		pats := []labeltree.Pattern{
+			labeltree.MustParsePattern("a", dict),
+			labeltree.MustParsePattern("b", dict),
+			labeltree.MustParsePattern("a(b)", dict),
+			labeltree.MustParsePattern("a(b,c)", dict),
+			labeltree.MustParsePattern("b(c(d))", dict),
+			labeltree.MustParsePattern("a(b(c),d)", dict),
+		}
+		ref := make(map[labeltree.Key]int64)
+		cur := NewDelta(4, dict)
+		refDocs := 0
+		for i := 0; i+1 < len(data); i += 2 {
+			if data[i]%5 == 4 && !cur.Empty() {
+				// Refreeze: fold everything seen so far, subtract the cut.
+				rest, err := cur.Subtract(cur) // cut == cur: everything folds
+				if err != nil {
+					t.Fatalf("op %d: subtract: %v", i, err)
+				}
+				if !rest.Empty() {
+					t.Fatalf("op %d: full cut left %d entries, %d docs", i, rest.Len(), rest.Docs())
+				}
+				cur = rest
+				ref = make(map[labeltree.Key]int64)
+				refDocs = 0
+				continue
+			}
+			// One document: up to three pattern bumps derived from the pair.
+			inc := New(4, dict)
+			for j := 0; j < 3; j++ {
+				p := pats[int(data[i]+byte(j)*7)%len(pats)]
+				n := int64(data[i+1]%13) + 1
+				if err := inc.AddCount(p, n); err != nil {
+					t.Fatal(err)
+				}
+				ref[p.Key()] += n
+			}
+			next, err := cur.Apply(inc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cur = next
+			refDocs++
+		}
+		if cur.Docs() != refDocs {
+			t.Fatalf("docs = %d, want %d", cur.Docs(), refDocs)
+		}
+		if cur.Len() != len(ref) {
+			t.Fatalf("len = %d, want %d", cur.Len(), len(ref))
+		}
+		for key, want := range ref {
+			if got, ok := cur.CountKey(key); !ok || got != want {
+				t.Fatalf("count(%q) = %d,%v want %d", key, got, ok, want)
+			}
+		}
+	})
+}

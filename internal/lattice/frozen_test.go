@@ -189,13 +189,13 @@ func TestFrozenDuplicateEntries(t *testing.T) {
 	// single-node pattern with counts 7 then 9.
 	var buf bytes.Buffer
 	buf.WriteString("TLAT")
-	buf.WriteByte(1)          // version
-	buf.WriteByte(2)          // K
-	buf.WriteByte(0)          // pruned
-	buf.WriteByte(1)          // one label
-	buf.WriteByte(1)          // len("a")
-	buf.WriteString("a")      //
-	buf.WriteByte(2)          // two entries
+	buf.WriteByte(1)           // version
+	buf.WriteByte(2)           // K
+	buf.WriteByte(0)           // pruned
+	buf.WriteByte(1)           // one label
+	buf.WriteByte(1)           // len("a")
+	buf.WriteString("a")       //
+	buf.WriteByte(2)           // two entries
 	buf.Write([]byte{1, 0, 7}) // size=1, label 0, count 7
 	buf.Write([]byte{1, 0, 9}) // size=1, label 0, count 9
 	data := buf.Bytes()

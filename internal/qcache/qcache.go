@@ -1,9 +1,17 @@
 // Package qcache caches twig-selectivity estimates keyed by the query's
-// canonical form and estimation method. Estimation is microseconds, but a
-// served corpus answers the same optimizer-generated queries repeatedly;
-// the cache turns those into map hits and is invalidated wholesale
-// whenever the underlying summary changes (a generation counter, bumped
-// by the owner on any mutation).
+// canonical form, estimation method, and serving scope. Estimation is
+// microseconds, but a served corpus answers the same optimizer-generated
+// queries repeatedly; the cache turns those into map hits.
+//
+// The scope — (tenant, epoch) — is what keeps invalidation surgical in a
+// multi-tenant, continuously-ingesting server. Every entry carries the
+// scope it was computed under, so:
+//
+//   - publishing a new epoch needs no invalidation at all: lookups carry
+//     the new epoch and simply miss, while stale-epoch entries become
+//     unreachable and age out of the LRU;
+//   - mutating or reloading one tenant drops that tenant's entries only
+//     (DropScope), leaving every other tenant's warm cache intact.
 package qcache
 
 import (
@@ -14,11 +22,19 @@ import (
 	"treelattice/internal/obs"
 )
 
+// Scope identifies the serving state an estimate was computed against:
+// the tenant (empty for the default corpus) and the RCU epoch (0 when
+// the backend does not publish epochs). Estimates are only valid within
+// their scope.
+type Scope struct {
+	Tenant string
+	Epoch  uint64
+}
+
 // Cache is a bounded LRU of estimates. Safe for concurrent use.
 type Cache struct {
 	mu       sync.Mutex
 	capacity int
-	gen      uint64
 	order    *list.List // front = most recent; values are *entry
 	items    map[cacheKey]*list.Element
 
@@ -30,9 +46,10 @@ type Cache struct {
 	hitC, missC, evictC *obs.Counter
 }
 
-// cacheKey combines method name and canonical query key. A comparable
-// struct, so lookups build no concatenated string.
+// cacheKey combines scope, method name, and canonical query key. A
+// comparable struct, so lookups build no concatenated string.
 type cacheKey struct {
+	scope  Scope
 	method string
 	query  labeltree.Key
 }
@@ -63,9 +80,9 @@ func (c *Cache) Instrument(hits, misses, evictions *obs.Counter) {
 	c.hitC, c.missC, c.evictC = hits, misses, evictions
 }
 
-// Get returns the cached estimate for (method, q).
-func (c *Cache) Get(method string, q labeltree.Pattern) (float64, bool) {
-	k := cacheKey{method, q.Key()}
+// Get returns the cached estimate for (scope, method, q).
+func (c *Cache) Get(scope Scope, method string, q labeltree.Pattern) (float64, bool) {
+	k := cacheKey{scope, method, q.Key()}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[k]
@@ -86,8 +103,8 @@ func (c *Cache) Get(method string, q labeltree.Pattern) (float64, bool) {
 
 // Put stores an estimate, evicting the least recently used entry when
 // full.
-func (c *Cache) Put(method string, q labeltree.Pattern, value float64) {
-	k := cacheKey{method, q.Key()}
+func (c *Cache) Put(scope Scope, method string, q labeltree.Pattern, value float64) {
+	k := cacheKey{scope, method, q.Key()}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[k]; ok {
@@ -109,20 +126,37 @@ func (c *Cache) Put(method string, q labeltree.Pattern, value float64) {
 
 // GetOrCompute returns the cached estimate or computes, stores, and
 // returns it.
-func (c *Cache) GetOrCompute(method string, q labeltree.Pattern, compute func() float64) float64 {
-	if v, ok := c.Get(method, q); ok {
+func (c *Cache) GetOrCompute(scope Scope, method string, q labeltree.Pattern, compute func() float64) float64 {
+	if v, ok := c.Get(scope, method, q); ok {
 		return v
 	}
 	v := compute()
-	c.Put(method, q, v)
+	c.Put(scope, method, q, v)
 	return v
 }
 
-// Invalidate drops every entry; call when the summary changes.
+// DropScope removes every entry belonging to tenant, across all of its
+// epochs — the invalidation for a classic (non-epoch) mutation or a
+// fleet tenant reload. Other tenants' entries are untouched.
+func (c *Cache) DropScope(tenant string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var next *list.Element
+	for el := c.order.Front(); el != nil; el = next {
+		next = el.Next()
+		e := el.Value.(*entry)
+		if e.key.scope.Tenant == tenant {
+			c.order.Remove(el)
+			delete(c.items, e.key)
+		}
+	}
+}
+
+// Invalidate drops every entry across all scopes; the big hammer for
+// changes that affect the whole process (e.g. a registry swap).
 func (c *Cache) Invalidate() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.gen++
 	c.order.Init()
 	c.items = make(map[cacheKey]*list.Element, c.capacity)
 }

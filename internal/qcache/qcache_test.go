@@ -21,25 +21,25 @@ func patterns(n int) ([]labeltree.Pattern, *labeltree.Dict) {
 func TestGetPut(t *testing.T) {
 	ps, _ := patterns(3)
 	c := New(10)
-	if _, ok := c.Get("m", ps[0]); ok {
+	if _, ok := c.Get(Scope{}, "m", ps[0]); ok {
 		t.Fatal("empty cache hit")
 	}
-	c.Put("m", ps[0], 42)
-	if v, ok := c.Get("m", ps[0]); !ok || v != 42 {
+	c.Put(Scope{}, "m", ps[0], 42)
+	if v, ok := c.Get(Scope{}, "m", ps[0]); !ok || v != 42 {
 		t.Fatalf("Get = %v,%v", v, ok)
 	}
 	// Method is part of the key.
-	if _, ok := c.Get("other", ps[0]); ok {
+	if _, ok := c.Get(Scope{}, "other", ps[0]); ok {
 		t.Fatal("method leaked across keys")
 	}
 	// Isomorphic patterns share an entry.
 	iso := ps[0].Clone()
-	if v, ok := c.Get("m", iso); !ok || v != 42 {
+	if v, ok := c.Get(Scope{}, "m", iso); !ok || v != 42 {
 		t.Fatal("canonical keying failed")
 	}
 	// Overwrite.
-	c.Put("m", ps[0], 7)
-	if v, _ := c.Get("m", ps[0]); v != 7 {
+	c.Put(Scope{}, "m", ps[0], 7)
+	if v, _ := c.Get(Scope{}, "m", ps[0]); v != 7 {
 		t.Fatalf("overwrite = %v", v)
 	}
 }
@@ -47,14 +47,14 @@ func TestGetPut(t *testing.T) {
 func TestLRUEviction(t *testing.T) {
 	ps, _ := patterns(4)
 	c := New(2)
-	c.Put("m", ps[0], 0)
-	c.Put("m", ps[1], 1)
-	c.Get("m", ps[0]) // refresh 0
-	c.Put("m", ps[2], 2)
-	if _, ok := c.Get("m", ps[1]); ok {
+	c.Put(Scope{}, "m", ps[0], 0)
+	c.Put(Scope{}, "m", ps[1], 1)
+	c.Get(Scope{}, "m", ps[0]) // refresh 0
+	c.Put(Scope{}, "m", ps[2], 2)
+	if _, ok := c.Get(Scope{}, "m", ps[1]); ok {
 		t.Fatal("LRU entry not evicted")
 	}
-	if _, ok := c.Get("m", ps[0]); !ok {
+	if _, ok := c.Get(Scope{}, "m", ps[0]); !ok {
 		t.Fatal("refreshed entry evicted")
 	}
 	_, _, evictions, size := c.Stats()
@@ -71,10 +71,10 @@ func TestGetOrCompute(t *testing.T) {
 	c := New(4)
 	calls := 0
 	compute := func() float64 { calls++; return 5 }
-	if v := c.GetOrCompute("m", ps[0], compute); v != 5 {
+	if v := c.GetOrCompute(Scope{}, "m", ps[0], compute); v != 5 {
 		t.Fatalf("first = %v", v)
 	}
-	if v := c.GetOrCompute("m", ps[0], compute); v != 5 {
+	if v := c.GetOrCompute(Scope{}, "m", ps[0], compute); v != 5 {
 		t.Fatalf("second = %v", v)
 	}
 	if calls != 1 {
@@ -85,9 +85,9 @@ func TestGetOrCompute(t *testing.T) {
 func TestInvalidate(t *testing.T) {
 	ps, _ := patterns(2)
 	c := New(4)
-	c.Put("m", ps[0], 1)
+	c.Put(Scope{}, "m", ps[0], 1)
 	c.Invalidate()
-	if _, ok := c.Get("m", ps[0]); ok {
+	if _, ok := c.Get(Scope{}, "m", ps[0]); ok {
 		t.Fatal("entry survived invalidation")
 	}
 	hits, misses, _, size := c.Stats()
@@ -106,15 +106,15 @@ func TestHitRatioAndInstrument(t *testing.T) {
 	if got := c.HitRatio(); got != 0 {
 		t.Fatalf("hit ratio before any lookup = %v, want 0", got)
 	}
-	c.Get("m", ps[0]) // miss
-	c.Put("m", ps[0], 1)
-	c.Get("m", ps[0]) // hit
-	c.Get("m", ps[0]) // hit
+	c.Get(Scope{}, "m", ps[0]) // miss
+	c.Put(Scope{}, "m", ps[0], 1)
+	c.Get(Scope{}, "m", ps[0]) // hit
+	c.Get(Scope{}, "m", ps[0]) // hit
 	if got, want := c.HitRatio(), 2.0/3.0; got != want {
 		t.Fatalf("hit ratio = %v, want %v", got, want)
 	}
-	c.Put("m", ps[1], 2)
-	c.Put("m", ps[2], 3) // evicts ps[0]
+	c.Put(Scope{}, "m", ps[1], 2)
+	c.Put(Scope{}, "m", ps[2], 3) // evicts ps[0]
 	if hits.Value() != 2 || misses.Value() != 1 || evict.Value() != 1 {
 		t.Fatalf("obs mirrors = %d/%d/%d, want 2/1/1",
 			hits.Value(), misses.Value(), evict.Value())
@@ -128,9 +128,46 @@ func TestHitRatioAndInstrument(t *testing.T) {
 func TestDefaultCapacity(t *testing.T) {
 	c := New(0)
 	ps, _ := patterns(1)
-	c.Put("m", ps[0], 1)
-	if _, ok := c.Get("m", ps[0]); !ok {
+	c.Put(Scope{}, "m", ps[0], 1)
+	if _, ok := c.Get(Scope{}, "m", ps[0]); !ok {
 		t.Fatal("default-capacity cache broken")
+	}
+}
+
+func TestScopeIsolation(t *testing.T) {
+	ps, _ := patterns(1)
+	c := New(16)
+	a1 := Scope{Tenant: "a", Epoch: 1}
+	a2 := Scope{Tenant: "a", Epoch: 2}
+	b1 := Scope{Tenant: "b", Epoch: 1}
+	c.Put(a1, "m", ps[0], 10)
+	c.Put(a2, "m", ps[0], 20)
+	c.Put(b1, "m", ps[0], 30)
+	// Same query, three scopes, three independent entries.
+	for _, tc := range []struct {
+		scope Scope
+		want  float64
+	}{{a1, 10}, {a2, 20}, {b1, 30}} {
+		if v, ok := c.Get(tc.scope, "m", ps[0]); !ok || v != tc.want {
+			t.Fatalf("Get(%+v) = %v,%v, want %v", tc.scope, v, ok, tc.want)
+		}
+	}
+	// Dropping tenant a removes both of its epochs, leaves b warm.
+	c.DropScope("a")
+	if _, ok := c.Get(a1, "m", ps[0]); ok {
+		t.Fatal("a/1 survived DropScope(a)")
+	}
+	if _, ok := c.Get(a2, "m", ps[0]); ok {
+		t.Fatal("a/2 survived DropScope(a)")
+	}
+	if v, ok := c.Get(b1, "m", ps[0]); !ok || v != 30 {
+		t.Fatal("b/1 did not survive DropScope(a)")
+	}
+	// Default-tenant scope is just Tenant: "".
+	c.Put(Scope{Epoch: 7}, "m", ps[0], 70)
+	c.DropScope("")
+	if _, ok := c.Get(Scope{Epoch: 7}, "m", ps[0]); ok {
+		t.Fatal("default-tenant entry survived DropScope(\"\")")
 	}
 }
 
@@ -144,7 +181,7 @@ func TestConcurrent(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
 				p := ps[(g+i)%len(ps)]
-				c.GetOrCompute("m", p, func() float64 { return float64(i) })
+				c.GetOrCompute(Scope{}, "m", p, func() float64 { return float64(i) })
 				if i%13 == 0 {
 					c.Invalidate()
 				}

@@ -1,0 +1,90 @@
+package resilience
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Backoff produces jittered exponential retry delays: each Next() grows
+// the base delay by Factor up to Max, then adds a uniformly distributed
+// jitter of up to Jitter×delay — the standard defense against a fleet
+// of failed refreezers all retrying on the same beat. Safe for use by
+// one goroutine at a time per value; the seeded generator keeps failing
+// tests replayable.
+type Backoff struct {
+	// Base is the first delay (default 100ms).
+	Base time.Duration
+	// Max caps the grown delay before jitter (default 30s).
+	Max time.Duration
+	// Factor is the per-attempt growth multiplier (default 2).
+	Factor float64
+	// Jitter is the fraction of the delay added as random jitter
+	// (0 means the 0.5 default; negative disables jitter entirely,
+	// making the schedule fully deterministic).
+	Jitter float64
+	// Seed seeds the jitter generator (0 means time-seeded).
+	Seed int64
+
+	mu      sync.Mutex
+	attempt int
+	rng     *rand.Rand
+}
+
+// Next returns the delay to sleep before the next retry and advances
+// the attempt counter.
+func (b *Backoff) Next() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	base := b.Base
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	max := b.Max
+	if max <= 0 {
+		max = 30 * time.Second
+	}
+	factor := b.Factor
+	if factor < 1 {
+		factor = 2
+	}
+	d := float64(base)
+	for i := 0; i < b.attempt; i++ {
+		d *= factor
+		if d >= float64(max) {
+			d = float64(max)
+			break
+		}
+	}
+	b.attempt++
+	jitter := b.Jitter
+	if jitter == 0 {
+		jitter = 0.5
+	}
+	if jitter > 0 {
+		if b.rng == nil {
+			seed := b.Seed
+			if seed == 0 {
+				seed = time.Now().UnixNano()
+			}
+			b.rng = rand.New(rand.NewSource(seed))
+		}
+		d += b.rng.Float64() * jitter * d
+	}
+	return time.Duration(d)
+}
+
+// Reset restarts the schedule after a success.
+func (b *Backoff) Reset() {
+	b.mu.Lock()
+	b.attempt = 0
+	b.mu.Unlock()
+}
+
+// Attempts reports how many delays have been handed out since the last
+// Reset.
+func (b *Backoff) Attempts() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.attempt
+}

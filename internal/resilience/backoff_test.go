@@ -1,0 +1,50 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffGrowsAndCaps: without jitter the schedule is exactly
+// base·factorⁿ capped at Max.
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	b := &Backoff{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond, Factor: 2, Jitter: -1}
+	want := []time.Duration{10, 20, 40, 80, 80, 80}
+	for i, w := range want {
+		if got := b.Next(); got != w*time.Millisecond {
+			t.Fatalf("attempt %d: %v, want %v", i, got, w*time.Millisecond)
+		}
+	}
+	if b.Attempts() != len(want) {
+		t.Fatalf("attempts = %d", b.Attempts())
+	}
+	b.Reset()
+	if got := b.Next(); got != 10*time.Millisecond {
+		t.Fatalf("after reset: %v", got)
+	}
+}
+
+// TestBackoffJitterBounds: jittered delays stay within [d, d·(1+J))
+// and the seeded generator replays identically.
+func TestBackoffJitterBounds(t *testing.T) {
+	a := &Backoff{Base: 100 * time.Millisecond, Max: time.Second, Seed: 42}
+	c := &Backoff{Base: 100 * time.Millisecond, Max: time.Second, Seed: 42}
+	base := 100 * time.Millisecond
+	for i := 0; i < 5; i++ {
+		da, dc := a.Next(), c.Next()
+		if da != dc {
+			t.Fatalf("attempt %d: seeded runs diverge: %v vs %v", i, da, dc)
+		}
+		lo := base
+		hi := base + base/2 // default 0.5 jitter fraction
+		if da < lo || da > hi {
+			t.Fatalf("attempt %d: %v outside [%v, %v]", i, da, lo, hi)
+		}
+		if base < time.Second {
+			base *= 2
+		}
+		if base > time.Second {
+			base = time.Second
+		}
+	}
+}

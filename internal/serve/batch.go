@@ -70,9 +70,9 @@ type batchItem struct {
 	Divergence    float64  `json:"divergence,omitempty"`
 	// Divergent is a pointer so checked-but-agreeing items still carry an
 	// explicit false, matching the single endpoint's envelope.
-	Divergent *bool `json:"divergent,omitempty"`
-	Error         string   `json:"error,omitempty"`
-	Code          string   `json:"code,omitempty"`
+	Divergent *bool  `json:"divergent,omitempty"`
+	Error     string `json:"error,omitempty"`
+	Code      string `json:"code,omitempty"`
 }
 
 type batchResponse struct {
@@ -113,6 +113,7 @@ func (h *Handler) estimateBatch(w http.ResponseWriter, r *http.Request) {
 	h.mu.RLock()
 	defer h.mu.RUnlock()
 	sum := h.c.Summary()
+	scope := scopeFor("", sum)
 	if _, err := sum.LookupMethod(method); err != nil {
 		writeCoreError(w, err)
 		return
@@ -162,7 +163,7 @@ func (h *Handler) estimateBatch(w http.ResponseWriter, r *http.Request) {
 			items[i].Code = code
 			continue
 		}
-		if est, ok := h.cache.Get(string(methods[i]), q); ok {
+		if est, ok := h.cache.Get(scope, string(methods[i]), q); ok {
 			e := est
 			items[i].Estimate = &e
 			continue
@@ -207,7 +208,7 @@ func (h *Handler) estimateBatch(w http.ResponseWriter, r *http.Request) {
 			// Cache under the producing method, mirroring the single
 			// endpoint: degraded answers must not masquerade as the
 			// requested method once pressure subsides.
-			h.cache.Put(string(res.Method), queries[j], res.Estimate)
+			h.cache.Put(scope, string(res.Method), queries[j], res.Estimate)
 		}
 	}
 	writeJSON(w, batchResponse{Method: string(method), Results: items})

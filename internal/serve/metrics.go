@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"treelattice/internal/core"
+	"treelattice/internal/estimate"
 	"treelattice/internal/obs"
 )
 
@@ -105,13 +106,21 @@ func (h *Handler) instrumentCorpus() {
 	// Mirror each decomposition method's sub-estimate cache into the
 	// registry so /v1/metrics shows which estimator's workload shares
 	// structure. Only the decomposition methods keep sub-caches; the
-	// sampling, markov, and sketch backends have none to report.
-	for _, m := range core.Methods() {
-		h.c.Summary().SubCache(m).Instrument(
+	// sampling, markov, and sketch backends have none to report. The
+	// creation hook (rather than eager SubCache calls) makes the wiring
+	// survive epoch swaps: every published epoch builds fresh per-epoch
+	// sub-caches, inherits the hook, and instruments them with the same
+	// registry counters — which are deduplicated by name, so the series
+	// accumulate across epochs.
+	h.c.Summary().OnSubCacheCreate(func(m core.Method, c *estimate.SubCache) {
+		c.Instrument(
 			h.reg.Counter("subcache."+string(m)+".hits"),
 			h.reg.Counter("subcache."+string(m)+".misses"),
 			h.reg.Counter("subcache."+string(m)+".evictions"),
 		)
+	})
+	for _, m := range core.Methods() {
+		h.c.Summary().SubCache(m) // create now; creation fires the hook
 	}
 	h.c.Summary().Instrument(func(m core.Method, d time.Duration) {
 		if hist, ok := hists[m]; ok {

@@ -13,6 +13,7 @@
 //	DELETE /v1/docs/{name}                      remove a document
 //	GET    /v1/t/{tenant}/estimate              estimate against a named tenant
 //	GET    /v1/t/{tenant}/stats                 per-tenant statistics
+//	POST   /v1/t/{tenant}/reload                hot-swap a tenant's new snapshot epoch
 //	GET    /v1/tenants                          resident tenants + registry stats
 //	GET    /v1/healthz                          liveness probe
 //	GET    /v1/readyz                           readiness probe (503 when not ready)
@@ -24,8 +25,10 @@
 // answer — bit-identical to a single merged summary when every shard
 // answers, and a degraded partial answer (shards_answered <
 // shards_total) when one misses its deadline. Tenant routes sit behind
-// per-tenant admission quotas (Resilience.TenantQuota) and skip the
-// tenant-agnostic whole-query cache.
+// per-tenant admission quotas (Resilience.TenantQuota); the whole-query
+// cache is scoped by (tenant, epoch), so tenants never share entries
+// and POST /v1/t/{tenant}/reload (or an ingest epoch swap) invalidates
+// only the affected scope.
 //
 // Queries use the twig syntax ("a(b,c(d))"). Estimation methods resolve
 // through the core registry (GET /v1/methods lists them): the paper's
@@ -40,9 +43,9 @@
 //
 // with codes: bad_query, unknown_method, method_unavailable,
 // budget_exhausted, bad_document, too_large, batch_too_large, exists,
-// not_found, frozen, method_not_allowed, canceled, shed,
-// deadline_exceeded, internal, bad_tenant, unknown_tenant, no_shards,
-// not_ready.
+// not_found, frozen, ingest_backpressure, ingest_active,
+// method_not_allowed, canceled, shed, deadline_exceeded, internal,
+// bad_tenant, unknown_tenant, no_shards, not_ready, reload_failed.
 //
 // POST /v1/estimate/batch accepts {"queries": [...], "method": <name>}
 // (up to MaxBatchQueries queries) and answers positionally with per-item
@@ -103,6 +106,14 @@ type Backend interface {
 	ExactCountContext(ctx context.Context, q labeltree.Pattern) (int64, error)
 	AddXMLContext(ctx context.Context, name string, r io.Reader) error
 	Remove(name string) error
+	// Ingesting reports whether the zero-downtime ingest pipeline is
+	// active; IngestStats snapshots its counters (all zeros when it is
+	// not). With ingest active, document adds publish new epochs instead
+	// of mutating the serving summary, so the handler takes only the read
+	// lock and skips cache invalidation — epoch-scoped cache keys make
+	// stale entries unreachable.
+	Ingesting() bool
+	IngestStats() core.IngestStats
 }
 
 var _ Backend = (*corpus.Corpus)(nil)
@@ -194,6 +205,9 @@ type Handler struct {
 
 	reg               *obs.Registry
 	inFlight          *obs.Gauge
+	epochG            *obs.Gauge
+	deltaDocsG        *obs.Gauge
+	deltaBytesG       *obs.Gauge
 	routes            map[string]*routeMetrics
 	limiter           *resilience.Limiter
 	panics            *obs.Counter
@@ -232,11 +246,14 @@ func NewHandlerOptions(c Backend, opts Options) *Handler {
 		quota:         resilience.NewQuotaSet(opts.Resilience.TenantQuota),
 		tenantStats:   make(map[string]*tenantMetrics),
 		reg:           reg,
-		inFlight: reg.Gauge("http.in_flight"),
-		routes:   make(map[string]*routeMetrics),
-		panics:   reg.Counter("http.panics"),
-		degraded: reg.Counter("estimate.degraded"),
-		timeouts: reg.Counter("http.deadline_exceeded"),
+		inFlight:      reg.Gauge("http.in_flight"),
+		epochG:        reg.Gauge("ingest.epoch"),
+		deltaDocsG:    reg.Gauge("ingest.delta_docs"),
+		deltaBytesG:   reg.Gauge("ingest.delta_bytes"),
+		routes:        make(map[string]*routeMetrics),
+		panics:        reg.Counter("http.panics"),
+		degraded:      reg.Counter("estimate.degraded"),
+		timeouts:      reg.Counter("http.deadline_exceeded"),
 		batchSizes: reg.Histogram("http.estimate_batch.batch_size",
 			batchSizeBounds),
 		ensembleChecked:   reg.Counter("ensemble.checked"),
@@ -281,6 +298,7 @@ func NewHandlerOptions(c Backend, opts Options) *Handler {
 	// scatter-gather front end.
 	mux.HandleFunc("GET /v1/t/{tenant}/estimate", h.instrument("tenant_estimate", guarded(h.res.EstimateBudget, h.tenantEstimate)))
 	mux.HandleFunc("GET /v1/t/{tenant}/stats", h.instrument("tenant_stats", recov(h.tenantStatsEndpoint)))
+	mux.HandleFunc("POST /v1/t/{tenant}/reload", h.instrument("tenant_reload", guarded(0, h.tenantReload)))
 	mux.HandleFunc("GET /v1/tenants", h.instrument("tenants", recov(h.tenantsEndpoint)))
 	// Health probes stay outside admission control: a load balancer must
 	// be able to ask an overloaded replica how it is doing — readyz
@@ -302,6 +320,7 @@ func NewHandlerOptions(c Backend, opts Options) *Handler {
 	mux.HandleFunc("/v1/docs/{name}", other(methodNotAllowed("POST, DELETE")))
 	mux.HandleFunc("/v1/t/{tenant}/estimate", other(methodNotAllowed("GET")))
 	mux.HandleFunc("/v1/t/{tenant}/stats", other(methodNotAllowed("GET")))
+	mux.HandleFunc("/v1/t/{tenant}/reload", other(methodNotAllowed("POST")))
 	mux.HandleFunc("/v1/tenants", other(methodNotAllowed("GET")))
 	mux.HandleFunc("/v1/healthz", other(methodNotAllowed("GET")))
 	mux.HandleFunc("/v1/readyz", other(methodNotAllowed("GET")))
@@ -319,6 +338,20 @@ func (h *Handler) Metrics() *obs.Registry { return h.reg }
 // ServeHTTP implements http.Handler.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	h.mux.ServeHTTP(w, r)
+}
+
+// scopeFor derives the cache scope for an estimate computed against sum.
+// When the summary belongs to a published RCU epoch, the epoch ID joins
+// the key, so an estimate cached against one epoch can never answer a
+// lookup against another — publishing IS the invalidation. Summaries
+// outside the ingest pipeline (classic corpora, fleet snapshots) carry
+// epoch 0 and rely on DropScope on mutation or reload.
+func scopeFor(tenant string, sum *core.Summary) qcache.Scope {
+	sc := qcache.Scope{Tenant: tenant}
+	if ep, ok := sum.Source().(*core.Epoch); ok {
+		sc.Epoch = ep.ID
+	}
+	return sc
 }
 
 func (h *Handler) method(r *http.Request) core.Method {
@@ -357,14 +390,15 @@ func (h *Handler) estimate(w http.ResponseWriter, r *http.Request) {
 		writeCoreError(w, err)
 		return
 	}
-	// Cache lookup under the requested method; a hit needs no budget.
-	// (Cached ensemble answers lose their divergence verdict — only fresh
-	// runs cross-check.)
-	if est, ok := h.cache.Get(string(method), q); ok {
+	// Cache lookup under the requested method and the pinned summary's
+	// scope; a hit needs no budget. (Cached ensemble answers lose their
+	// divergence verdict — only fresh runs cross-check.)
+	scope := scopeFor("", sum)
+	if est, ok := h.cache.Get(scope, string(method), q); ok {
 		writeJSON(w, map[string]any{"query": qs, "estimate": est, "method": string(method)})
 		return
 	}
-	res, err := h.runEstimate(r.Context(), q, method)
+	res, err := h.runEstimate(r.Context(), sum, q, method)
 	if err != nil {
 		h.coreError(w, err)
 		return
@@ -372,7 +406,7 @@ func (h *Handler) estimate(w http.ResponseWriter, r *http.Request) {
 	// Cache under the method that actually produced the value: a degraded
 	// answer must not masquerade as the requested method once pressure
 	// subsides.
-	h.cache.Put(string(res.Method), q, res.Estimate)
+	h.cache.Put(scope, string(res.Method), q, res.Estimate)
 	resp := map[string]any{"query": qs, "estimate": res.Estimate, "method": string(res.Method)}
 	if res.Degraded {
 		resp["degraded"] = true
@@ -413,11 +447,13 @@ func (h *Handler) methods(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-// runEstimate evaluates q within the request budget, degrading to a
-// cheaper method when the budget expires (unless disabled), and accounts
-// ensemble cross-check outcomes.
-func (h *Handler) runEstimate(ctx context.Context, q labeltree.Pattern, method core.Method) (core.DegradedEstimate, error) {
-	sum := h.c.Summary()
+// runEstimate evaluates q against sum within the request budget,
+// degrading to a cheaper method when the budget expires (unless
+// disabled), and accounts ensemble cross-check outcomes. The caller
+// passes the summary it already loaded (and derived the cache scope
+// from) so the whole request pins one epoch — re-loading here could
+// observe a newer one mid-request.
+func (h *Handler) runEstimate(ctx context.Context, sum *core.Summary, q labeltree.Pattern, method core.Method) (core.DegradedEstimate, error) {
 	run := sum.EstimateDegradable
 	if h.res.DisableFallback {
 		run = sum.EstimateStrict
@@ -512,6 +548,7 @@ func (h *Handler) stats(w http.ResponseWriter, _ *http.Request) {
 	defer h.mu.RUnlock()
 	s := h.c.Summary()
 	hits, misses, evictions, size := h.cache.Stats()
+	ing := h.syncIngest()
 	resp := map[string]any{
 		"k":               s.K(),
 		"patterns":        s.Patterns(),
@@ -547,6 +584,10 @@ func (h *Handler) stats(w http.ResponseWriter, _ *http.Request) {
 		// Per-tenant traffic split (requests, shed, subcache hit ratio);
 		// the flat totals above are unchanged and fleet-wide.
 		"tenants": h.tenantsSummary(),
+		// Zero-downtime ingest pipeline: serving epoch, delta overlay
+		// size, and refreezer health. All zeros when ingest is off.
+		"epoch":  ing.Epoch,
+		"ingest": ing,
 	}
 	if h.flt != nil {
 		resp["fleet"] = h.flt.Stats()
@@ -606,15 +647,41 @@ func (h *Handler) batchSummary() map[string]any {
 	}
 }
 
+// syncIngest snapshots the backend's ingest counters and mirrors the
+// headline ones into the obs registry, so /v1/metrics scrapes see the
+// epoch and delta size without hitting /v1/stats.
+func (h *Handler) syncIngest() core.IngestStats {
+	ing := h.c.IngestStats()
+	h.epochG.Set(int64(ing.Epoch))
+	h.deltaDocsG.Set(int64(ing.DeltaDocs))
+	h.deltaBytesG.Set(int64(ing.DeltaBytes))
+	return ing
+}
+
 func (h *Handler) addDoc(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	body := http.MaxBytesReader(w, r.Body, h.maxBytes)
-	h.mu.Lock()
-	err := h.c.AddXMLContext(r.Context(), name, body)
-	if err == nil {
-		h.cache.Invalidate()
+	var err error
+	if h.c.Ingesting() {
+		// Zero-downtime path: the add lands in the delta and publishes a
+		// new epoch; in-flight reads finish against the epoch they pinned.
+		// Only the read lock is needed (the corpus serializes writers
+		// internally), and no cache invalidation: entries are keyed by
+		// epoch, so the old epoch's entries simply become unreachable.
+		h.mu.RLock()
+		err = h.c.AddXMLContext(r.Context(), name, body)
+		h.mu.RUnlock()
+	} else {
+		h.mu.Lock()
+		err = h.c.AddXMLContext(r.Context(), name, body)
+		if err == nil {
+			// Classic path mutates the serving summary in place, so the
+			// default tenant's cached estimates (epoch 0) are stale. Other
+			// tenants' entries stay warm.
+			h.cache.DropScope("")
+		}
+		h.mu.Unlock()
 	}
-	h.mu.Unlock()
 	if err != nil {
 		writeCorpusError(w, err)
 		return
@@ -629,7 +696,7 @@ func (h *Handler) removeDoc(w http.ResponseWriter, r *http.Request) {
 	h.mu.Lock()
 	err := h.c.Remove(name)
 	if err == nil {
-		h.cache.Invalidate()
+		h.cache.DropScope("")
 	}
 	h.mu.Unlock()
 	if err != nil {
@@ -702,6 +769,16 @@ func writeCorpusError(w http.ResponseWriter, err error) {
 		writeError(w, http.StatusConflict, "exists", err.Error())
 	case errors.Is(err, corpus.ErrNoSuchDoc):
 		writeError(w, http.StatusNotFound, "not_found", err.Error())
+	case errors.Is(err, corpus.ErrIngestBackpressure):
+		// The delta overlay hit its hard size limit before the refreezer
+		// caught up; the client should back off and retry — the same
+		// contract as admission shedding.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "ingest_backpressure", err.Error())
+	case errors.Is(err, corpus.ErrIngestActive):
+		// Removal (and other non-additive mutations) conflict with the
+		// append-only ingest pipeline; disable ingest first.
+		writeError(w, http.StatusConflict, "ingest_active", err.Error())
 	case errors.Is(err, core.ErrFrozenSummary):
 		// A read-only replica (loaded via corpus.OpenReadOnly) cannot
 		// accept document mutations.

@@ -9,6 +9,7 @@ import (
 	"treelattice/internal/core"
 	"treelattice/internal/fleet"
 	"treelattice/internal/obs"
+	"treelattice/internal/qcache"
 )
 
 // DefaultTenant is the name the legacy single-tenant routes answer as
@@ -63,9 +64,11 @@ func (h *Handler) tenantFor(ctx context.Context, name string) (*fleet.Tenant, er
 // twin of /v1/estimate. Sharded tenants answer through the
 // scatter-gather front end and report how much of the fleet produced
 // the answer; a partial answer (some shard missed its deadline) is
-// marked degraded. The global query cache is skipped on this route —
-// its keys are tenant-agnostic — but each tenant summary's sub-estimate
-// caches still apply.
+// marked degraded. The whole-query cache applies here too — entries are
+// keyed by (tenant, epoch), so tenants never see each other's answers
+// and a reload or epoch swap makes old entries unreachable. Partial and
+// degraded answers are never cached: they reflect transient pressure,
+// not the tenant's true estimate.
 func (h *Handler) tenantEstimate(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("tenant")
 	tn, err := h.tenantFor(r.Context(), name)
@@ -103,6 +106,13 @@ func (h *Handler) tenantEstimate(w http.ResponseWriter, r *http.Request) {
 		writeCoreError(w, err)
 		return
 	}
+	scope := h.tenantScope(name, tn.Summary)
+	if est, ok := h.cache.Get(scope, string(method), q); ok {
+		writeJSON(w, map[string]any{
+			"tenant": name, "query": qs, "estimate": est, "method": string(method),
+		})
+		return
+	}
 	res, err := tn.Estimate(r.Context(), q, method, fleet.EstimateOptions{
 		ShardTimeout: h.res.ShardTimeout,
 		NoFallback:   h.res.DisableFallback,
@@ -119,6 +129,9 @@ func (h *Handler) tenantEstimate(w http.ResponseWriter, r *http.Request) {
 		h.degraded.Inc()
 	}
 	h.observeEnsemble(res.DegradedEstimate)
+	if !res.Degraded && !res.Partial {
+		h.cache.Put(scope, string(res.Method), q, res.Estimate)
+	}
 	resp := map[string]any{
 		"tenant":   name,
 		"query":    qs,
@@ -140,6 +153,62 @@ func (h *Handler) tenantEstimate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
+// tenantScope derives the cache scope for an estimate against a named
+// tenant. Ingesting backends discriminate by RCU epoch; fleet tenants
+// loaded from static snapshots carry no epoch, so their registry
+// generation fills the slot — a reload bumps it and the previous
+// generation's entries become unreachable.
+func (h *Handler) tenantScope(name string, sum *core.Summary) qcache.Scope {
+	sc := scopeFor(name, sum)
+	if sc.Epoch == 0 && h.flt != nil && name != h.defaultTenant {
+		sc.Epoch = h.flt.Generation(name)
+	}
+	return sc
+}
+
+// tenantReload serves POST /v1/t/{tenant}/reload: hot-swap the tenant's
+// freshly published snapshots into the registry without evicting the
+// serving copy — in-flight estimates finish against the old tenant,
+// new requests see the new one. The fleet-side half of zero-downtime
+// ingest: a writer replica refreezes, then the serving fleet reloads.
+func (h *Handler) tenantReload(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("tenant")
+	if err := fleet.ValidateName(name); err != nil {
+		writeFleetError(w, err)
+		return
+	}
+	if name == h.defaultTenant {
+		writeError(w, http.StatusConflict, "reload_failed",
+			"default tenant is the live corpus; it publishes epochs, not snapshot reloads")
+		return
+	}
+	if h.flt == nil {
+		writeFleetError(w, fleet.ErrUnknownTenant)
+		return
+	}
+	tn, err := h.flt.Reload(r.Context(), name)
+	if err != nil {
+		switch {
+		case errors.Is(err, fleet.ErrBadName), errors.Is(err, fleet.ErrUnknownTenant),
+			errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			writeFleetError(w, err)
+		default:
+			writeError(w, http.StatusConflict, "reload_failed", err.Error())
+		}
+		return
+	}
+	// The generation bump already routes new lookups past the old
+	// entries; dropping them too frees the LRU slots immediately.
+	h.cache.DropScope(name)
+	writeJSON(w, map[string]any{
+		"tenant":     name,
+		"reloaded":   true,
+		"generation": h.flt.Generation(name),
+		"backend":    tn.StoreKind(),
+		"shards":     tn.Shards,
+	})
+}
+
 // tenantStatsEndpoint serves GET /v1/t/{tenant}/stats: the tenant's
 // summary shape, traffic counters, and sub-estimate cache
 // effectiveness.
@@ -154,6 +223,7 @@ func (h *Handler) tenantStatsEndpoint(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{
 		"tenant":         name,
 		"shards":         tn.Shards,
+		"epoch":          h.tenantScope(name, tn.Summary).Epoch,
 		"k":              tn.Summary.K(),
 		"patterns":       tn.Summary.Patterns(),
 		"bytes":          tn.Summary.SizeBytes(),

@@ -269,3 +269,56 @@ func TestTenantQuota(t *testing.T) {
 		t.Fatalf("tenant shed counter: %v", acme)
 	}
 }
+
+// TestTenantReloadEndpoint: POST /v1/t/{tenant}/reload swaps in the
+// tenant's current on-disk snapshots and rolls the cache scope, so the
+// next estimate reflects the new data instead of a stale cached answer.
+func TestTenantReloadEndpoint(t *testing.T) {
+	srv, h := newFleetServer(t, Options{})
+
+	// Warm the tenant and its query cache.
+	code, out := do(t, "GET", srv.URL+"/v1/t/solo/estimate?q=l0(l1)", "")
+	if code != http.StatusOK {
+		t.Fatalf("estimate: %d %v", code, out)
+	}
+	before := out["estimate"].(float64)
+	do(t, "GET", srv.URL+"/v1/t/solo/estimate?q=l0(l1)", "") // cache it
+
+	code, out = do(t, "POST", srv.URL+"/v1/t/solo/reload", "")
+	if code != http.StatusOK || out["reloaded"] != true {
+		t.Fatalf("reload: %d %v", code, out)
+	}
+	gen := out["generation"].(float64)
+	if gen < 2 {
+		t.Fatalf("generation after reload: %v", out)
+	}
+	if g := h.flt.Generation("solo"); g != uint64(gen) {
+		t.Fatalf("endpoint generation %v != registry %d", gen, g)
+	}
+
+	// Same snapshot files, so the answer is unchanged — but it must be
+	// recomputed under the new scope, not replayed from the old cache.
+	code, out = do(t, "GET", srv.URL+"/v1/t/solo/estimate?q=l0(l1)", "")
+	if code != http.StatusOK || out["estimate"].(float64) != before {
+		t.Fatalf("estimate after reload: %d %v (want %v)", code, out, before)
+	}
+
+	// Stats surface the scope discriminator.
+	code, out = do(t, "GET", srv.URL+"/v1/t/solo/stats", "")
+	if code != http.StatusOK {
+		t.Fatalf("tenant stats: %d %v", code, out)
+	}
+	if out["epoch"].(float64) != gen {
+		t.Fatalf("tenant stats epoch %v != generation %v", out["epoch"], gen)
+	}
+
+	// Unknown tenants and bad methods keep their envelopes.
+	code, out = do(t, "POST", srv.URL+"/v1/t/nosuch/reload", "")
+	if code != http.StatusNotFound || out["code"] != "unknown_tenant" {
+		t.Fatalf("reload unknown: %d %v", code, out)
+	}
+	code, _ = do(t, "GET", srv.URL+"/v1/t/solo/reload", "")
+	if code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET reload: %d", code)
+	}
+}
