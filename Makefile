@@ -18,7 +18,8 @@ FUZZ_TARGETS = \
 	./internal/lattice:FuzzFrozenLoad \
 	./internal/lattice:FuzzCompressedLoad \
 	./internal/lattice:FuzzDeltaMerge \
-	./internal/fleet:FuzzTenantName
+	./internal/fleet:FuzzTenantName \
+	./internal/serve:FuzzQueryEndpoint
 
 .PHONY: check vet build test race fuzz fuzz-short bench benchcore microbench
 
@@ -35,7 +36,7 @@ fuzz:
 # generation): fast enough for the check gate, still catches regressions
 # on every previously interesting input checked into testdata.
 fuzz-short:
-	$(GO) test -run='^Fuzz' ./internal/xmlparse ./internal/labeltree ./internal/lattice ./internal/fleet
+	$(GO) test -run='^Fuzz' ./internal/xmlparse ./internal/labeltree ./internal/lattice ./internal/fleet ./internal/serve
 
 vet:
 	$(GO) vet ./...
@@ -65,12 +66,15 @@ race:
 # comparison. -ingest runs a mixed read/write pass — readers estimating
 # while a writer streams documents through the zero-downtime ingest
 # pipeline with sub-second refreezes — and adds its read latency and
-# write/backpressure counts. The report schema is regression-tested in
+# write/backpressure counts. -query adds the plan-vs-naive twig
+# execution matrix over the four Table 3 profiles (candidate reduction,
+# p50 latency both ways, calibration) plus a served /v1/query count-only
+# mix over the full HTTP path. The report schema is regression-tested in
 # cmd/treelattice/loadbench_test.go.
 bench:
 	$(GO) run ./cmd/treelattice loadbench -gen xmark -scale 20000 \
 		-duration 3s -warmup 500ms -seed 1 -batch 32 -methods all \
-		-replicas 1,2,4 -tenants 2 -backends -ingest \
+		-replicas 1,2,4 -tenants 2 -backends -ingest -query \
 		-out BENCH_serve.json
 
 # benchcore is the build/estimate-path counterpart of `make bench`: it

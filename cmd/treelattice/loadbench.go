@@ -61,8 +61,13 @@ type benchReport struct {
 	// a writer streams document uploads through the delta/epoch pipeline,
 	// so read latency under continuous ingest (and refreeze churn) is on
 	// the record next to the read-only numbers.
-	Ingest        *ingestReport `json:"ingest,omitempty"`
-	ServerMetrics *obs.Snapshot `json:"server_metrics,omitempty"`
+	Ingest *ingestReport `json:"ingest,omitempty"`
+	// QueryPlan is the -query matrix: plan-guided vs naive-order twig
+	// execution over the Table 3 datasets (candidate reduction and
+	// latency), plus the served /v1/query mix when an in-process server
+	// was on the measured path.
+	QueryPlan     *queryPlanReport `json:"query_plan,omitempty"`
+	ServerMetrics *obs.Snapshot    `json:"server_metrics,omitempty"`
 }
 
 // ingestReport is the -ingest row: read-side throughput/latency measured
@@ -156,6 +161,9 @@ func runLoadbench(args []string, stdout io.Writer) error {
 	scaleDur := fs.Duration("scaledur", 2*time.Second, "measured duration of each -replicas point")
 	tenants := fs.Int("tenants", 0, "also drive the workload round-robin across this many tenants' /v1/t/{tenant}/estimate routes (default in-process server only)")
 	backends := fs.Bool("backends", false, "also compare the frozen and compressed snapshot backends in-process over the same workload, adding a size×throughput matrix to the report")
+	queryMatrix := fs.Bool("query", false, "also run the plan-vs-naive twig execution matrix over the Table 3 datasets (nasa, imdb, psd, xmark), adding a query_plan section to the report; with the default in-process server, additionally drives a count-only /v1/query mix over HTTP")
+	queryScale := fs.Int("queryscale", 20000, "approximate element count of each -query dataset document")
+	queryPasses := fs.Int("querypasses", 3, "timed repetitions of the -query execution loop")
 	ingestMix := fs.Bool("ingest", false, "also run a mixed read/write pass: enable zero-downtime ingest on a throwaway copy of the corpus and measure estimate latency while a writer streams document uploads through the delta/epoch pipeline")
 	ingestDur := fs.Duration("ingestdur", 3*time.Second, "measured duration of the -ingest mixed pass")
 	accQueries := fs.Int("accqueries", 60, "queries scored against exact counts per swept method (-methods)")
@@ -226,6 +234,7 @@ func runLoadbench(args []string, stdout io.Writer) error {
 	var batchTarget loadgen.BatchTarget
 	var tenantTargets []loadgen.Target
 	var scrapeMetrics func() (*obs.Snapshot, error)
+	var serverBase string
 	switch {
 	case *liveURL != "":
 		base := strings.TrimSuffix(*liveURL, "/")
@@ -271,6 +280,7 @@ func runLoadbench(args []string, stdout io.Writer) error {
 			srv.Shutdown(ctx)
 		}()
 		base := "http://" + ln.Addr().String()
+		serverBase = base
 		fmt.Fprintf(stdout, "in-process server on %s\n", base)
 		target = loadgen.NewHTTPTarget(base, core.Method(*method), nil)
 		batchTarget = loadgen.NewHTTPBatchTarget(base, core.Method(*method), nil)
@@ -374,6 +384,31 @@ func runLoadbench(args []string, stdout io.Writer) error {
 		}
 	}
 
+	// Plan-vs-naive twig execution matrix over the Table 3 datasets, plus
+	// (when the default in-process server is up) a served /v1/query mix so
+	// the full HTTP execution path has numbers on the record too.
+	var queryPlan *queryPlanReport
+	if *queryMatrix {
+		rows, err := runQueryPlanMatrix(context.Background(), datagen.AllProfiles(),
+			*queryScale, *k, *seed, *queryPasses, stdout)
+		if err != nil {
+			return err
+		}
+		queryPlan = &queryPlanReport{Datasets: rows}
+		if serverBase != "" {
+			qt := loadgen.NewHTTPTarget(serverBase, "", nil).
+				WithPath("/v1/query").WithParam("count", "1")
+			mixRes, err := loadgen.Run(context.Background(), qt, w, opts)
+			if err != nil {
+				return err
+			}
+			queryPlan.ServedMix = mixRes
+			fmt.Fprintf(stdout, "served /v1/query mix: %.0f req/s  p50=%.3fms p99=%.3fms (%d issued, %d errors)\n",
+				mixRes.AchievedQPS, mixRes.Latency.P50*1e3, mixRes.Latency.P99*1e3,
+				mixRes.Issued, mixRes.Errors)
+		}
+	}
+
 	// Shard-replica scaling sweep: the fleet-scaling headline number.
 	var scaleRows []replicaScaleRow
 	if *replicasSpec != "" {
@@ -402,6 +437,7 @@ func runLoadbench(args []string, stdout io.Writer) error {
 		TenantResult: tenantRes,
 		Backends:     backendRows,
 		Ingest:       ingestRep,
+		QueryPlan:    queryPlan,
 	}
 	if scrapeMetrics != nil {
 		snap, err := scrapeMetrics()

@@ -213,6 +213,64 @@ func TestLoadbenchShardScalingAndTenants(t *testing.T) {
 	}
 }
 
+// TestLoadbenchQueryPlanMatrix covers the -query report section: the
+// plan-vs-naive execution matrix over the four Table 3 profiles plus
+// the served /v1/query count-only mix over the full HTTP path.
+func TestLoadbenchQueryPlanMatrix(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	var buf bytes.Buffer
+	err := runLoadbench([]string{
+		"-gen", "nasa", "-scale", "1500", "-k", "3",
+		"-requests", "40", "-warmup", "0s", "-concurrency", "2",
+		"-sizes", "3", "-persize", "8", "-seed", "7",
+		"-query", "-queryscale", "1500", "-querypasses", "1",
+		"-out", out,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := readReport(t, out)
+	if r.QueryPlan == nil {
+		t.Fatal("report missing query_plan section")
+	}
+	if len(r.QueryPlan.Datasets) != 4 {
+		t.Fatalf("query_plan datasets = %d, want 4\n%s", len(r.QueryPlan.Datasets), buf.String())
+	}
+	for _, row := range r.QueryPlan.Datasets {
+		if row.Queries == 0 {
+			t.Errorf("%s: no queries survived screening", row.Dataset)
+		}
+		if row.PlanCandidates <= 0 || row.NaiveCandidates <= 0 {
+			t.Errorf("%s: candidate totals not recorded: %+v", row.Dataset, row)
+		}
+		if row.CandidateReduction <= 0 {
+			t.Errorf("%s: candidate_reduction = %v", row.Dataset, row.CandidateReduction)
+		}
+		// The planner must never be materially worse than the stored order
+		// in aggregate; at tiny scale we only bound it away from pathology.
+		if row.CandidateReduction < 0.9 {
+			t.Errorf("%s: planner worse than naive: %vx", row.Dataset, row.CandidateReduction)
+		}
+		if row.PlanP50ms < 0 || row.NaiveP50ms < 0 || row.Speedup <= 0 {
+			t.Errorf("%s: timings not recorded: %+v", row.Dataset, row)
+		}
+	}
+	// The default in-process server also ran the served count-only mix.
+	if r.QueryPlan.ServedMix == nil {
+		t.Fatal("query_plan missing served_mix")
+	}
+	if r.QueryPlan.ServedMix.Issued != 40 || r.QueryPlan.ServedMix.Errors != 0 {
+		t.Errorf("served mix: %+v", r.QueryPlan.ServedMix)
+	}
+	// The mix really hit the /v1/query route, not /v1/estimate.
+	if r.ServerMetrics == nil {
+		t.Fatal("report missing server metrics")
+	}
+	if got := r.ServerMetrics.Counters["http.query.requests"]; got != 40 {
+		t.Errorf("server query requests = %d, want 40", got)
+	}
+}
+
 // TestLoadbenchIngestMix covers the -ingest report row: the mixed
 // read/write pass must record read-side latency, documents streamed
 // through the delta/epoch pipeline, and the final ingest stats.

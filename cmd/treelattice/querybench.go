@@ -1,0 +1,286 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"treelattice/internal/core"
+	"treelattice/internal/datagen"
+	"treelattice/internal/labeltree"
+	"treelattice/internal/loadgen"
+	"treelattice/internal/obs"
+	"treelattice/internal/twigjoin"
+)
+
+// queryPlanRow is one Table 3 dataset's plan-vs-naive execution matrix
+// row: the same sampled query set executed count-only under the
+// planner-chosen bind order and the stored-numbering baseline, with the
+// executor's candidate counters as the work metric the plan is supposed
+// to reduce.
+type queryPlanRow struct {
+	Dataset string `json:"dataset"`
+	Scale   int    `json:"scale"`
+	Queries int    `json:"queries"`
+	Matches int64  `json:"matches"`
+	// PlanCandidates / NaiveCandidates are the executor's candidate
+	// totals across the query set. CandidateReduction is the geometric
+	// mean of per-query naive/plan candidate ratios — the per-query view,
+	// so one combinatorial outlier (where both orders explode alike)
+	// cannot drown the mix the way a totals quotient would.
+	PlanCandidates     int64   `json:"plan_candidates"`
+	NaiveCandidates    int64   `json:"naive_candidates"`
+	CandidateReduction float64 `json:"candidate_reduction"`
+	TotalReduction     float64 `json:"total_candidate_reduction"`
+	PlanP50ms          float64 `json:"plan_p50_ms"`
+	NaiveP50ms         float64 `json:"naive_p50_ms"`
+	PlanMeanMs         float64 `json:"plan_mean_ms"`
+	NaiveMeanMs        float64 `json:"naive_mean_ms"`
+	// Speedup is naive mean / plan mean wall-clock per query.
+	Speedup float64 `json:"speedup"`
+	// CalibrationP50 is the median measured/predicted candidate ratio
+	// across the planned executions — the cost model's validation signal.
+	CalibrationP50 float64 `json:"calibration_p50"`
+	// SkippedBudget counts sampled queries excluded because either
+	// execution order blew the per-query node budget — combinatorial
+	// outliers both orders lose to alike.
+	SkippedBudget int `json:"skipped_budget,omitempty"`
+}
+
+// queryPlanNodeBudget caps candidates per matrix execution: a sampled
+// query that exceeds it under either bind order is a combinatorial
+// outlier (repeated labels force factorial injectivity backtracking)
+// and is excluded rather than allowed to dominate the row's wall clock.
+const queryPlanNodeBudget = 2_000_000
+
+// queryPlanReport is the BENCH_serve.json query_plan section.
+type queryPlanReport struct {
+	Datasets []queryPlanRow `json:"datasets"`
+	// ServedMix is the /v1/query count-only mix driven over the full HTTP
+	// path against the main corpus (default in-process server runs only).
+	ServedMix *loadgen.Result `json:"served_mix,omitempty"`
+}
+
+// queryPlanQueries samples a descendant-anchored twig query set for the
+// matrix: positive patterns from the document, rendered with a leading
+// "//" so matches root anywhere. Pure chains are dropped — a chain's
+// bind order is forced (parent before child), so it measures only
+// planning overhead; the matrix is about queries where bind order is a
+// real choice, which means at least one branching node.
+func queryPlanQueries(sum *core.Summary, trees []*labeltree.Tree, dict *labeltree.Dict, seed int64) ([]twigjoin.Query, error) {
+	// Half the mix is zero-selectivity queries — the selective-branch
+	// case the paper's estimates exist to exploit: an estimate-guided
+	// order binds the impossible branch first and kills every candidate
+	// after one probe, where a naive order enumerates the fat branches
+	// before discovering there is nothing to join them to.
+	w, err := loadgen.BuildWorkload(trees, dict, loadgen.WorkloadOptions{
+		Sizes: []int{5, 6, 7, 8}, PerSize: 40, NegativeFraction: 0.5, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Sibling order is shuffled before rendering: the sampled pattern's
+	// stored order inherits document order, which the naive baseline then
+	// executes — an accidentally-informed baseline. A client writes twig
+	// branches in arbitrary order; shuffling makes "naive" mean exactly
+	// "the order the query was written in".
+	rng := rand.New(rand.NewSource(seed*31 + 7))
+	qs := make([]twigjoin.Query, 0, len(w.Items))
+	for _, it := range w.Items {
+		q, err := sum.ParseTwigQuery("//" + renderShuffled(it.Pattern, dict, rng))
+		if err != nil {
+			continue // a sampled pattern the twig grammar rejects; skip
+		}
+		if !hasBranch(q) {
+			continue
+		}
+		qs = append(qs, q)
+	}
+	if len(qs) == 0 {
+		return nil, fmt.Errorf("loadbench: dataset produced no branching twig queries")
+	}
+	return qs, nil
+}
+
+// renderShuffled renders a pattern in twig syntax with uniformly random
+// sibling order at every node.
+func renderShuffled(p labeltree.Pattern, dict *labeltree.Dict, rng *rand.Rand) string {
+	kids := make([][]int32, p.Size())
+	for i := int32(1); int(i) < p.Size(); i++ {
+		kids[p.Parent(i)] = append(kids[p.Parent(i)], i)
+	}
+	var sb strings.Builder
+	var rec func(i int32)
+	rec = func(i int32) {
+		sb.WriteString(dict.Name(p.Label(i)))
+		c := kids[i]
+		if len(c) == 0 {
+			return
+		}
+		rng.Shuffle(len(c), func(a, b int) { c[a], c[b] = c[b], c[a] })
+		sb.WriteByte('(')
+		for j, ch := range c {
+			if j > 0 {
+				sb.WriteByte(',')
+			}
+			rec(ch)
+		}
+		sb.WriteByte(')')
+	}
+	rec(0)
+	return sb.String()
+}
+
+// hasBranch reports whether any query node has two or more children.
+func hasBranch(q twigjoin.Query) bool {
+	p := q.Pattern
+	kids := make([]int, p.Size())
+	for i := int32(1); int(i) < p.Size(); i++ {
+		kids[p.Parent(i)]++
+		if kids[p.Parent(i)] >= 2 {
+			return true
+		}
+	}
+	return false
+}
+
+// runQueryPlanMatrix generates each Table 3 dataset, samples a query
+// set, and executes it count-only under planned and naive bind orders,
+// verifying match counts stay bit-identical while recording candidates
+// and latency. passes repeats the timed loop so per-query wall-clock
+// stabilizes; candidates are structural and counted once.
+func runQueryPlanMatrix(ctx context.Context, datasets []datagen.Profile, scale, k int, seed int64, passes int, stdout io.Writer) ([]queryPlanRow, error) {
+	if passes < 1 {
+		passes = 1
+	}
+	rows := make([]queryPlanRow, 0, len(datasets))
+	for _, profile := range datasets {
+		tmp, err := os.MkdirTemp("", "loadbench-queryplan-*")
+		if err != nil {
+			return nil, err
+		}
+		c, err := generatedCorpus(tmp, profile, scale, k, seed)
+		if err != nil {
+			os.RemoveAll(tmp)
+			return nil, fmt.Errorf("loadbench: generating %s: %w", profile, err)
+		}
+		sum := c.Summary()
+		trees := make([]*labeltree.Tree, 0, len(c.Docs()))
+		for _, name := range c.Docs() {
+			t, _ := c.Doc(name)
+			trees = append(trees, t)
+		}
+		qs, err := queryPlanQueries(sum, trees, c.Dict(), seed)
+		if err != nil {
+			os.RemoveAll(tmp)
+			return nil, fmt.Errorf("loadbench: sampling %s queries: %w", profile, err)
+		}
+
+		row := queryPlanRow{Dataset: string(profile), Scale: scale}
+		var calibrations, logRatios []float64
+
+		// Screening pass: run both orders once under the node budget,
+		// verify the differential (bit-identical counts), accumulate the
+		// structural candidate counters, and drop budget-blowers from the
+		// timed set.
+		kept := make([]twigjoin.Query, 0, len(qs))
+		for qi, q := range qs {
+			planned, err := sum.ExecuteQueryContext(ctx, q,
+				core.QueryOptions{NodeBudget: queryPlanNodeBudget})
+			if err != nil {
+				os.RemoveAll(tmp)
+				return nil, fmt.Errorf("loadbench: %s planned exec: %w", profile, err)
+			}
+			naive, err := sum.ExecuteQueryContext(ctx, q,
+				core.QueryOptions{NodeBudget: queryPlanNodeBudget, NaiveOrder: true})
+			if err != nil {
+				os.RemoveAll(tmp)
+				return nil, fmt.Errorf("loadbench: %s naive exec: %w", profile, err)
+			}
+			if planned.Degraded || naive.Degraded {
+				row.SkippedBudget++
+				continue
+			}
+			if planned.Count != naive.Count {
+				os.RemoveAll(tmp)
+				return nil, fmt.Errorf("loadbench: %s query %d: planned count %d != naive count %d",
+					profile, qi, planned.Count, naive.Count)
+			}
+			row.Matches += planned.Count
+			row.PlanCandidates += planned.Stats.Candidates
+			row.NaiveCandidates += naive.Stats.Candidates
+			if planned.Stats.Candidates > 0 && naive.Stats.Candidates > 0 {
+				logRatios = append(logRatios,
+					math.Log(float64(naive.Stats.Candidates)/float64(planned.Stats.Candidates)))
+			}
+			if planned.Calibration > 0 {
+				calibrations = append(calibrations, planned.Calibration)
+			}
+			kept = append(kept, q)
+		}
+		if len(kept) == 0 {
+			os.RemoveAll(tmp)
+			return nil, fmt.Errorf("loadbench: %s: every sampled query blew the node budget", profile)
+		}
+		row.Queries = len(kept)
+
+		// Timed passes over the kept set: per-query wall clock both ways,
+		// planning included on the planned side — it is part of the price.
+		planHist, naiveHist := obs.NewHistogram(nil), obs.NewHistogram(nil)
+		var planTotal, naiveTotal time.Duration
+		for pass := 0; pass < passes; pass++ {
+			for _, q := range kept {
+				start := time.Now()
+				if _, err := sum.ExecuteQueryContext(ctx, q, core.QueryOptions{}); err != nil {
+					os.RemoveAll(tmp)
+					return nil, fmt.Errorf("loadbench: %s planned exec: %w", profile, err)
+				}
+				planDur := time.Since(start)
+				start = time.Now()
+				if _, err := sum.ExecuteQueryContext(ctx, q, core.QueryOptions{NaiveOrder: true}); err != nil {
+					os.RemoveAll(tmp)
+					return nil, fmt.Errorf("loadbench: %s naive exec: %w", profile, err)
+				}
+				naiveDur := time.Since(start)
+				planHist.ObserveDuration(planDur)
+				naiveHist.ObserveDuration(naiveDur)
+				planTotal += planDur
+				naiveTotal += naiveDur
+			}
+		}
+		execs := float64(len(kept) * passes)
+		row.PlanMeanMs = float64(planTotal) / execs / 1e6
+		row.NaiveMeanMs = float64(naiveTotal) / execs / 1e6
+		row.PlanP50ms = planHist.Snapshot().P50 * 1e3
+		row.NaiveP50ms = naiveHist.Snapshot().P50 * 1e3
+		if row.PlanCandidates > 0 {
+			row.TotalReduction = float64(row.NaiveCandidates) / float64(row.PlanCandidates)
+		}
+		if len(logRatios) > 0 {
+			var sum float64
+			for _, r := range logRatios {
+				sum += r
+			}
+			row.CandidateReduction = math.Exp(sum / float64(len(logRatios)))
+		}
+		if row.PlanMeanMs > 0 {
+			row.Speedup = row.NaiveMeanMs / row.PlanMeanMs
+		}
+		if len(calibrations) > 0 {
+			sort.Float64s(calibrations)
+			row.CalibrationP50 = calibrations[len(calibrations)/2]
+		}
+		fmt.Fprintf(stdout, "query plan %-6s %4d queries  candidates plan=%d naive=%d (%.2fx)  p50 plan=%.3fms naive=%.3fms (%.2fx speedup)\n",
+			profile, row.Queries, row.PlanCandidates, row.NaiveCandidates,
+			row.CandidateReduction, row.PlanP50ms, row.NaiveP50ms, row.Speedup)
+		rows = append(rows, row)
+		os.RemoveAll(tmp)
+	}
+	return rows, nil
+}

@@ -19,6 +19,7 @@ import (
 	"treelattice/internal/lattice"
 	"treelattice/internal/metrics"
 	"treelattice/internal/mine"
+	"treelattice/internal/twigjoin"
 )
 
 // Method selects an estimation strategy.
@@ -114,6 +115,10 @@ type Summary struct {
 	prepMu   sync.Mutex
 	source   TreeSource
 	prepared map[Method]Prepared
+	// indexer is the fallback per-document region-index cache for query
+	// execution, created lazily when the bound source does not share one
+	// (see exec.go). Guarded by prepMu.
+	indexer *twigjoin.Indexer
 }
 
 // Instrument installs an estimate-latency observer on the summary. Call

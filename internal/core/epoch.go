@@ -7,6 +7,7 @@ import (
 	"treelattice/internal/estimate"
 	"treelattice/internal/labeltree"
 	"treelattice/internal/lattice"
+	"treelattice/internal/twigjoin"
 )
 
 // This file is the RCU epoch seam of the zero-downtime ingest pipeline.
@@ -35,10 +36,22 @@ type Epoch struct {
 	Docs []*labeltree.Tree
 	// Names holds the document names, positionally aligned with Docs.
 	Names []string
+	// indexer is the region-index cache shared across epochs (trees
+	// survive epoch swaps by pointer, so indexes do too); set from the
+	// handle at publish.
+	indexer *twigjoin.Indexer
 }
 
 // Trees implements TreeSource: the epoch's frozen document snapshot.
 func (e *Epoch) Trees() []*labeltree.Tree { return e.Docs }
+
+// DocNames implements DocNamer: names aligned with Trees().
+func (e *Epoch) DocNames() []string { return e.Names }
+
+// TwigIndexer implements TwigIndexerSource; nil before the owning handle
+// installed a cache (ExecuteQueryContext then falls back to a
+// summary-local one).
+func (e *Epoch) TwigIndexer() *twigjoin.Indexer { return e.indexer }
 
 // HasDoc reports whether name is in the epoch's document snapshot.
 func (e *Epoch) HasDoc(name string) (int, bool) {
@@ -60,7 +73,15 @@ func (e *Epoch) HasDoc(name string) (int, bool) {
 type EpochHandle struct {
 	cur atomic.Pointer[Epoch]
 	seq atomic.Uint64
+	// indexer, when set (before the first Publish), is carried into
+	// every published epoch so query execution reuses region indexes
+	// across epoch swaps.
+	indexer *twigjoin.Indexer
 }
+
+// SetTwigIndexer installs the region-index cache future epochs carry.
+// Call before the first Publish.
+func (h *EpochHandle) SetTwigIndexer(ix *twigjoin.Indexer) { h.indexer = ix }
 
 // Current returns the serving epoch, or nil before the first Publish.
 func (h *EpochHandle) Current() *Epoch { return h.cur.Load() }
@@ -98,7 +119,7 @@ func (h *EpochHandle) Publish(base *Summary, delta estimate.Store, docs []*label
 			sum.subCacheNew = ps.subCacheNew
 		}
 	}
-	e := &Epoch{ID: h.seq.Add(1), Summary: sum, Docs: docs, Names: names}
+	e := &Epoch{ID: h.seq.Add(1), Summary: sum, Docs: docs, Names: names, indexer: h.indexer}
 	sum.BindSource(e)
 	h.cur.Store(e)
 	return e

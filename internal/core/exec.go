@@ -1,0 +1,202 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"treelattice/internal/labeltree"
+	"treelattice/internal/planner"
+	"treelattice/internal/twigjoin"
+)
+
+// ErrNoDocuments reports a query execution against a summary with no
+// bound documents — snapshot-only summaries (frozen fleet tenants,
+// scatter-gather shards) can estimate but cannot answer queries.
+var ErrNoDocuments = errors.New("treelattice: no documents bound to summary")
+
+// DocNamer is an optional TreeSource capability: document names
+// positionally aligned with Trees(). Sources that lack it get positional
+// fallback names in query results.
+type DocNamer interface {
+	DocNames() []string
+}
+
+// TwigIndexerSource is an optional TreeSource capability: a shared
+// per-document region-index cache built at corpus/snapshot load, so
+// query execution never rebuilds an index for a tree it has seen.
+type TwigIndexerSource interface {
+	TwigIndexer() *twigjoin.Indexer
+}
+
+// ParseTwigQuery parses a twig query in the extended axis syntax
+// ("a(b,//c)", with optional leading "/" or "//") against the summary's
+// dictionary, classifying failures exactly like ParseQuery: syntax
+// errors wrap ErrBadQuery, labels the dictionary has never seen wrap
+// ErrUnknownLabel. This is the query-execution counterpart of
+// ParseQuery, which accepts only the child-axis estimator syntax.
+func (s *Summary) ParseTwigQuery(query string) (twigjoin.Query, error) {
+	known := labeltree.LabelID(s.dict.Len())
+	q, err := twigjoin.ParseQuery(query, s.dict)
+	if err != nil {
+		return twigjoin.Query{}, fmt.Errorf("%w: %v", ErrBadQuery, err)
+	}
+	for i := int32(0); int(i) < q.Pattern.Size(); i++ {
+		if l := q.Pattern.Label(i); l >= known {
+			return twigjoin.Query{}, fmt.Errorf("%w: %q", ErrUnknownLabel, s.dict.Name(l))
+		}
+	}
+	return q, nil
+}
+
+// QueryOptions configures ExecuteQueryContext.
+type QueryOptions struct {
+	// Method selects the estimator the planner consults for the bind
+	// order. Empty means MethodFixSized — the fastest registered
+	// estimator, and planning only needs the relative ordering.
+	Method Method
+	// Limit caps how many match tuples are materialized; matching
+	// continues past the limit so Count stays exact. 0 materializes
+	// nothing (count-only).
+	Limit int
+	// NodeBudget bounds the candidates visited across the whole corpus
+	// scan; 0 means unlimited. An exhausted budget marks the result
+	// Degraded with the partial count instead of failing.
+	NodeBudget int64
+	// NaiveOrder skips the planner and binds in stored numbering — the
+	// baseline side of every plan-vs-naive comparison.
+	NaiveOrder bool
+}
+
+// QueryMatch is one materialized match tuple: Nodes[i] is the data node
+// (preorder id within Doc) bound to query node i.
+type QueryMatch struct {
+	Doc   string  `json:"doc"`
+	Nodes []int32 `json:"nodes"`
+}
+
+// QueryResult is the outcome of a twig query execution.
+type QueryResult struct {
+	// Count is the number of matches found. When Degraded, it is the
+	// count up to the point the node budget ran out.
+	Count int64
+	// Matches holds up to QueryOptions.Limit materialized tuples.
+	Matches []QueryMatch
+	// Truncated reports that more matches exist than were materialized.
+	Truncated bool
+	// Degraded reports the node budget ran out mid-scan: Count is a
+	// partial answer.
+	Degraded bool
+	// DocsScanned is how many documents the execution visited.
+	DocsScanned int
+	// Stats is the measured work, summed across documents.
+	Stats twigjoin.Stats
+	// Plan is the bind order used, with its estimates. For a naive-order
+	// execution PredictedCandidates is 0 and Calibration is absent.
+	Plan planner.Plan
+	// PlanMethod is the estimator method that drove the plan ("" for
+	// naive order).
+	PlanMethod Method
+	// Calibration is measured candidates / predicted candidates — the
+	// cost model's validation signal, 0 when no prediction was made.
+	Calibration float64
+}
+
+// execIndexer lazily creates the summary-local fallback index cache for
+// sources that do not share one (plain Build summaries).
+func (s *Summary) execIndexer() *twigjoin.Indexer {
+	s.prepMu.Lock()
+	defer s.prepMu.Unlock()
+	if s.indexer == nil {
+		s.indexer = twigjoin.NewIndexer()
+	}
+	return s.indexer
+}
+
+// ExecuteQueryContext answers a twig query against the summary's bound
+// documents: it plans a bind order with planner.Choose against this
+// summary's estimator (the current epoch's view, since callers load the
+// summary once per request), runs the chosen order through the
+// region-indexed executor document by document under the node budget and
+// ctx, and reports the measured work next to the plan's prediction so
+// the cost model is validated by real executions.
+func (s *Summary) ExecuteQueryContext(ctx context.Context, q twigjoin.Query, opts QueryOptions) (*QueryResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	src := s.Source()
+	if src == nil {
+		return nil, fmt.Errorf("%w: cannot execute queries", ErrNoDocuments)
+	}
+	trees := src.Trees()
+	if len(trees) == 0 {
+		return nil, fmt.Errorf("%w: corpus is empty", ErrNoDocuments)
+	}
+
+	res := &QueryResult{}
+	if opts.NaiveOrder {
+		res.Plan = planner.Plan{Order: planner.NaiveOrder(q)}
+	} else {
+		method := opts.Method
+		if method == "" {
+			method = MethodFixSized
+		}
+		est, err := s.Estimator(method)
+		if err != nil {
+			return nil, err
+		}
+		res.Plan = planner.Choose(q, est)
+		res.PlanMethod = method
+	}
+
+	var names []string
+	if dn, ok := src.(DocNamer); ok {
+		names = dn.DocNames()
+	}
+	var indexer *twigjoin.Indexer
+	if ts, ok := src.(TwigIndexerSource); ok {
+		indexer = ts.TwigIndexer()
+	}
+	if indexer == nil {
+		indexer = s.execIndexer()
+	}
+
+	var budget *int64
+	if opts.NodeBudget > 0 {
+		b := opts.NodeBudget
+		budget = &b
+	}
+	for i, t := range trees {
+		x := indexer.For(t)
+		emit := func(m twigjoin.Match) bool {
+			res.Count++
+			if opts.Limit > 0 && len(res.Matches) < opts.Limit {
+				name := fmt.Sprintf("doc[%d]", i)
+				if i < len(names) {
+					name = names[i]
+				}
+				res.Matches = append(res.Matches, QueryMatch{
+					Doc:   name,
+					Nodes: append([]int32(nil), m...),
+				})
+			}
+			return true
+		}
+		st, err := twigjoin.EnumerateContext(ctx, x, q, res.Plan.Order, budget, emit)
+		res.Stats.Candidates += st.Candidates
+		res.Stats.Matches += st.Matches
+		res.DocsScanned++
+		if err != nil {
+			if errors.Is(err, twigjoin.ErrNodeBudget) {
+				res.Degraded = true
+				break
+			}
+			return nil, err
+		}
+	}
+	res.Truncated = res.Count > int64(len(res.Matches)) && opts.Limit > 0
+	if res.Plan.PredictedCandidates > 0 {
+		res.Calibration = float64(res.Stats.Candidates) / res.Plan.PredictedCandidates
+	}
+	return res, nil
+}

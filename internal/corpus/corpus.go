@@ -32,6 +32,7 @@ import (
 	"treelattice/internal/lattice"
 	"treelattice/internal/match"
 	"treelattice/internal/metrics"
+	"treelattice/internal/twigjoin"
 	"treelattice/internal/xmlparse"
 )
 
@@ -82,6 +83,11 @@ type Corpus struct {
 	// recovered carries ingest state reconstructed by a manifest-aware
 	// read-only open, consumed by the next EnableIngest.
 	recovered *ingestRecovery
+	// indexer caches one twigjoin region index per document tree for
+	// query execution; built at load, shared across ingest epochs
+	// (epochs reuse unchanged tree pointers, so their indexes carry
+	// over). Never nil after Create/open.
+	indexer *twigjoin.Indexer
 }
 
 var _ core.TreeSource = (*Corpus)(nil)
@@ -136,10 +142,11 @@ func Create(dir string, opts Options) (*Corpus, error) {
 		return nil, err
 	}
 	c := &Corpus{
-		dir:  dir,
-		opts: opts,
-		dict: labeltree.NewDict(),
-		docs: make(map[string]*labeltree.Tree),
+		dir:     dir,
+		opts:    opts,
+		dict:    labeltree.NewDict(),
+		docs:    make(map[string]*labeltree.Tree),
+		indexer: twigjoin.NewIndexer(),
 	}
 	// An empty summary: build from a lattice with no entries.
 	empty, err := buildEmptySummary(opts.K, c.dict)
@@ -189,10 +196,11 @@ func open(dir string, readOnly bool) (*Corpus, error) {
 		return nil, err
 	}
 	c := &Corpus{
-		dir:  dir,
-		opts: opts,
-		dict: labeltree.NewDict(),
-		docs: make(map[string]*labeltree.Tree),
+		dir:     dir,
+		opts:    opts,
+		dict:    labeltree.NewDict(),
+		docs:    make(map[string]*labeltree.Tree),
+		indexer: twigjoin.NewIndexer(),
 	}
 	mans, err := scanManifests(dir)
 	if err != nil {
@@ -227,6 +235,9 @@ func open(dir string, readOnly bool) (*Corpus, error) {
 	// Read-only replicas load their document trees too, so every backend
 	// works on frozen summaries.
 	c.summary.BindSource(c)
+	// Region-index every loaded document once, up front: query execution
+	// then never pays an index build on the request path.
+	c.indexer.ForAll(c.Trees())
 	return c, nil
 }
 
@@ -279,6 +290,14 @@ func (c *Corpus) Docs() []string {
 	sort.Strings(out)
 	return out
 }
+
+// DocNames implements core.DocNamer: document names positionally
+// aligned with Trees().
+func (c *Corpus) DocNames() []string { return c.Docs() }
+
+// TwigIndexer implements core.TwigIndexerSource: the corpus-lifetime
+// region-index cache query execution runs on.
+func (c *Corpus) TwigIndexer() *twigjoin.Indexer { return c.indexer }
 
 // Doc returns a loaded document tree by name.
 func (c *Corpus) Doc(name string) (*labeltree.Tree, bool) {

@@ -212,6 +212,7 @@ func (c *Corpus) EnableIngest(opts IngestOptions) error {
 	if st.handle == nil {
 		st.handle = &core.EpochHandle{}
 	}
+	st.handle.SetTwigIndexer(c.indexer)
 	foldLat, err := st.base.Materialize()
 	if err != nil {
 		return fmt.Errorf("corpus: enabling ingest: %w", err)
@@ -723,6 +724,7 @@ func (c *Corpus) openWithManifest(mans []ingestManifest, readOnly bool) error {
 		docs[i] = c.docs[n]
 	}
 	rec.handle = &core.EpochHandle{}
+	rec.handle.SetTwigIndexer(c.indexer)
 	ep := rec.handle.Publish(base, rec.delta, docs, names)
 	c.summary = ep.Summary
 	c.recovered = rec

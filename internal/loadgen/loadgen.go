@@ -288,6 +288,7 @@ type HTTPTarget struct {
 	base   string
 	path   string
 	method string
+	extra  string
 	client *http.Client
 	accept map[int]bool
 }
@@ -308,9 +309,19 @@ func NewHTTPTarget(base string, method core.Method, client *http.Client) *HTTPTa
 
 // WithPath retargets Issue at a different query endpoint taking the same
 // q/method parameters (e.g. "/v1/exact" for overload-testing the expensive
-// ground-truth scan). Returns the target for chaining.
+// ground-truth scan, or "/v1/query" for a twig-execution mix). Returns the
+// target for chaining.
 func (t *HTTPTarget) WithPath(path string) *HTTPTarget {
 	t.path = path
+	return t
+}
+
+// WithParam appends a fixed query parameter to every issued request —
+// e.g. WithParam("count", "1") turns a /v1/query mix count-only so the
+// measured path is planning + execution, not match serialization.
+// Returns the target for chaining.
+func (t *HTTPTarget) WithParam(key, value string) *HTTPTarget {
+	t.extra += "&" + url.QueryEscape(key) + "=" + url.QueryEscape(value)
 	return t
 }
 
@@ -333,6 +344,7 @@ func (t *HTTPTarget) Issue(it Item) error {
 	if t.method != "" {
 		u += "&method=" + url.QueryEscape(t.method)
 	}
+	u += t.extra
 	resp, err := t.client.Get(u)
 	if err != nil {
 		return err

@@ -31,12 +31,26 @@ type Plan struct {
 	PathEstimates []float64
 	// EstimatedMatches is the estimated selectivity of the whole query.
 	EstimatedMatches float64
+	// PredictedCandidates is the cost model's prediction of
+	// twigjoin.Stats.Candidates for the execution: each query node is
+	// predicted to scan as many candidates as its anchor path has
+	// matches (Σ PathEstimates). Comparing it with the measured
+	// Stats.Candidates yields the calibration ratio exported by the
+	// serving layer — the signal that validates the model with real
+	// work.
+	PredictedCandidates float64
 }
 
-// Choose builds a plan for q against the estimator. The estimator sees
-// child-axis patterns regardless of the query's axes — the lattice stores
-// child-edge statistics; descendant steps are planned by the same signal,
-// which orders correctly whenever document recursion is limited.
+// Choose builds a plan for q against the estimator.
+//
+// Descendant-axis fallback: the estimator sees child-axis patterns
+// regardless of the query's axes — the lattice stores child-edge
+// statistics, so a descendant ("//") edge is planned by the selectivity
+// of the corresponding child edge. That underestimates descendant fanout
+// on recursive documents but preserves the *relative* branch ordering
+// whenever recursion is limited, which is what the rank needs; the
+// executor's region-containment probes evaluate the true descendant
+// semantics either way.
 func Choose(q twigjoin.Query, est estimate.Estimator) Plan {
 	p := q.Pattern
 	n := p.Size()
@@ -65,10 +79,15 @@ func Choose(q twigjoin.Query, est estimate.Estimator) Plan {
 		}
 	}
 	visit(0)
+	var predicted float64
+	for _, pe := range c.pathEst {
+		predicted += pe
+	}
 	return Plan{
-		Order:            order,
-		PathEstimates:    c.pathEst,
-		EstimatedMatches: est.Estimate(p),
+		Order:               order,
+		PathEstimates:       c.pathEst,
+		EstimatedMatches:    est.Estimate(p),
+		PredictedCandidates: predicted,
 	}
 }
 

@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"net/http"
+	"testing"
+)
+
+// TestQueryEndpoint drives GET/POST /v1/query end to end: planned and
+// naive executions, limits, count-only mode, descendant axes, and the
+// zero-answer path for unknown labels.
+func TestQueryEndpoint(t *testing.T) {
+	srv, _ := newServer(t)
+	if code, out := do(t, "POST", srv.URL+"/v1/docs/sample", doc); code != http.StatusCreated {
+		t.Fatalf("add: %d %v", code, out)
+	}
+
+	code, out := do(t, "GET", srv.URL+"/v1/query?q=//laptop(brand,price)", "")
+	if code != http.StatusOK {
+		t.Fatalf("query: %d %v", code, out)
+	}
+	if out["count"].(float64) != 2 {
+		t.Fatalf("count = %v, want 2", out["count"])
+	}
+	matches := out["matches"].([]any)
+	if len(matches) != 2 {
+		t.Fatalf("matches = %d, want 2", len(matches))
+	}
+	m0 := matches[0].(map[string]any)
+	if m0["doc"] != "sample" {
+		t.Fatalf("doc = %v, want sample", m0["doc"])
+	}
+	if nodes := m0["nodes"].([]any); len(nodes) != 3 {
+		t.Fatalf("nodes = %v, want 3 bindings", nodes)
+	}
+	if out["plan_method"] == "" || out["plan"] == nil {
+		t.Fatalf("missing plan info: %v", out)
+	}
+
+	// limit=1 truncates materialization but not the count.
+	code, out = do(t, "GET", srv.URL+"/v1/query?q=//laptop(brand,price)&limit=1", "")
+	if code != http.StatusOK || out["count"].(float64) != 2 {
+		t.Fatalf("limited query: %d %v", code, out)
+	}
+	if len(out["matches"].([]any)) != 1 || out["truncated"] != true {
+		t.Fatalf("limit=1 should truncate: %v", out)
+	}
+
+	// count=1 suppresses tuples entirely.
+	code, out = do(t, "GET", srv.URL+"/v1/query?q=//laptop(brand,price)&count=1", "")
+	if code != http.StatusOK || out["count"].(float64) != 2 {
+		t.Fatalf("count-only: %d %v", code, out)
+	}
+	if _, has := out["matches"]; has {
+		t.Fatalf("count-only should omit matches: %v", out)
+	}
+
+	// naive=1 skips planning; same count.
+	code, out = do(t, "GET", srv.URL+"/v1/query?q=//laptop(brand,price)&naive=1", "")
+	if code != http.StatusOK || out["count"].(float64) != 2 {
+		t.Fatalf("naive: %d %v", code, out)
+	}
+	if _, has := out["plan_method"]; has {
+		t.Fatalf("naive should carry no plan method: %v", out)
+	}
+
+	// POST body mirrors the GET parameters.
+	code, out = do(t, "POST", srv.URL+"/v1/query",
+		`{"q": "//laptop(brand,price)", "count": true}`)
+	if code != http.StatusOK || out["count"].(float64) != 2 {
+		t.Fatalf("POST query: %d %v", code, out)
+	}
+
+	// Unknown label: zero matches without a scan.
+	code, out = do(t, "GET", srv.URL+"/v1/query?q=//nosuchlabel", "")
+	if code != http.StatusOK || out["count"].(float64) != 0 {
+		t.Fatalf("unknown label: %d %v", code, out)
+	}
+}
+
+// TestQueryEndpointErrors covers the envelope codes specific to the
+// query route.
+func TestQueryEndpointErrors(t *testing.T) {
+	srv, _ := newServer(t)
+	if code, out := do(t, "POST", srv.URL+"/v1/docs/sample", doc); code != http.StatusCreated {
+		t.Fatalf("add: %d %v", code, out)
+	}
+
+	cases := []struct {
+		name, method, url, body string
+		status                  int
+		code                    string
+	}{
+		{"missing q", "GET", "/v1/query", "", http.StatusBadRequest, "bad_query"},
+		{"syntax", "GET", "/v1/query?q=laptop((", "", http.StatusBadRequest, "bad_query"},
+		{"bad limit", "GET", "/v1/query?q=//laptop&limit=x", "", http.StatusBadRequest, "bad_query"},
+		{"bad method", "GET", "/v1/query?q=//laptop&method=nope", "", http.StatusBadRequest, "unknown_method"},
+		{"bad body", "POST", "/v1/query", "{", http.StatusBadRequest, "bad_query"},
+		{"wrong verb", "DELETE", "/v1/query", "", http.StatusMethodNotAllowed, "method_not_allowed"},
+		{"unknown tenant", "GET", "/v1/t/ghost/query?q=//laptop", "", http.StatusNotFound, "unknown_tenant"},
+	}
+	for _, tc := range cases {
+		code, out := do(t, tc.method, srv.URL+tc.url, tc.body)
+		if code != tc.status || out["code"] != tc.code {
+			t.Errorf("%s: got %d %v, want %d %s", tc.name, code, out, tc.status, tc.code)
+		}
+	}
+}
+
+// TestTenantQueryDefault exercises /v1/t/{tenant}/query against the
+// default tenant (the live corpus) — the one tenant that always has
+// documents bound.
+func TestTenantQueryDefault(t *testing.T) {
+	srv, _ := newServer(t)
+	if code, out := do(t, "POST", srv.URL+"/v1/docs/sample", doc); code != http.StatusCreated {
+		t.Fatalf("add: %d %v", code, out)
+	}
+	code, out := do(t, "GET", srv.URL+"/v1/t/default/query?q=//laptop(brand)", "")
+	if code != http.StatusOK {
+		t.Fatalf("tenant query: %d %v", code, out)
+	}
+	if out["tenant"] != "default" || out["count"].(float64) != 2 {
+		t.Fatalf("tenant query answer: %v", out)
+	}
+}
+
+// TestQueryStatsSection checks /v1/stats grows a query section fed by
+// executions, including the calibration histogram.
+func TestQueryStatsSection(t *testing.T) {
+	srv, _ := newServer(t)
+	if code, out := do(t, "POST", srv.URL+"/v1/docs/sample", doc); code != http.StatusCreated {
+		t.Fatalf("add: %d %v", code, out)
+	}
+	if code, out := do(t, "GET", srv.URL+"/v1/query?q=//laptop(brand,price)", ""); code != http.StatusOK {
+		t.Fatalf("query: %d %v", code, out)
+	}
+	code, out := do(t, "GET", srv.URL+"/v1/stats", "")
+	if code != http.StatusOK {
+		t.Fatalf("stats: %d", code)
+	}
+	qs, ok := out["query"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats missing query section: %v", out["query"])
+	}
+	if qs["executed"].(float64) < 1 {
+		t.Fatalf("executed = %v, want >= 1", qs["executed"])
+	}
+	if qs["calibrated"].(float64) < 1 {
+		t.Fatalf("calibrated = %v, want >= 1 (planned run should observe ratio)", qs["calibrated"])
+	}
+}

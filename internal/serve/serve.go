@@ -7,11 +7,14 @@
 //	POST   /v1/estimate/batch                   many estimates in one call
 //	GET    /v1/methods                          registered estimators + capabilities
 //	GET    /v1/exact?q=<twig>                   exact count (scans documents)
+//	GET    /v1/query?q=<twig>&limit=<n>         execute a twig query, return matches
+//	POST   /v1/query                            same, JSON body {"q": ..., "limit": ...}
 //	GET    /v1/explain?q=<twig>                 estimate + trace + spread interval
 //	GET    /v1/stats                            summary and corpus statistics
 //	POST   /v1/docs/{name}                      add a document (XML body)
 //	DELETE /v1/docs/{name}                      remove a document
 //	GET    /v1/t/{tenant}/estimate              estimate against a named tenant
+//	GET    /v1/t/{tenant}/query                 execute a query against a named tenant
 //	GET    /v1/t/{tenant}/stats                 per-tenant statistics
 //	POST   /v1/t/{tenant}/reload                hot-swap a tenant's new snapshot epoch
 //	GET    /v1/tenants                          resident tenants + registry stats
@@ -45,7 +48,20 @@
 // budget_exhausted, bad_document, too_large, batch_too_large, exists,
 // not_found, frozen, ingest_backpressure, ingest_active,
 // method_not_allowed, canceled, shed, deadline_exceeded, internal,
-// bad_tenant, unknown_tenant, no_shards, not_ready, reload_failed.
+// bad_tenant, unknown_tenant, no_shards, not_ready, reload_failed,
+// no_documents.
+//
+// GET/POST /v1/query executes a twig query (extended axis syntax, so
+// descendant steps like "//a(b,//c)" work) against the corpus documents
+// through the label-region-indexed twig-join executor. The bind order
+// comes from the planner consulting the serving estimator
+// (method=<name> picks it, naive=1 skips planning for the
+// stored-numbering baseline); limit caps materialized match tuples
+// (count stays exact past it), count=1 suppresses tuples entirely, and
+// a blown node budget returns the partial count marked degraded. Every
+// planned execution records measured/predicted candidates in the
+// query.calibration_ratio histogram surfaced under /v1/stats' "query"
+// section — the cost model's live validation signal.
 //
 // POST /v1/estimate/batch accepts {"queries": [...], "method": <name>}
 // (up to MaxBatchQueries queries) and answers positionally with per-item
@@ -144,6 +160,14 @@ type ResilienceOptions struct {
 	// BuildBudget is the deadline for POST /v1/docs (parse + mine +
 	// merge). Zero means no deadline.
 	BuildBudget time.Duration
+	// QueryBudget is the deadline for /v1/query (plan + indexed twig
+	// execution across the corpus). Zero means no deadline.
+	QueryBudget time.Duration
+	// QueryNodeBudget bounds the candidate nodes one /v1/query execution
+	// may visit across the whole corpus scan; an exhausted budget returns
+	// the partial count marked degraded instead of failing. Zero means
+	// unlimited.
+	QueryNodeBudget int64
 	// DisableFallback turns off graceful degradation: an estimate that
 	// blows its budget returns 504 instead of falling back to a cheaper
 	// method.
@@ -216,6 +240,11 @@ type Handler struct {
 	batchSizes        *obs.Histogram
 	ensembleChecked   *obs.Counter
 	ensembleDivergent *obs.Counter
+
+	queries          *obs.Counter
+	queryDegradedC   *obs.Counter
+	queryCandidates  *obs.Counter
+	queryCalibration *obs.Histogram
 }
 
 // NewHandler wraps a corpus with default options.
@@ -258,6 +287,11 @@ func NewHandlerOptions(c Backend, opts Options) *Handler {
 			batchSizeBounds),
 		ensembleChecked:   reg.Counter("ensemble.checked"),
 		ensembleDivergent: reg.Counter("ensemble.divergent"),
+		queries:           reg.Counter("query.executed"),
+		queryDegradedC:    reg.Counter("query.degraded"),
+		queryCandidates:   reg.Counter("query.candidates"),
+		queryCalibration: reg.Histogram("query.calibration_ratio",
+			calibrationBounds),
 	}
 	if h.maxBytes <= 0 {
 		h.maxBytes = MaxDocumentBytes
@@ -287,6 +321,8 @@ func NewHandlerOptions(c Backend, opts Options) *Handler {
 	mux.HandleFunc("GET /v1/estimate", h.instrument("estimate", guarded(h.res.EstimateBudget, h.estimate)))
 	mux.HandleFunc("POST /v1/estimate/batch", h.instrument("estimate_batch", guarded(h.res.EstimateBudget, h.estimateBatch)))
 	mux.HandleFunc("GET /v1/exact", h.instrument("exact", guarded(h.res.ExactBudget, h.exact)))
+	mux.HandleFunc("GET /v1/query", h.instrument("query", guarded(h.res.QueryBudget, h.query)))
+	mux.HandleFunc("POST /v1/query", h.instrument("query", guarded(h.res.QueryBudget, h.query)))
 	mux.HandleFunc("GET /v1/explain", h.instrument("explain", guarded(h.res.EstimateBudget, h.explain)))
 	mux.HandleFunc("GET /v1/methods", h.instrument("methods", recov(h.methods)))
 	mux.HandleFunc("GET /v1/stats", h.instrument("stats", recov(h.stats)))
@@ -297,6 +333,8 @@ func NewHandlerOptions(c Backend, opts Options) *Handler {
 	// through the fleet registry and (for sharded tenants) the
 	// scatter-gather front end.
 	mux.HandleFunc("GET /v1/t/{tenant}/estimate", h.instrument("tenant_estimate", guarded(h.res.EstimateBudget, h.tenantEstimate)))
+	mux.HandleFunc("GET /v1/t/{tenant}/query", h.instrument("tenant_query", guarded(h.res.QueryBudget, h.tenantQuery)))
+	mux.HandleFunc("POST /v1/t/{tenant}/query", h.instrument("tenant_query", guarded(h.res.QueryBudget, h.tenantQuery)))
 	mux.HandleFunc("GET /v1/t/{tenant}/stats", h.instrument("tenant_stats", recov(h.tenantStatsEndpoint)))
 	mux.HandleFunc("POST /v1/t/{tenant}/reload", h.instrument("tenant_reload", guarded(0, h.tenantReload)))
 	mux.HandleFunc("GET /v1/tenants", h.instrument("tenants", recov(h.tenantsEndpoint)))
@@ -314,11 +352,13 @@ func NewHandlerOptions(c Backend, opts Options) *Handler {
 	mux.HandleFunc("/v1/estimate/batch", other(methodNotAllowed("POST")))
 	mux.HandleFunc("/v1/methods", other(methodNotAllowed("GET")))
 	mux.HandleFunc("/v1/exact", other(methodNotAllowed("GET")))
+	mux.HandleFunc("/v1/query", other(methodNotAllowed("GET, POST")))
 	mux.HandleFunc("/v1/explain", other(methodNotAllowed("GET")))
 	mux.HandleFunc("/v1/stats", other(methodNotAllowed("GET")))
 	mux.HandleFunc("/v1/metrics", other(methodNotAllowed("GET")))
 	mux.HandleFunc("/v1/docs/{name}", other(methodNotAllowed("POST, DELETE")))
 	mux.HandleFunc("/v1/t/{tenant}/estimate", other(methodNotAllowed("GET")))
+	mux.HandleFunc("/v1/t/{tenant}/query", other(methodNotAllowed("GET, POST")))
 	mux.HandleFunc("/v1/t/{tenant}/stats", other(methodNotAllowed("GET")))
 	mux.HandleFunc("/v1/t/{tenant}/reload", other(methodNotAllowed("POST")))
 	mux.HandleFunc("/v1/tenants", other(methodNotAllowed("GET")))
@@ -581,6 +621,9 @@ func (h *Handler) stats(w http.ResponseWriter, _ *http.Request) {
 		},
 		// Batch endpoint traffic shape: are clients batching, and how big?
 		"batch": h.batchSummary(),
+		// Twig query execution: volume, degradation, and the planner's
+		// calibration (measured candidates / predicted candidates).
+		"query": h.querySummary(),
 		// Per-tenant traffic split (requests, shed, subcache hit ratio);
 		// the flat totals above are unchanged and fleet-wide.
 		"tenants": h.tenantsSummary(),
@@ -737,6 +780,11 @@ func coreErrorCode(err error) (int, string) {
 		// Registered but unusable here (no documents for a sampling-class
 		// backend): a conflict with server state, not a client typo.
 		return http.StatusConflict, "method_unavailable"
+	case errors.Is(err, core.ErrNoDocuments):
+		// Query execution needs bound documents; snapshot-only summaries
+		// (frozen fleet tenants) can estimate but not execute. Server
+		// state, not a client typo.
+		return http.StatusConflict, "no_documents"
 	case errors.Is(err, core.ErrBudgetExhausted):
 		// A budgeted backend ran out of internal budget with fallback
 		// disabled — the 504 family, like a blown deadline.

@@ -3,6 +3,7 @@ package twigjoin
 import (
 	"context"
 	"errors"
+	"sync"
 
 	"treelattice/internal/labeltree"
 )
@@ -26,21 +27,83 @@ type Stats struct {
 	Matches int64
 }
 
+// execScratch is the per-execution working set, pooled so steady-state
+// executions allocate nothing: the bind order and assignment slices are
+// sized to the query, the used bitmap to the data tree (cleared lazily
+// through usedStack, so reuse costs O(marks), not O(tree)).
+type execScratch struct {
+	order     []int32
+	assigned  []int32
+	pos       []int32 // validateOrder scratch
+	used      []bool  // indexed by data node id
+	usedStack []int32 // nodes currently marked, stack-disciplined
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(execScratch) }}
+
+func acquireScratch(querySize, treeSize int) *execScratch {
+	s := scratchPool.Get().(*execScratch)
+	if cap(s.order) < querySize {
+		s.order = make([]int32, querySize)
+		s.assigned = make([]int32, querySize)
+		s.pos = make([]int32, querySize)
+	}
+	s.order = s.order[:querySize]
+	s.assigned = s.assigned[:querySize]
+	s.pos = s.pos[:querySize]
+	if cap(s.used) < treeSize {
+		s.used = make([]bool, treeSize)
+	}
+	s.used = s.used[:treeSize]
+	return s
+}
+
+func releaseScratch(s *execScratch) {
+	// Executions unmark on unwind even when stopping early, so only
+	// externally anchored marks remain; clear whatever is left.
+	for _, v := range s.usedStack {
+		s.used[v] = false
+	}
+	s.usedStack = s.usedStack[:0]
+	scratchPool.Put(s)
+}
+
 // Enumerate streams every match of q to emit in a deterministic order,
 // binding query nodes in the given bind order (nil = stored numbering,
 // which is parent-before-child). It stops early if emit returns false.
 func Enumerate(x *Index, q Query, bindOrder []int32, emit func(Match) bool) Stats {
-	if bindOrder == nil {
-		bindOrder = make([]int32, q.Pattern.Size())
-		for i := range bindOrder {
-			bindOrder[i] = int32(i)
+	st, _ := EnumerateContext(nil, x, q, bindOrder, nil, emit)
+	return st
+}
+
+// EnumerateContext is Enumerate under cooperative control: ctx (when
+// non-nil) is polled every budgetPollInterval candidate visits, and
+// nodeBudget (when non-nil) is decremented per candidate visit, stopping
+// the execution with ErrNodeBudget at zero. The budget is shared across
+// calls through the pointer, so one budget can cover a whole corpus scan.
+// The stats accumulated up to the stop are returned alongside the error,
+// so a truncated execution still reports the work it did.
+func EnumerateContext(ctx context.Context, x *Index, q Query, bindOrder []int32, nodeBudget *int64, emit func(Match) bool) (Stats, error) {
+	if ctx != nil {
+		// Fail fast: the periodic poll below only fires every
+		// budgetPollInterval visits.
+		if err := ctx.Err(); err != nil {
+			return Stats{}, err
 		}
 	}
-	e := executor{x: x, q: q, order: validateOrder(q.Pattern, bindOrder)}
-	e.assigned = make([]int32, q.Pattern.Size())
-	e.used = make(map[int32]bool, q.Pattern.Size())
+	scratch := acquireScratch(q.Pattern.Size(), x.tree.Size())
+	defer releaseScratch(scratch)
+	if bindOrder == nil {
+		for i := range scratch.order {
+			scratch.order[i] = int32(i)
+		}
+	} else {
+		copy(scratch.order, bindOrder)
+	}
+	validateOrder(q.Pattern, scratch.order, scratch.pos)
+	e := executor{x: x, q: q, order: scratch.order, scratch: scratch, ctx: ctx, budget: nodeBudget}
 	e.run(0, emit)
-	return e.stats
+	return e.stats, e.err
 }
 
 // Count counts all matches of q.
@@ -49,10 +112,17 @@ func Count(x *Index, q Query) int64 {
 	return st.Matches
 }
 
+// CountContext counts all matches of q under cooperative cancellation and
+// an optional shared node budget, returning the partial count with the
+// stop reason when truncated.
+func CountContext(ctx context.Context, x *Index, q Query, bindOrder []int32, nodeBudget *int64) (Stats, error) {
+	return EnumerateContext(ctx, x, q, bindOrder, nodeBudget, func(Match) bool { return true })
+}
+
 // budgetPollInterval is how many candidate visits pass between context
-// polls in budgeted executions. Each visit does at worst a map probe and
-// a recursion step, so 256 visits bound the post-cancellation overrun to
-// well under a millisecond.
+// polls in budgeted executions. Each visit does at worst a bitmap probe
+// and a recursion step, so 256 visits bound the post-cancellation overrun
+// to well under a millisecond.
 const budgetPollInterval = 256
 
 // CountAnchoredContext counts the matches of q whose root binds exactly
@@ -64,34 +134,30 @@ const budgetPollInterval = 256
 // probes. A root whose label does not match q's root counts zero matches
 // without consuming budget.
 func CountAnchoredContext(ctx context.Context, x *Index, q Query, root int32, nodeBudget *int64) (int64, error) {
-	// Fail fast: the periodic poll below only fires every
-	// budgetPollInterval visits.
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
 	if x.tree.Label(root) != q.Pattern.Label(0) {
 		return 0, nil
 	}
-	bindOrder := make([]int32, q.Pattern.Size())
-	for i := range bindOrder {
-		bindOrder[i] = int32(i)
+	scratch := acquireScratch(q.Pattern.Size(), x.tree.Size())
+	defer releaseScratch(scratch)
+	for i := range scratch.order {
+		scratch.order[i] = int32(i)
 	}
-	e := executor{x: x, q: q, order: validateOrder(q.Pattern, bindOrder), ctx: ctx, budget: nodeBudget}
-	e.assigned = make([]int32, q.Pattern.Size())
-	e.used = make(map[int32]bool, q.Pattern.Size())
-	e.assigned[0] = root
-	e.used[root] = true
+	e := executor{x: x, q: q, order: scratch.order, scratch: scratch, ctx: ctx, budget: nodeBudget}
+	scratch.assigned[0] = root
+	e.mark(root)
 	e.run(1, func(Match) bool { return true })
 	return e.stats.Matches, e.err
 }
 
 // validateOrder checks that order is a permutation binding parents before
-// children and returns it.
-func validateOrder(p labeltree.Pattern, order []int32) []int32 {
+// children, using pos as scratch.
+func validateOrder(p labeltree.Pattern, order []int32, pos []int32) {
 	if len(order) != p.Size() {
 		panic("twigjoin: bind order has wrong length")
 	}
-	pos := make([]int, p.Size())
 	for i := range pos {
 		pos[i] = -1
 	}
@@ -99,24 +165,22 @@ func validateOrder(p labeltree.Pattern, order []int32) []int32 {
 		if n < 0 || int(n) >= p.Size() || pos[n] != -1 {
 			panic("twigjoin: bind order is not a permutation")
 		}
-		pos[n] = at
+		pos[n] = int32(at)
 	}
 	for i := int32(1); int(i) < p.Size(); i++ {
 		if pos[i] < pos[p.Parent(i)] {
 			panic("twigjoin: bind order binds a child before its parent")
 		}
 	}
-	return order
 }
 
 type executor struct {
-	x        *Index
-	q        Query
-	order    []int32
-	assigned []int32
-	used     map[int32]bool
-	stats    Stats
-	stopped  bool
+	x       *Index
+	q       Query
+	order   []int32
+	scratch *execScratch
+	stats   Stats
+	stopped bool
 
 	// ctx and budget, when set, make the execution cooperative: ctx is
 	// polled every budgetPollInterval candidate visits, and budget is
@@ -126,13 +190,23 @@ type executor struct {
 	err    error
 }
 
+func (e *executor) mark(v int32) {
+	e.scratch.used[v] = true
+	e.scratch.usedStack = append(e.scratch.usedStack, v)
+}
+
+func (e *executor) unmark(v int32) {
+	e.scratch.used[v] = false
+	e.scratch.usedStack = e.scratch.usedStack[:len(e.scratch.usedStack)-1]
+}
+
 func (e *executor) run(depth int, emit func(Match) bool) {
 	if e.stopped {
 		return
 	}
 	if depth == len(e.order) {
 		e.stats.Matches++
-		if !emit(Match(e.assigned)) {
+		if !emit(Match(e.scratch.assigned)) {
 			e.stopped = true
 		}
 		return
@@ -144,16 +218,18 @@ func (e *executor) run(depth int, emit func(Match) bool) {
 		if e.q.Axes[qn] == Child {
 			// Anchored at the document root.
 			if e.x.tree.Label(0) == label {
-				candidates = []int32{0}
+				candidates = e.x.rootSelf(label)
 			}
 		} else {
 			candidates = e.x.Stream(label)
 		}
 	} else {
-		pv := e.assigned[par]
+		pv := e.scratch.assigned[par]
 		if e.q.Axes[qn] == Child {
 			candidates = e.x.ChildrenByLabel(pv, label)
 		} else {
+			// Descendant step: region-containment range probe within
+			// (start(pv), end(pv)).
 			candidates = e.x.DescendantsByLabel(pv, label)
 		}
 	}
@@ -174,17 +250,28 @@ func (e *executor) run(depth int, emit func(Match) bool) {
 				return
 			}
 		}
-		if e.used[v] {
+		if e.scratch.used[v] {
 			continue
 		}
-		e.used[v] = true
-		e.assigned[qn] = v
+		e.mark(v)
+		e.scratch.assigned[qn] = v
 		e.run(depth+1, emit)
-		delete(e.used, v)
+		e.unmark(v)
 		if e.stopped {
 			return
 		}
 	}
+}
+
+// rootSelf returns the one-element candidate list holding the document
+// root, without allocating: the root is always the first entry of its
+// label's region list.
+func (x *Index) rootSelf(label labeltree.LabelID) []int32 {
+	r := x.regions[label]
+	if r == nil || len(r.nodes) == 0 || r.nodes[0] != 0 {
+		return nil
+	}
+	return r.nodes[:1]
 }
 
 // EstimatedFirstMatch returns the first match in the deterministic order,

@@ -1,0 +1,219 @@
+package twigjoin
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"treelattice/internal/labeltree"
+	"treelattice/internal/treetest"
+)
+
+// TestChildrenByLabelAgainstWalk checks the level-partitioned range probe
+// against a direct walk of the child list, for every node and label of
+// random trees.
+func TestChildrenByLabelAgainstWalk(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		dict, labels := treetest.Alphabet(4)
+		tr := treetest.RandomTree(rng, 200, labels, dict)
+		x := NewIndex(tr)
+		for i := int32(0); int(i) < tr.Size(); i++ {
+			for _, l := range labels {
+				var want []int32
+				for _, c := range tr.Children(i) {
+					if tr.Label(c) == l {
+						want = append(want, c)
+					}
+				}
+				got := x.ChildrenByLabel(i, l)
+				if len(got) != len(want) {
+					t.Fatalf("seed %d node %d label %d: got %v want %v", seed, i, l, got, want)
+				}
+				for k := range want {
+					if got[k] != want[k] {
+						t.Fatalf("seed %d node %d label %d: got %v want %v", seed, i, l, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDescendantsByLabelAgainstWalk checks the range probe against a
+// subtree walk.
+func TestDescendantsByLabelAgainstWalk(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	dict, labels := treetest.Alphabet(3)
+	tr := treetest.RandomTree(rng, 300, labels, dict)
+	x := NewIndex(tr)
+	for i := int32(0); int(i) < tr.Size(); i++ {
+		for _, l := range labels {
+			var want []int32
+			var walk func(n int32)
+			walk = func(n int32) {
+				for _, c := range tr.Children(n) {
+					if tr.Label(c) == l {
+						want = append(want, c)
+					}
+					walk(c)
+				}
+			}
+			walk(i)
+			got := x.DescendantsByLabel(i, l)
+			if len(got) != len(want) {
+				t.Fatalf("node %d label %d: got %d want %d", i, l, len(got), len(want))
+			}
+			// The probe returns document order; the walk returns DFS
+			// order, which is the same thing.
+			for k := range want {
+				if got[k] != want[k] {
+					t.Fatalf("node %d label %d: got %v want %v", i, l, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestExecZeroAlloc gates the executor fast path: index probes and whole
+// enumerations over a warmed scratch pool must not allocate.
+func TestExecZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	dict, labels := treetest.Alphabet(3)
+	tr := treetest.RandomTree(rng, 500, labels, dict)
+	x := NewIndex(tr)
+	q := MustParseQuery("//l0(l1,//l2)", dict)
+
+	if n := testing.AllocsPerRun(100, func() {
+		_ = x.ChildrenByLabel(0, labels[1])
+		_ = x.DescendantsByLabel(0, labels[2])
+	}); n != 0 {
+		t.Fatalf("index probes allocate: %v allocs/op", n)
+	}
+
+	var sink int64
+	emit := func(Match) bool { return true }
+	Enumerate(x, q, nil, emit) // warm the scratch pool
+	if n := testing.AllocsPerRun(50, func() {
+		st := Enumerate(x, q, nil, emit)
+		sink += st.Matches
+	}); n != 0 {
+		t.Fatalf("Enumerate allocates: %v allocs/op", n)
+	}
+
+	order := []int32{0, 2, 1}
+	if n := testing.AllocsPerRun(50, func() {
+		st, _ := EnumerateContext(context.Background(), x, q, order, nil, emit)
+		sink += st.Matches
+	}); n != 0 {
+		t.Fatalf("EnumerateContext allocates: %v allocs/op", n)
+	}
+	_ = sink
+}
+
+// TestEnumerateContextBudget checks that a too-small node budget stops
+// the execution with ErrNodeBudget and partial stats, and that a
+// sufficient budget reproduces the unbudgeted count.
+func TestEnumerateContextBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	dict, labels := treetest.Alphabet(2)
+	tr := treetest.RandomTree(rng, 400, labels, dict)
+	x := NewIndex(tr)
+	q := MustParseQuery("//l0(//l1)", dict)
+
+	full := Enumerate(x, q, nil, func(Match) bool { return true })
+	if full.Candidates < 10 {
+		t.Skip("tree too small to exercise the budget")
+	}
+
+	budget := full.Candidates / 2
+	st, err := CountContext(context.Background(), x, q, nil, &budget)
+	if !errors.Is(err, ErrNodeBudget) {
+		t.Fatalf("want ErrNodeBudget, got %v", err)
+	}
+	if st.Candidates >= full.Candidates || st.Candidates == 0 {
+		t.Fatalf("partial candidates %d out of range (full %d)", st.Candidates, full.Candidates)
+	}
+
+	budget = full.Candidates + 1
+	st, err = CountContext(context.Background(), x, q, nil, &budget)
+	if err != nil {
+		t.Fatalf("unexpected error %v", err)
+	}
+	if st.Matches != full.Matches {
+		t.Fatalf("budgeted count %d != full count %d", st.Matches, full.Matches)
+	}
+}
+
+// TestEnumerateContextCanceled checks both the fail-fast path and the
+// periodic poll.
+func TestEnumerateContextCanceled(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	dict, labels := treetest.Alphabet(2)
+	tr := treetest.RandomTree(rng, 2000, labels, dict)
+	x := NewIndex(tr)
+	q := MustParseQuery("//l0(//l1,//l0)", dict)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := CountContext(ctx, x, q, nil, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+
+	// A mid-run cancel stops at the next poll; if the execution finishes
+	// before a poll fires, it must have produced the full count.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	var visits int
+	st, err := EnumerateContext(ctx2, x, q, nil, nil, func(Match) bool {
+		visits++
+		if visits == 3 {
+			cancel2()
+		}
+		return true
+	})
+	if err == nil {
+		if full := Count(x, q); st.Matches != full {
+			t.Fatalf("no cancel error but partial count %d != %d", st.Matches, full)
+		}
+	} else if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// TestIndexerCachesByTree checks index identity per tree pointer.
+func TestIndexerCachesByTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	dict, labels := treetest.Alphabet(2)
+	_ = dict
+	t1 := treetest.RandomTree(rng, 50, labels, dict)
+	t2 := treetest.RandomTree(rng, 50, labels, dict)
+	ix := NewIndexer()
+	a := ix.For(t1)
+	if b := ix.For(t1); b != a {
+		t.Fatal("same tree produced two indexes")
+	}
+	if c := ix.For(t2); c == a {
+		t.Fatal("distinct trees shared an index")
+	}
+	got := ix.ForAll([]*labeltree.Tree{t1, t2, t1})
+	if got[0] != a || got[2] != a || got[1] == a {
+		t.Fatal("ForAll alignment wrong")
+	}
+	if ix.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", ix.Len())
+	}
+}
+
+// TestQueryParserGuards checks the fuzz-safety limits.
+func TestQueryParserGuards(t *testing.T) {
+	dict := labeltree.NewDict()
+	deep := ""
+	for i := 0; i < maxParseDepth+2; i++ {
+		deep += "a("
+	}
+	if _, err := ParseQuery(deep, dict); err == nil {
+		t.Fatal("deep query accepted")
+	}
+}

@@ -57,6 +57,14 @@ func MustQuery(p labeltree.Pattern, axes []Axis) Query {
 	return q
 }
 
+// Parser guards mirroring labeltree's pattern parser: adversarial input
+// (the query endpoint is fuzzed) must not exhaust memory or the stack.
+// The limits are far above any meaningful twig.
+const (
+	maxParseNodes = 1 << 16
+	maxParseDepth = 1 << 12
+)
+
 // ParseQuery parses the twig syntax extended with a per-edge axis: each
 // child may be prefixed with "//" for the descendant axis, e.g.
 // "a(b,//c(d))". A leading "//" (default) matches the query anywhere in
@@ -71,7 +79,7 @@ func ParseQuery(s string, dict *labeltree.Dict) (Query, error) {
 		rootAxis = Child
 		p.pos = 1
 	}
-	if err := p.parseNode(-1, rootAxis); err != nil {
+	if err := p.parseNode(-1, rootAxis, 0); err != nil {
 		return Query{}, err
 	}
 	p.skipSpace()
@@ -154,7 +162,13 @@ func isQueryLabelByte(c byte) bool {
 		'a' <= c && c <= 'z' || 'A' <= c && c <= 'Z' || '0' <= c && c <= '9'
 }
 
-func (p *queryParser) parseNode(parent int32, axis Axis) error {
+func (p *queryParser) parseNode(parent int32, axis Axis, depth int) error {
+	if depth > maxParseDepth {
+		return fmt.Errorf("twigjoin: query exceeds depth %d", maxParseDepth)
+	}
+	if len(p.labels) >= maxParseNodes {
+		return fmt.Errorf("twigjoin: query exceeds %d nodes", maxParseNodes)
+	}
 	p.skipSpace()
 	start := p.pos
 	for p.pos < len(p.src) && isQueryLabelByte(p.src[p.pos]) {
@@ -177,7 +191,7 @@ func (p *queryParser) parseNode(parent int32, axis Axis) error {
 				childAxis = Descendant
 				p.pos += 2
 			}
-			if err := p.parseNode(idx, childAxis); err != nil {
+			if err := p.parseNode(idx, childAxis, depth+1); err != nil {
 				return err
 			}
 			p.skipSpace()

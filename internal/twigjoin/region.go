@@ -15,9 +15,14 @@
 // Matching is 1-1 (injective) in both cases, matching Definition 1.
 //
 // Data access goes through an Index: a region (start, end, level)
-// encoding from one DFS, per-label node streams in document order, and
-// per-node label-filtered child adjacency. Descendant steps become
-// binary-searched range scans of a label stream within (start, end).
+// encoding from one DFS and an inverted label-region index — per label,
+// the (start, end, level) region list in document order plus a
+// level-partitioned view of the same list. Both structural axes then
+// become binary-searched range probes that return shared subslices:
+// descendant steps probe the label's full region list within
+// (start, end), and child steps probe the label's level[v]+1 partition
+// within the same bounds (a descendant exactly one level deeper is
+// necessarily a child). Neither probe walks the subtree or allocates.
 package twigjoin
 
 import (
@@ -34,10 +39,25 @@ type Index struct {
 	end   []int32 // start of last descendant + 1 (exclusive bound on subtree)
 	level []int32
 
-	streams map[labeltree.LabelID][]int32 // nodes per label, document order
+	regions map[labeltree.LabelID]*labelRegions
 }
 
-// NewIndex region-encodes t and builds the label streams.
+// labelRegions is one label's slice of the inverted region index: every
+// node carrying the label, in document order, with the preorder starts
+// copied alongside so range probes binary-search a dense array instead of
+// chasing node ids back into the tree-wide start table; plus the same
+// list partitioned by level for child-axis probes.
+type labelRegions struct {
+	nodes  []int32 // document order (ascending start)
+	starts []int32 // starts[i] == Index.start[nodes[i]]
+
+	levels    []int32 // distinct levels present, ascending
+	levOff    []int32 // len(levels)+1 offsets into levNodes/levStarts
+	levNodes  []int32 // nodes grouped by level, document order within a group
+	levStarts []int32 // aligned starts for levNodes
+}
+
+// NewIndex region-encodes t and builds the label-region index.
 func NewIndex(t *labeltree.Tree) *Index {
 	n := t.Size()
 	idx := &Index{
@@ -45,7 +65,7 @@ func NewIndex(t *labeltree.Tree) *Index {
 		start:   make([]int32, n),
 		end:     make([]int32, n),
 		level:   make([]int32, n),
-		streams: make(map[labeltree.LabelID][]int32),
+		regions: make(map[labeltree.LabelID]*labelRegions),
 	}
 	// Iterative DFS assigning preorder starts and subtree ends.
 	type frame struct {
@@ -73,14 +93,56 @@ func NewIndex(t *labeltree.Tree) *Index {
 	}
 	for i := int32(0); int(i) < n; i++ {
 		l := t.Label(i)
-		idx.streams[l] = append(idx.streams[l], i)
+		r := idx.regions[l]
+		if r == nil {
+			r = &labelRegions{}
+			idx.regions[l] = r
+		}
+		r.nodes = append(r.nodes, i)
 	}
-	// Document order within a stream = ascending start; node indices are
-	// assigned parent-before-child but not in DFS order, so sort.
-	for _, s := range idx.streams {
-		sort.Slice(s, func(a, b int) bool { return idx.start[s[a]] < idx.start[s[b]] })
+	for _, r := range idx.regions {
+		// Document order within a region list = ascending start; node
+		// indices are assigned parent-before-child but not in DFS order,
+		// so sort, then build the aligned starts and the level partition.
+		sort.Slice(r.nodes, func(a, b int) bool { return idx.start[r.nodes[a]] < idx.start[r.nodes[b]] })
+		r.starts = make([]int32, len(r.nodes))
+		for i, v := range r.nodes {
+			r.starts[i] = idx.start[v]
+		}
+		idx.buildLevels(r)
 	}
 	return idx
+}
+
+// buildLevels groups r.nodes by level (stably, preserving document order
+// within a level) and records the group offsets.
+func (x *Index) buildLevels(r *labelRegions) {
+	counts := make(map[int32]int32)
+	for _, v := range r.nodes {
+		counts[x.level[v]]++
+	}
+	r.levels = make([]int32, 0, len(counts))
+	for l := range counts {
+		r.levels = append(r.levels, l)
+	}
+	sort.Slice(r.levels, func(a, b int) bool { return r.levels[a] < r.levels[b] })
+	r.levOff = make([]int32, len(r.levels)+1)
+	at := make(map[int32]int32, len(r.levels))
+	var off int32
+	for i, l := range r.levels {
+		r.levOff[i] = off
+		at[l] = off
+		off += counts[l]
+	}
+	r.levOff[len(r.levels)] = off
+	r.levNodes = make([]int32, len(r.nodes))
+	r.levStarts = make([]int32, len(r.nodes))
+	for _, v := range r.nodes {
+		p := at[x.level[v]]
+		at[x.level[v]] = p + 1
+		r.levNodes[p] = v
+		r.levStarts[p] = x.start[v]
+	}
 }
 
 // Tree returns the indexed document.
@@ -97,29 +159,82 @@ func (x *Index) Level(i int32) int32 { return x.level[i] }
 
 // Stream returns all nodes with the given label in document order. The
 // slice is shared and must not be modified.
-func (x *Index) Stream(label labeltree.LabelID) []int32 { return x.streams[label] }
+func (x *Index) Stream(label labeltree.LabelID) []int32 {
+	r := x.regions[label]
+	if r == nil {
+		return nil
+	}
+	return r.nodes
+}
 
 // IsAncestor reports whether a is a proper ancestor of d.
 func (x *Index) IsAncestor(a, d int32) bool {
 	return x.start[a] < x.start[d] && x.start[d] < x.end[a]
 }
 
-// DescendantsByLabel returns the descendants of node i carrying label, in
-// document order, as a subslice of the label stream.
-func (x *Index) DescendantsByLabel(i int32, label labeltree.LabelID) []int32 {
-	s := x.streams[label]
-	lo := sort.Search(len(s), func(k int) bool { return x.start[s[k]] > x.start[i] })
-	hi := sort.Search(len(s), func(k int) bool { return x.start[s[k]] >= x.end[i] })
-	return s[lo:hi]
-}
-
-// ChildrenByLabel returns the children of node i carrying label.
-func (x *Index) ChildrenByLabel(i int32, label labeltree.LabelID) []int32 {
-	var out []int32
-	for _, c := range x.tree.Children(i) {
-		if x.tree.Label(c) == label {
-			out = append(out, c)
+// searchAbove returns the first position in starts holding a value > v.
+// Manual binary search: the aligned starts arrays make this a probe over
+// a dense int32 run with no closure or tree indirection.
+func searchAbove(starts []int32, v int32) int {
+	lo, hi := 0, len(starts)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if starts[mid] <= v {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
 	}
-	return out
+	return lo
+}
+
+// searchAtOrAbove returns the first position in starts holding a value >= v.
+func searchAtOrAbove(starts []int32, v int32) int {
+	lo, hi := 0, len(starts)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if starts[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// DescendantsByLabel returns the descendants of node i carrying label, in
+// document order, as a shared subslice of the label's region list: a
+// binary-searched range probe for starts in (start(i), end(i)). The
+// result must not be modified; iteration allocates nothing.
+func (x *Index) DescendantsByLabel(i int32, label labeltree.LabelID) []int32 {
+	r := x.regions[label]
+	if r == nil {
+		return nil
+	}
+	lo := searchAbove(r.starts, x.start[i])
+	hi := searchAtOrAbove(r.starts[lo:], x.end[i]) + lo
+	return r.nodes[lo:hi]
+}
+
+// ChildrenByLabel returns the children of node i carrying label, in
+// document order, as a shared subslice of the label's level-partitioned
+// region list. A descendant of i at level(i)+1 is necessarily a child
+// (depth grows by exactly one per edge), so the probe binary-searches the
+// label's level(i)+1 partition for starts in (start(i), end(i)) instead
+// of walking i's child list. The result must not be modified; iteration
+// allocates nothing.
+func (x *Index) ChildrenByLabel(i int32, label labeltree.LabelID) []int32 {
+	r := x.regions[label]
+	if r == nil {
+		return nil
+	}
+	want := x.level[i] + 1
+	k := searchAtOrAbove(r.levels, want)
+	if k == len(r.levels) || r.levels[k] != want {
+		return nil
+	}
+	starts := r.levStarts[r.levOff[k]:r.levOff[k+1]]
+	lo := searchAbove(starts, x.start[i])
+	hi := searchAtOrAbove(starts[lo:], x.end[i]) + lo
+	return r.levNodes[int(r.levOff[k])+lo : int(r.levOff[k])+hi]
 }
